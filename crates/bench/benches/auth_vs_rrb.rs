@@ -1,0 +1,97 @@
+//! A1 — ablation: authenticated (signed PDs) discovery vs. reachable
+//! reliable broadcast, as full simulated runs to the same knowledge goal.
+//! See `src/bin/ablation_auth.rs` for the tabulated version.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cupft_detector::SystemSetup;
+use cupft_discovery::{DiscoveryActor, DiscoveryMsg, DiscoveryState};
+use cupft_graph::{GdiParams, GeneratedSystem, Generator, ProcessSet};
+use cupft_net::sim::Simulation;
+use cupft_net::{DelayPolicy, SimConfig};
+use cupft_rrb::{RrbActor, RrbMsg};
+use std::hint::black_box;
+
+fn policy() -> DelayPolicy {
+    DelayPolicy::PartialSynchrony {
+        gst: 100,
+        delta: 10,
+        pre_gst_max: 60,
+    }
+}
+
+fn system(periphery: usize) -> GeneratedSystem {
+    let mut params = GdiParams::new(1);
+    params.non_sink_size = periphery;
+    Generator::from_seed(42)
+        .generate(&params)
+        .expect("generation succeeds")
+}
+
+fn run_auth(sys: &GeneratedSystem) -> u64 {
+    let setup = SystemSetup::new(&sys.graph);
+    let mut sim: Simulation<DiscoveryMsg> = Simulation::new(SimConfig {
+        seed: 7,
+        max_time: 100_000,
+        policy: policy(),
+    });
+    for v in sys.correct() {
+        let state = DiscoveryState::from_setup(&setup, v).unwrap();
+        sim.add_actor(Box::new(DiscoveryActor::new(state, 20)));
+    }
+    let sink: Vec<_> = sys.sink.iter().copied().collect();
+    let ok = sim.run_until(|s| {
+        sink.iter().all(|&m| {
+            s.actor_as::<DiscoveryActor>(m)
+                .is_some_and(|a| sink.iter().all(|&o| a.state().view().has_pd_of(o)))
+        })
+    });
+    assert!(ok);
+    sim.stats().messages_sent
+}
+
+fn run_rrb(sys: &GeneratedSystem) -> u64 {
+    let mut sim: Simulation<RrbMsg> = Simulation::new(SimConfig {
+        seed: 7,
+        max_time: 100_000,
+        policy: policy(),
+    });
+    for v in sys.correct() {
+        let pd: ProcessSet = sys.graph.out_neighbors(v);
+        let content: Vec<u64> = pd.iter().map(|q| q.raw()).collect();
+        sim.add_actor(Box::new(RrbActor::new(v, sys.fault_threshold, pd, content)));
+    }
+    let sink: Vec<_> = sys.sink.iter().copied().collect();
+    let ok = sim.run_until(|s| {
+        sink.iter().all(|&m| {
+            s.actor_as::<RrbActor>(m).is_some_and(|a| {
+                sink.iter()
+                    .filter(|&&o| o != m)
+                    .all(|&o| a.state().delivered().any(|p| p.origin == o))
+            })
+        })
+    });
+    assert!(ok);
+    sim.stats().messages_sent
+}
+
+fn bench_auth_vs_rrb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pd_dissemination");
+    for periphery in [2usize, 6] {
+        let sys = system(periphery);
+        let n = sys.graph.vertex_count();
+        group.bench_with_input(BenchmarkId::new("authenticated", n), &sys, |b, sys| {
+            b.iter(|| black_box(run_auth(sys)))
+        });
+        group.bench_with_input(BenchmarkId::new("rrb_baseline", n), &sys, |b, sys| {
+            b.iter(|| black_box(run_rrb(sys)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_auth_vs_rrb,
+}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! S3 — committee consensus scaling: lock-step decision latency (in
+//! processed messages) across committee sizes, with and without a faulty
+//! leader forcing a view change.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cupft_committee::{Committee, Replica, ReplicaConfig};
+use cupft_crypto::KeyRegistry;
+use cupft_graph::{process_set, ProcessId};
+use std::hint::black_box;
+
+fn make_replicas(n: u64, f: usize) -> Vec<Replica> {
+    let mut registry = KeyRegistry::new();
+    let committee = Committee::new(process_set(1..=n), f);
+    (1..=n)
+        .map(|i| {
+            let key = registry.register(i);
+            Replica::new(
+                key,
+                registry.clone(),
+                committee.clone(),
+                Bytes::from(format!("value-{i}")),
+                ReplicaConfig::default(),
+            )
+        })
+        .collect()
+}
+
+/// Lock-step run to unanimous decision; returns messages processed.
+fn run_lockstep(replicas: &mut [Replica], silent_leader: bool) -> u64 {
+    let mut queue: Vec<(ProcessId, ProcessId, cupft_committee::CommitteeMsg)> = Vec::new();
+    for r in replicas.iter_mut() {
+        let fx = r.start();
+        for (to, m) in fx.msgs {
+            if !(silent_leader && r.id().raw() == 1) {
+                queue.push((r.id(), to, m));
+            }
+        }
+    }
+    if silent_leader {
+        for r in replicas.iter_mut() {
+            if r.id().raw() == 1 {
+                continue;
+            }
+            let fx = r.on_timeout(r.view());
+            for (to, m) in fx.msgs {
+                queue.push((r.id(), to, m));
+            }
+        }
+    }
+    let mut processed = 0u64;
+    while let Some((from, to, msg)) = queue.pop() {
+        processed += 1;
+        assert!(processed < 5_000_000, "did not converge");
+        if silent_leader && from.raw() == 1 {
+            continue;
+        }
+        let Some(r) = replicas.iter_mut().find(|r| r.id() == to) else {
+            continue;
+        };
+        let fx = r.handle(from, msg);
+        for (to2, m2) in fx.msgs {
+            queue.push((r.id(), to2, m2));
+        }
+    }
+    processed
+}
+
+fn bench_committee(c: &mut Criterion) {
+    let mut group = c.benchmark_group("committee_decision");
+    for (n, f) in [(4u64, 1usize), (7, 2), (13, 4), (25, 8)] {
+        group.bench_with_input(
+            BenchmarkId::new("happy_path", n),
+            &(n, f),
+            |b, &(n, f)| {
+                b.iter(|| {
+                    let mut replicas = make_replicas(n, f);
+                    black_box(run_lockstep(&mut replicas, false))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("silent_leader", n),
+            &(n, f),
+            |b, &(n, f)| {
+                b.iter(|| {
+                    let mut replicas = make_replicas(n, f);
+                    black_box(run_lockstep(&mut replicas, true))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_committee,
+}
+criterion_main!(benches);

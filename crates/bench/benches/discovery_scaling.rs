@@ -1,0 +1,67 @@
+//! S1 — discovery convergence as systems grow (Theorem 2's
+//! `GST + 2(d−1)δ`-shaped bound): full simulated runs of Algorithm 1 on
+//! generated `G_di` systems of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cupft_detector::SystemSetup;
+use cupft_discovery::{DiscoveryActor, DiscoveryMsg, DiscoveryState};
+use cupft_graph::{GdiParams, GeneratedSystem, Generator};
+use cupft_net::sim::Simulation;
+use cupft_net::{DelayPolicy, SimConfig};
+use std::hint::black_box;
+
+fn system_of_size(periphery: usize) -> GeneratedSystem {
+    let mut params = GdiParams::new(1);
+    params.non_sink_size = periphery;
+    params.byzantine_count = 0;
+    Generator::from_seed(99)
+        .generate(&params)
+        .expect("generation succeeds")
+}
+
+fn converge(sys: &GeneratedSystem) -> u64 {
+    let setup = SystemSetup::new(&sys.graph);
+    let mut sim: Simulation<DiscoveryMsg> = Simulation::new(SimConfig {
+        seed: 1,
+        max_time: 100_000,
+        policy: DelayPolicy::PartialSynchrony {
+            gst: 100,
+            delta: 10,
+            pre_gst_max: 60,
+        },
+    });
+    let correct: Vec<_> = sys.correct().into_iter().collect();
+    for &v in &correct {
+        let state = DiscoveryState::from_setup(&setup, v).unwrap();
+        sim.add_actor(Box::new(DiscoveryActor::new(state, 20)));
+    }
+    let sink: Vec<_> = sys.sink.iter().copied().collect();
+    let done = sim.run_until(|s| {
+        correct.iter().all(|&v| {
+            s.actor_as::<DiscoveryActor>(v)
+                .is_some_and(|a| sink.iter().all(|&m| a.state().view().has_pd_of(m)))
+        })
+    });
+    assert!(done, "discovery must converge");
+    sim.now()
+}
+
+fn bench_discovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discovery_convergence");
+    for periphery in [4usize, 16, 48] {
+        let sys = system_of_size(periphery);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sys.graph.vertex_count()),
+            &sys,
+            |b, sys| b.iter(|| black_box(converge(sys))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_discovery,
+}
+criterion_main!(benches);

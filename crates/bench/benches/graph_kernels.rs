@@ -1,0 +1,87 @@
+//! S2 — graph-kernel microbenchmarks: the primitives every identification
+//! decision rests on (SCC, strong connectivity, disjoint paths, the
+//! `isSinkGdi` predicate, candidate search).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cupft_graph::{
+    condensation, fig1b, fig4a, is_sink_gdi, process_set, CandidateSearch, DiGraph,
+    KnowledgeView,
+};
+use std::hint::black_box;
+
+fn random_like_graph(n: u64) -> DiGraph {
+    // Deterministic pseudo-random digraph: each vertex points to 4
+    // arithmetic successors (a circulant-like expander).
+    let ids = process_set(1..=n);
+    let order: Vec<_> = ids.iter().copied().collect();
+    let mut g = DiGraph::new();
+    for (i, &v) in order.iter().enumerate() {
+        for j in [1usize, 3, 7, 13] {
+            g.add_edge(v, order[(i + j) % order.len()]);
+        }
+    }
+    g
+}
+
+fn bench_scc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scc");
+    for n in [64u64, 256, 1024] {
+        let g = random_like_graph(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| condensation(black_box(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_strong_connectivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strong_connectivity");
+    for n in [16u64, 32, 64] {
+        let g = DiGraph::circulant(&process_set(1..=n), 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(g).strong_connectivity())
+        });
+    }
+    group.finish();
+}
+
+fn bench_disjoint_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disjoint_paths");
+    for n in [16u64, 64, 128] {
+        let g = DiGraph::complete(&process_set(1..=n));
+        let (s, t) = (1.into(), (n / 2).into());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(g).disjoint_path_count(s, t))
+        });
+    }
+    group.finish();
+}
+
+fn bench_is_sink_gdi(c: &mut Criterion) {
+    let view = KnowledgeView::omniscient(fig1b().graph());
+    let s1 = process_set([1, 3, 4]);
+    let s2 = process_set([2]);
+    c.bench_function("is_sink_gdi/fig1b", |b| {
+        b.iter(|| is_sink_gdi(black_box(&view), 1, black_box(&s1), black_box(&s2)))
+    });
+}
+
+fn bench_candidate_search(c: &mut Criterion) {
+    let view = KnowledgeView::omniscient(fig4a().graph());
+    let search = CandidateSearch::default();
+    c.bench_function("best_core/fig4a", |b| {
+        b.iter(|| search.best_core(black_box(&view)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets =
+        bench_scc,
+        bench_strong_connectivity,
+        bench_disjoint_paths,
+        bench_is_sink_gdi,
+        bench_candidate_search,
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! A2 — ablation: the cost of not knowing `f`. Sink identification
+//! (Algorithm 2, known `f`) vs. Core identification (Algorithm 4, unknown
+//! `f`, with the maximality certification) on comparable views.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cupft_core::{CoreDetector, SinkDetector};
+use cupft_graph::{GdiParams, Generator, KnowledgeView};
+use std::hint::black_box;
+
+fn view_for(extended: bool, sink_size: usize, periphery: usize) -> KnowledgeView {
+    let mut params = GdiParams::new(1);
+    params.extended = extended;
+    params.sink_size = sink_size;
+    params.non_sink_size = periphery;
+    params.byzantine_count = 0;
+    let sys = Generator::from_seed(7)
+        .generate(&params)
+        .expect("generation succeeds");
+    KnowledgeView::omniscient(&sys.graph)
+}
+
+fn bench_sink_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sink_detection_known_f");
+    for (sink, periphery) in [(3usize, 4usize), (5, 8), (7, 16)] {
+        let view = view_for(false, sink, periphery);
+        let detector = SinkDetector::new(1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sink + periphery),
+            &view,
+            |b, view| b.iter(|| detector.check(black_box(view)).expect("sink found")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_core_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core_detection_unknown_f");
+    for (core, periphery) in [(3usize, 4usize), (5, 8), (7, 16)] {
+        let view = view_for(true, core, periphery);
+        let detector = CoreDetector::default();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(core + periphery),
+            &view,
+            |b, view| b.iter(|| detector.check(black_box(view)).expect("core found")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sink_detection, bench_core_detection,
+}
+criterion_main!(benches);

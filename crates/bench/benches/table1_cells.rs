@@ -1,0 +1,54 @@
+//! T1 — the possibility cells of Table I as end-to-end simulated runs
+//! (how long a full consensus takes per knowledge model). The tabulated
+//! version with the impossibility cells is `src/bin/table1.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cupft_core::{run_scenario, ByzantineStrategy, ProtocolMode, Scenario};
+use cupft_graph::{fig1b, fig4a, process_set, DiGraph};
+use std::hint::black_box;
+
+fn bench_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+
+    group.bench_function("known_n_known_f", |b| {
+        let graph = DiGraph::complete(&process_set(1..=4));
+        b.iter(|| {
+            let scenario = Scenario::new(graph.clone(), ProtocolMode::KnownThreshold(1))
+                .with_byzantine(4, ByzantineStrategy::Silent);
+            let outcome = run_scenario(&scenario);
+            assert!(outcome.check().consensus_solved());
+            black_box(outcome.end_time)
+        })
+    });
+
+    group.bench_function("unknown_n_known_f", |b| {
+        let graph = fig1b().graph().clone();
+        b.iter(|| {
+            let scenario = Scenario::new(graph.clone(), ProtocolMode::KnownThreshold(1))
+                .with_byzantine(4, ByzantineStrategy::Silent);
+            let outcome = run_scenario(&scenario);
+            assert!(outcome.check().consensus_solved());
+            black_box(outcome.end_time)
+        })
+    });
+
+    group.bench_function("unknown_n_unknown_f", |b| {
+        let graph = fig4a().graph().clone();
+        b.iter(|| {
+            let scenario = Scenario::new(graph.clone(), ProtocolMode::UnknownThreshold)
+                .with_byzantine(9, ByzantineStrategy::Silent);
+            let outcome = run_scenario(&scenario);
+            assert!(outcome.check().consensus_solved());
+            black_box(outcome.end_time)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cells,
+}
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! Ablation A1 — the Section III simplification claim: with digital
+//! signatures, a PD record is trusted on receipt; without them (original
+//! BFT-CUP), every record must arrive over more than `f` node-disjoint
+//! paths (reachable reliable broadcast).
+//!
+//! Both stacks run the same goal on the same generated `G_di` systems:
+//! every correct sink member must obtain every other correct sink member's
+//! PD. Reported: simulated time-to-goal and message counts.
+
+use cupft_bench::header;
+use cupft_detector::SystemSetup;
+use cupft_discovery::{DiscoveryActor, DiscoveryState, DiscoveryMsg};
+use cupft_graph::{GdiParams, Generator, ProcessSet};
+use cupft_net::sim::Simulation;
+use cupft_net::{DelayPolicy, SimConfig};
+use cupft_rrb::{RrbActor, RrbMsg};
+
+fn policy() -> DelayPolicy {
+    DelayPolicy::PartialSynchrony {
+        gst: 100,
+        delta: 10,
+        pre_gst_max: 60,
+    }
+}
+
+struct Measurement {
+    time_to_goal: Option<u64>,
+    messages: u64,
+    getpds: u64,
+    setpds: u64,
+    floods: u64,
+}
+
+fn run_authenticated(sys: &cupft_graph::GeneratedSystem, seed: u64) -> Measurement {
+    let setup = SystemSetup::new(&sys.graph);
+    let mut sim: Simulation<DiscoveryMsg> = Simulation::new(SimConfig {
+        seed,
+        max_time: 100_000,
+        policy: policy(),
+    });
+    let correct = sys.correct();
+    for v in &correct {
+        let state = DiscoveryState::from_setup(&setup, *v).unwrap();
+        sim.add_actor(Box::new(DiscoveryActor::new(state, 20)));
+    }
+    let sink: Vec<_> = sys.sink.iter().copied().collect();
+    let goal = |s: &Simulation<DiscoveryMsg>| {
+        sink.iter().all(|&member| {
+            s.actor_as::<DiscoveryActor>(member).is_some_and(|a| {
+                sink.iter()
+                    .all(|&other| a.state().view().has_pd_of(other))
+            })
+        })
+    };
+    let reached = sim.run_until(goal);
+    Measurement {
+        time_to_goal: reached.then_some(sim.now()),
+        messages: sim.stats().messages_sent,
+        getpds: sim.stats().label_count("GETPDS"),
+        setpds: sim.stats().label_count("SETPDS"),
+        floods: 0,
+    }
+}
+
+fn run_rrb(sys: &cupft_graph::GeneratedSystem, seed: u64) -> Measurement {
+    let mut sim: Simulation<RrbMsg> = Simulation::new(SimConfig {
+        seed,
+        max_time: 100_000,
+        policy: policy(),
+    });
+    let correct = sys.correct();
+    for v in &correct {
+        let pd: ProcessSet = sys.graph.out_neighbors(*v);
+        let content: Vec<u64> = pd.iter().map(|q| q.raw()).collect();
+        sim.add_actor(Box::new(RrbActor::new(
+            *v,
+            sys.fault_threshold,
+            pd,
+            content,
+        )));
+    }
+    let sink: Vec<_> = sys.sink.iter().copied().collect();
+    let goal = |s: &Simulation<RrbMsg>| {
+        sink.iter().all(|&member| {
+            s.actor_as::<RrbActor>(member).is_some_and(|a| {
+                sink.iter().filter(|&&o| o != member).all(|&other| {
+                    a.state().delivered().any(|p| p.origin == other)
+                })
+            })
+        })
+    };
+    let reached = sim.run_until(goal);
+    Measurement {
+        time_to_goal: reached.then_some(sim.now()),
+        messages: sim.stats().messages_sent,
+        getpds: 0,
+        setpds: 0,
+        floods: sim.stats().label_count("RRB-FLOOD"),
+    }
+}
+
+fn main() {
+    println!("Ablation A1 — authenticated discovery vs. reachable reliable broadcast");
+    println!("goal: every correct sink member holds every correct sink member's PD");
+
+    for f in [1usize, 2] {
+        header(&format!("fault threshold f = {f}"));
+        println!(
+            "  {:<26} {:>6} {:>10} {:>10} {:>22}",
+            "system", "n", "auth time", "rrb time", "auth msgs / rrb msgs"
+        );
+        for (sink_extra, periphery) in [(0usize, 2usize), (2, 6), (4, 12)] {
+            let mut params = GdiParams::new(f);
+            params.sink_size = 2 * f + 1 + sink_extra;
+            params.non_sink_size = periphery;
+            let mut generator = Generator::from_seed(42 + sink_extra as u64);
+            let sys = generator.generate(&params).expect("generation succeeds");
+            let n = sys.graph.vertex_count();
+
+            let auth = run_authenticated(&sys, 7);
+            let rrb = run_rrb(&sys, 7);
+            println!(
+                "  sink={:<3} periphery={:<3}    {:>6} {:>10} {:>10} {:>10} / {:<10}",
+                params.sink_size,
+                params.non_sink_size,
+                n,
+                auth.time_to_goal
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "stuck".into()),
+                rrb.time_to_goal
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "stuck".into()),
+                auth.messages,
+                rrb.messages,
+            );
+            println!(
+                "      auth: GETPDS={} SETPDS={}   rrb: FLOOD={}",
+                auth.getpds, auth.setpds, rrb.floods
+            );
+            assert!(
+                auth.time_to_goal.is_some(),
+                "authenticated discovery must converge"
+            );
+        }
+    }
+
+    println!();
+    println!("Expected shape (paper, Section III): both converge; the signed protocol is the");
+    println!("simpler and cheaper one — RRB floods multiply per disjoint route while signed");
+    println!("records are forwarded as data. The gap widens with f and graph size.");
+}

@@ -1,0 +1,90 @@
+//! Figure 2 / Theorem 7 — impossibility of BFT-CUP graphs without a known
+//! fault threshold.
+//!
+//! Reproduces the three indistinguishable executions of the proof:
+//!
+//! * **System A** (Fig. 2a): `{1,2,3}` propose `v`, process 4 silent —
+//!   they must decide `v`.
+//! * **System B** (Fig. 2b): `{6,7,8}` propose `u`, process 5 silent —
+//!   they must decide `u`.
+//! * **System AB** (Fig. 2c): all eight processes are correct, but every
+//!   cross-group message is delayed beyond both decision times. `{1,2,3}`
+//!   cannot distinguish AB from A, `{6,7,8}` cannot distinguish AB from B:
+//!   Agreement is violated.
+//!
+//! The processes run the *naive sink guesser* — the only strategy
+//! available when the graph is merely in `G_di` and `f` is unknown
+//! (Observation 1).
+
+use cupft_bench::{header, Row};
+use cupft_core::{run_scenario, ByzantineStrategy, ProtocolMode, Scenario};
+use cupft_graph::{fig2a, fig2b, fig2c, process_set};
+use cupft_net::DelayPolicy;
+
+const NAIVE: ProtocolMode = ProtocolMode::NaiveGuess { settle_ticks: 3 };
+
+fn main() {
+    println!("Figure 2 / Theorem 7 — f-unknown impossibility on G_di graphs");
+
+    header("System A (Fig. 2a): processes {1,2,3} propose v, 4 silent");
+    let a = Scenario::new(fig2a().graph().clone(), NAIVE)
+        .with_byzantine(4, ByzantineStrategy::Silent)
+        .with_value(1, b"v")
+        .with_value(2, b"v")
+        .with_value(3, b"v");
+    let row_a = Row::run("naive guesser on A", &a);
+    row_a.print();
+    assert!(row_a.solved);
+    assert_eq!(
+        row_a.check.decided_values.iter().next().map(Vec::as_slice),
+        Some(&b"v"[..])
+    );
+    let outcome_a = run_scenario(&a);
+    let decision_time_a = outcome_a.last_decision_time().expect("A decided");
+
+    header("System B (Fig. 2b): processes {6,7,8} propose u, 5 silent");
+    let b = Scenario::new(fig2b().graph().clone(), NAIVE)
+        .with_byzantine(5, ByzantineStrategy::Silent)
+        .with_value(6, b"u")
+        .with_value(7, b"u")
+        .with_value(8, b"u");
+    let row_b = Row::run("naive guesser on B", &b);
+    row_b.print();
+    assert!(row_b.solved);
+    let outcome_b = run_scenario(&b);
+    let decision_time_b = outcome_b.last_decision_time().expect("B decided");
+
+    header("System AB (Fig. 2c): all correct, cross-group delay > max(Δ_A, Δ_B)");
+    let cross_delay = (decision_time_a.max(decision_time_b) + 1) * 10;
+    println!(
+        "  Δ_A = {decision_time_a}, Δ_B = {decision_time_b}, cross delay = {cross_delay}"
+    );
+    let ab = Scenario::new(fig2c().graph().clone(), NAIVE)
+        .with_policy(DelayPolicy::Partitioned {
+            delta: 10,
+            groups: vec![process_set([1, 2, 3, 4]), process_set([5, 6, 7, 8])],
+            cross_delay,
+        })
+        .with_value(1, b"v")
+        .with_value(2, b"v")
+        .with_value(3, b"v")
+        .with_value(4, b"v")
+        .with_value(5, b"u")
+        .with_value(6, b"u")
+        .with_value(7, b"u")
+        .with_value(8, b"u")
+        .with_horizon(cross_delay * 4);
+    let row_ab = Row::run("naive guesser on AB", &ab);
+    row_ab.print();
+    assert!(
+        !row_ab.check.agreement,
+        "AB must violate Agreement (the impossibility)"
+    );
+    assert_eq!(row_ab.check.decided_values.len(), 2);
+
+    println!();
+    println!(
+        "Theorem 7 reproduced: A decides v, B decides u, AB decides BOTH — Agreement violated."
+    );
+    println!("(The BFT-CUPFT graphs of Figure 4 are how the paper repairs this; see `fig4`.)");
+}

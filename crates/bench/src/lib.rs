@@ -1,0 +1,93 @@
+//! Experiment harness support: scenario presets and row formatting shared
+//! by the table/figure binaries and the criterion benches.
+//!
+//! Each binary under `src/bin/` regenerates one artifact of the paper:
+//!
+//! | binary   | artifact |
+//! |----------|----------|
+//! | `table1` | Table I — (im)possibility matrix |
+//! | `fig1`   | Fig. 1 — BFT-CUP requirement violation/satisfaction |
+//! | `fig2`   | Fig. 2 — Theorem 7 impossibility executions |
+//! | `fig3`   | Fig. 3 — false-sink self-declaration |
+//! | `fig4`   | Fig. 4 — BFT-CUPFT core identification and consensus |
+//! | `ablation_auth` | Section III claim — signatures vs. RRB baseline |
+
+#![forbid(unsafe_code)]
+
+use cupft_core::{run_scenario, ConsensusCheck, Scenario, ScenarioOutcome};
+use cupft_graph::ProcessSet;
+
+/// One printed experiment row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Experiment label.
+    pub label: String,
+    /// Whether consensus was solved (agreement ∧ termination ∧ validity).
+    pub solved: bool,
+    /// Individual property verdicts.
+    pub check: ConsensusCheck,
+    /// Simulated end time.
+    pub end_time: u64,
+    /// Total messages.
+    pub messages: u64,
+    /// Distinct sink/core detections among correct processes.
+    pub detections: Vec<ProcessSet>,
+}
+
+impl Row {
+    /// Runs a scenario and summarizes it under `label`.
+    pub fn run(label: impl Into<String>, scenario: &Scenario) -> Row {
+        let outcome = run_scenario(scenario);
+        Row::from_outcome(label, &outcome)
+    }
+
+    /// Summarizes an already-run outcome.
+    pub fn from_outcome(label: impl Into<String>, outcome: &ScenarioOutcome) -> Row {
+        let check = outcome.check();
+        Row {
+            label: label.into(),
+            solved: check.consensus_solved(),
+            check,
+            end_time: outcome.end_time,
+            messages: outcome.stats.messages_sent,
+            detections: outcome.distinct_detections().into_iter().collect(),
+        }
+    }
+
+    /// Renders the row.
+    pub fn print(&self) {
+        let mark = if self.solved { "✓" } else { "✗" };
+        let values: Vec<String> = self
+            .check
+            .decided_values
+            .iter()
+            .map(|v| String::from_utf8_lossy(v).into_owned())
+            .collect();
+        println!(
+            "  {mark} {:<46} agree={} term={} valid={}  t_end={:<7} msgs={:<6} decided={:?}",
+            self.label,
+            self.check.agreement,
+            self.check.termination,
+            self.check.validity,
+            self.end_time,
+            self.messages,
+            values,
+        );
+        if !self.detections.is_empty() {
+            let sets: Vec<String> = self.detections.iter().map(fmt_set).collect();
+            println!("      identified sink/core set(s): {}", sets.join(" | "));
+        }
+    }
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("== {title} ==");
+}
+
+/// Formats a process set compactly.
+pub fn fmt_set(s: &ProcessSet) -> String {
+    let ids: Vec<String> = s.iter().map(|p| p.raw().to_string()).collect();
+    format!("{{{}}}", ids.join(","))
+}

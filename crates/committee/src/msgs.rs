@@ -1,0 +1,397 @@
+//! Committee protocol messages and their signed canonical encodings.
+
+use bytes::Bytes;
+use cupft_crypto::sha256::{digest, Digest};
+use cupft_crypto::{KeyRegistry, SignedValue, SigningKey};
+use cupft_graph::ProcessId;
+use cupft_net::Labeled;
+
+use crate::quorum::Committee;
+
+/// The value type the committee agrees on.
+pub type Value = Bytes;
+
+/// Signing domains (domain separation prevents cross-phase replay).
+const D_PREPREPARE: &str = "cupft-preprepare";
+const D_PREPARE: &str = "cupft-prepare";
+const D_COMMIT: &str = "cupft-commit";
+const D_VIEWCHANGE: &str = "cupft-viewchange";
+
+fn encode_view_value(view: u64, value: &Value) -> Bytes {
+    let mut out = Vec::with_capacity(8 + value.len());
+    out.extend_from_slice(&view.to_be_bytes());
+    out.extend_from_slice(value);
+    Bytes::from(out)
+}
+
+fn encode_view_digest(view: u64, digest: &Digest) -> Bytes {
+    let mut out = Vec::with_capacity(8 + 32);
+    out.extend_from_slice(&view.to_be_bytes());
+    out.extend_from_slice(digest);
+    Bytes::from(out)
+}
+
+fn encode_view_change(new_view: u64, prepared: Option<(u64, &Digest)>) -> Bytes {
+    let mut out = Vec::with_capacity(8 + 1 + 8 + 32);
+    out.extend_from_slice(&new_view.to_be_bytes());
+    match prepared {
+        Some((view, digest)) => {
+            out.push(1);
+            out.extend_from_slice(&view.to_be_bytes());
+            out.extend_from_slice(digest);
+        }
+        None => out.push(0),
+    }
+    Bytes::from(out)
+}
+
+/// A *prepared certificate*: proof that some quorum prepared `value` in
+/// `view`. Carried by view-change messages so a new leader cannot revert a
+/// possibly-decided value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedCert {
+    /// The view in which the quorum prepared.
+    pub view: u64,
+    /// The prepared value.
+    pub value: Value,
+    /// Quorum of prepare signatures over `(view, digest(value))`.
+    pub prepares: Vec<SignedValue>,
+}
+
+impl PreparedCert {
+    /// Verifies the certificate: all prepares are valid signatures by
+    /// distinct committee members over this view/digest, and there are at
+    /// least `quorum_size` of them.
+    pub fn verify(&self, registry: &KeyRegistry, committee: &Committee) -> bool {
+        let d = digest(&self.value);
+        let expected = encode_view_digest(self.view, &d);
+        let mut signers = std::collections::BTreeSet::new();
+        for p in &self.prepares {
+            if !p.verify(registry, D_PREPARE) || p.payload() != &expected {
+                return false;
+            }
+            let signer = ProcessId::new(p.signer());
+            if !committee.contains(signer) || !signers.insert(signer) {
+                return false;
+            }
+        }
+        signers.len() >= committee.quorum_size()
+    }
+}
+
+/// A signed view-change vote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewChangeRecord {
+    /// The view the sender wants to enter.
+    pub new_view: u64,
+    /// The sender's highest prepared certificate, if any.
+    pub prepared: Option<PreparedCert>,
+    /// Signature over `(new_view, prepared summary)`.
+    pub signed: SignedValue,
+}
+
+impl ViewChangeRecord {
+    /// Signs a view-change vote.
+    pub fn sign(key: &SigningKey, new_view: u64, prepared: Option<PreparedCert>) -> Self {
+        let summary = prepared
+            .as_ref()
+            .map(|c| (c.view, digest(&c.value)));
+        let payload = encode_view_change(new_view, summary.as_ref().map(|(v, d)| (*v, d)));
+        ViewChangeRecord {
+            new_view,
+            prepared,
+            signed: SignedValue::sign(key, D_VIEWCHANGE, payload),
+        }
+    }
+
+    /// The voting process.
+    pub fn signer(&self) -> ProcessId {
+        ProcessId::new(self.signed.signer())
+    }
+
+    /// Verifies signature, payload consistency, committee membership, and
+    /// the embedded prepared certificate (when present).
+    pub fn verify(&self, registry: &KeyRegistry, committee: &Committee) -> bool {
+        if !committee.contains(self.signer()) {
+            return false;
+        }
+        let summary = self.prepared.as_ref().map(|c| (c.view, digest(&c.value)));
+        let payload = encode_view_change(self.new_view, summary.as_ref().map(|(v, d)| (*v, d)));
+        if self.signed.payload() != &payload || !self.signed.verify(registry, D_VIEWCHANGE) {
+            return false;
+        }
+        match &self.prepared {
+            Some(cert) => cert.verify(registry, committee),
+            None => true,
+        }
+    }
+}
+
+/// Committee consensus messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitteeMsg {
+    /// Leader proposal for a view. For views > 0 the proposal must carry a
+    /// quorum of view-change votes justifying the value choice.
+    PrePrepare {
+        /// Proposal view.
+        view: u64,
+        /// Proposed value.
+        value: Value,
+        /// Leader signature over `(view, value)`.
+        signed: SignedValue,
+        /// View-change justification (empty for view 0).
+        justification: Vec<ViewChangeRecord>,
+    },
+    /// Prepare vote over `(view, digest)`.
+    Prepare {
+        /// Vote view.
+        view: u64,
+        /// Digest of the pre-prepared value.
+        digest: Digest,
+        /// Voter signature.
+        signed: SignedValue,
+    },
+    /// Commit vote over `(view, digest)`.
+    Commit {
+        /// Vote view.
+        view: u64,
+        /// Digest of the prepared value.
+        digest: Digest,
+        /// Voter signature.
+        signed: SignedValue,
+    },
+    /// View-change vote.
+    ViewChange(ViewChangeRecord),
+}
+
+impl CommitteeMsg {
+    /// Builds a signed pre-prepare.
+    pub fn pre_prepare(
+        key: &SigningKey,
+        view: u64,
+        value: Value,
+        justification: Vec<ViewChangeRecord>,
+    ) -> Self {
+        let signed = SignedValue::sign(key, D_PREPREPARE, encode_view_value(view, &value));
+        CommitteeMsg::PrePrepare {
+            view,
+            value,
+            signed,
+            justification,
+        }
+    }
+
+    /// Builds a signed prepare vote.
+    pub fn prepare(key: &SigningKey, view: u64, d: Digest) -> Self {
+        let signed = SignedValue::sign(key, D_PREPARE, encode_view_digest(view, &d));
+        CommitteeMsg::Prepare {
+            view,
+            digest: d,
+            signed,
+        }
+    }
+
+    /// Builds a signed commit vote.
+    pub fn commit(key: &SigningKey, view: u64, d: Digest) -> Self {
+        let signed = SignedValue::sign(key, D_COMMIT, encode_view_digest(view, &d));
+        CommitteeMsg::Commit {
+            view,
+            digest: d,
+            signed,
+        }
+    }
+
+    /// Verifies the message's signature and structural consistency
+    /// against the registry and committee. (Leader/view semantics are the
+    /// replica's job; this checks authenticity.)
+    pub fn verify(&self, registry: &KeyRegistry, committee: &Committee) -> bool {
+        match self {
+            CommitteeMsg::PrePrepare {
+                view,
+                value,
+                signed,
+                justification,
+            } => {
+                let signer = ProcessId::new(signed.signer());
+                committee.contains(signer)
+                    && signed.payload() == &encode_view_value(*view, value)
+                    && signed.verify(registry, D_PREPREPARE)
+                    && justification.iter().all(|vc| vc.verify(registry, committee))
+            }
+            CommitteeMsg::Prepare { view, digest, signed } => {
+                committee.contains(ProcessId::new(signed.signer()))
+                    && signed.payload() == &encode_view_digest(*view, digest)
+                    && signed.verify(registry, D_PREPARE)
+            }
+            CommitteeMsg::Commit { view, digest, signed } => {
+                committee.contains(ProcessId::new(signed.signer()))
+                    && signed.payload() == &encode_view_digest(*view, digest)
+                    && signed.verify(registry, D_COMMIT)
+            }
+            CommitteeMsg::ViewChange(vc) => vc.verify(registry, committee),
+        }
+    }
+
+    /// The signer of the message.
+    pub fn signer(&self) -> ProcessId {
+        match self {
+            CommitteeMsg::PrePrepare { signed, .. }
+            | CommitteeMsg::Prepare { signed, .. }
+            | CommitteeMsg::Commit { signed, .. } => ProcessId::new(signed.signer()),
+            CommitteeMsg::ViewChange(vc) => vc.signer(),
+        }
+    }
+}
+
+impl Labeled for CommitteeMsg {
+    fn label(&self) -> &'static str {
+        match self {
+            CommitteeMsg::PrePrepare { .. } => "PREPREPARE",
+            CommitteeMsg::Prepare { .. } => "PREPARE",
+            CommitteeMsg::Commit { .. } => "COMMIT",
+            CommitteeMsg::ViewChange(_) => "VIEWCHANGE",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cupft_graph::process_set;
+
+    fn setup() -> (KeyRegistry, Vec<SigningKey>, Committee) {
+        let mut registry = KeyRegistry::new();
+        let keys: Vec<SigningKey> = (1..=4).map(|i| registry.register(i)).collect();
+        let committee = Committee::new(process_set(1..=4), 1);
+        (registry, keys, committee)
+    }
+
+    #[test]
+    fn preprepare_verifies() {
+        let (registry, keys, committee) = setup();
+        let msg = CommitteeMsg::pre_prepare(&keys[0], 0, Bytes::from_static(b"v"), vec![]);
+        assert!(msg.verify(&registry, &committee));
+        assert_eq!(msg.signer(), ProcessId::new(1));
+        assert_eq!(msg.label(), "PREPREPARE");
+    }
+
+    #[test]
+    fn tampered_preprepare_rejected() {
+        let (registry, keys, committee) = setup();
+        let msg = CommitteeMsg::pre_prepare(&keys[0], 0, Bytes::from_static(b"v"), vec![]);
+        if let CommitteeMsg::PrePrepare {
+            view,
+            signed,
+            justification,
+            ..
+        } = msg
+        {
+            let tampered = CommitteeMsg::PrePrepare {
+                view,
+                value: Bytes::from_static(b"EVIL"),
+                signed,
+                justification,
+            };
+            assert!(!tampered.verify(&registry, &committee));
+        } else {
+            unreachable!();
+        }
+    }
+
+    #[test]
+    fn prepare_commit_verify_and_label() {
+        let (registry, keys, committee) = setup();
+        let d = digest(b"v");
+        let prep = CommitteeMsg::prepare(&keys[1], 3, d);
+        let comm = CommitteeMsg::commit(&keys[2], 3, d);
+        assert!(prep.verify(&registry, &committee));
+        assert!(comm.verify(&registry, &committee));
+        assert_eq!(prep.label(), "PREPARE");
+        assert_eq!(comm.label(), "COMMIT");
+    }
+
+    #[test]
+    fn prepare_not_replayable_as_commit() {
+        let (registry, keys, committee) = setup();
+        let d = digest(b"v");
+        let prep = CommitteeMsg::prepare(&keys[1], 3, d);
+        if let CommitteeMsg::Prepare { view, digest, signed } = prep {
+            let fake_commit = CommitteeMsg::Commit { view, digest, signed };
+            assert!(!fake_commit.verify(&registry, &committee));
+        } else {
+            unreachable!();
+        }
+    }
+
+    #[test]
+    fn non_member_rejected() {
+        let (registry, _keys, committee) = setup();
+        let mut reg2 = registry.clone();
+        let outsider = reg2.register(99);
+        let msg = CommitteeMsg::prepare(&outsider, 0, digest(b"v"));
+        assert!(!msg.verify(&reg2, &committee));
+    }
+
+    #[test]
+    fn prepared_cert_requires_quorum_of_distinct_members() {
+        let (registry, keys, committee) = setup();
+        let value = Bytes::from_static(b"v");
+        let d = digest(&value);
+        let make_prepare = |k: &SigningKey| {
+            match CommitteeMsg::prepare(k, 2, d) {
+                CommitteeMsg::Prepare { signed, .. } => signed,
+                _ => unreachable!(),
+            }
+        };
+        // quorum = 3
+        let good = PreparedCert {
+            view: 2,
+            value: value.clone(),
+            prepares: vec![
+                make_prepare(&keys[0]),
+                make_prepare(&keys[1]),
+                make_prepare(&keys[2]),
+            ],
+        };
+        assert!(good.verify(&registry, &committee));
+        let short = PreparedCert {
+            view: 2,
+            value: value.clone(),
+            prepares: vec![make_prepare(&keys[0]), make_prepare(&keys[1])],
+        };
+        assert!(!short.verify(&registry, &committee));
+        let duplicated = PreparedCert {
+            view: 2,
+            value,
+            prepares: vec![
+                make_prepare(&keys[0]),
+                make_prepare(&keys[0]),
+                make_prepare(&keys[1]),
+            ],
+        };
+        assert!(!duplicated.verify(&registry, &committee));
+    }
+
+    #[test]
+    fn view_change_roundtrip() {
+        let (registry, keys, committee) = setup();
+        let vc = ViewChangeRecord::sign(&keys[3], 5, None);
+        assert!(vc.verify(&registry, &committee));
+        assert_eq!(vc.signer(), ProcessId::new(4));
+        let msg = CommitteeMsg::ViewChange(vc);
+        assert!(msg.verify(&registry, &committee));
+        assert_eq!(msg.label(), "VIEWCHANGE");
+    }
+
+    #[test]
+    fn view_change_with_bogus_cert_rejected() {
+        let (registry, keys, committee) = setup();
+        let bogus = PreparedCert {
+            view: 1,
+            value: Bytes::from_static(b"v"),
+            prepares: vec![],
+        };
+        let vc = ViewChangeRecord::sign(&keys[0], 2, Some(bogus));
+        assert!(!vc.verify(&registry, &committee));
+    }
+}

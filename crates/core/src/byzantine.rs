@@ -1,0 +1,327 @@
+//! Byzantine process strategies.
+//!
+//! The adversary is *static* (Section II-A): the strategy of each faulty
+//! process is fixed before the run. Signatures bound what a Byzantine
+//! process can do in the discovery plane — it may fabricate *its own* PD
+//! freely (even equivocate between several self-signed PDs), but cannot
+//! alter or invent records for correct processes. In the committee plane a
+//! Byzantine leader may equivocate proposals, and any Byzantine member may
+//! stay silent.
+
+use cupft_committee::{CommitteeMsg, Value};
+use cupft_crypto::{KeyRegistry, SigningKey};
+use cupft_detector::PdCertificate;
+use cupft_discovery::{DiscoveryMsg, DiscoveryState, DISCOVERY_TICK};
+use cupft_graph::{ProcessId, ProcessSet};
+use cupft_net::{Actor, Context};
+
+use crate::msgs::NodeMsg;
+
+/// What a faulty process does.
+#[derive(Debug, Clone)]
+pub enum ByzantineStrategy {
+    /// Sends nothing, ever. (The adversary's strongest play against
+    /// knowledge connectivity: Figs. 1a, 2a, 2b.)
+    Silent,
+    /// Participates in discovery but advertises a fabricated own PD —
+    /// the Section III worked example (process 4 claiming `PD = {1,2,3}`).
+    /// Stays silent in the committee plane.
+    FakePd {
+        /// The claimed PD.
+        claimed: ProcessSet,
+    },
+    /// Advertises different self-signed PDs to different requesters
+    /// (split-brain attempt in the discovery plane).
+    EquivocatePd {
+        /// PD served to requesters with even raw ID.
+        even: ProcessSet,
+        /// PD served to requesters with odd raw ID.
+        odd: ProcessSet,
+    },
+    /// Runs discovery honestly and answers every `GETDECIDEDVAL` with a
+    /// fabricated value — the direct attack on Algorithm 3's learning path
+    /// (line 7's `⌈(|S|+1)/2⌉` matching-answers threshold is what defeats
+    /// it: at most `f` members lie, and `⌈(|S|+1)/2⌉ ≥ f+1`).
+    LieDecidedVal {
+        /// The fabricated decision served to learners.
+        value: Value,
+    },
+    /// Runs discovery honestly, then — as the view-0 leader of the given
+    /// committee — sends conflicting proposals to the two halves of the
+    /// committee and goes silent (the classic safety attack the prepare
+    /// quorum must absorb).
+    EquivocateValue {
+        /// The committee it expects to lead (test scaffolding: the
+        /// adversary knows the graph, per Section II-A).
+        committee: ProcessSet,
+        /// Proposal sent to the lower-ID half.
+        value_a: Value,
+        /// Proposal sent to the upper-ID half.
+        value_b: Value,
+    },
+}
+
+/// A faulty process executing a [`ByzantineStrategy`].
+#[derive(Debug)]
+pub struct ByzantineActor {
+    id: ProcessId,
+    key: SigningKey,
+    strategy: ByzantineStrategy,
+    /// Discovery state for strategies that participate in discovery.
+    discovery: Option<DiscoveryState>,
+    period: u64,
+    equivocation_sent: bool,
+}
+
+impl ByzantineActor {
+    /// Creates the faulty process.
+    ///
+    /// `true_pd` is what the participant detector actually returned; some
+    /// strategies ignore it and substitute their own claim.
+    pub fn new(
+        key: SigningKey,
+        registry: KeyRegistry,
+        true_pd: ProcessSet,
+        strategy: ByzantineStrategy,
+        period: u64,
+    ) -> Self {
+        let id = ProcessId::new(key.id());
+        let discovery = match &strategy {
+            ByzantineStrategy::Silent | ByzantineStrategy::EquivocatePd { .. } => None,
+            ByzantineStrategy::FakePd { claimed } => {
+                Some(DiscoveryState::new(&key, registry.clone(), claimed.clone()))
+            }
+            ByzantineStrategy::EquivocateValue { .. }
+            | ByzantineStrategy::LieDecidedVal { .. } => {
+                Some(DiscoveryState::new(&key, registry.clone(), true_pd.clone()))
+            }
+        };
+        ByzantineActor {
+            id,
+            key,
+            strategy,
+            discovery,
+            period,
+            equivocation_sent: false,
+        }
+    }
+
+    /// The strategy in play.
+    pub fn strategy(&self) -> &ByzantineStrategy {
+        &self.strategy
+    }
+
+    fn maybe_equivocate(&mut self, ctx: &mut Context<NodeMsg>) {
+        if self.equivocation_sent {
+            return;
+        }
+        let ByzantineStrategy::EquivocateValue {
+            committee,
+            value_a,
+            value_b,
+        } = &self.strategy
+        else {
+            return;
+        };
+        // Only meaningful while it would be the view-0 leader (lowest ID).
+        if committee.iter().next() != Some(&self.id) {
+            return;
+        }
+        let members: Vec<ProcessId> = committee.iter().copied().collect();
+        let half = members.len() / 2;
+        let a = CommitteeMsg::pre_prepare(&self.key, 0, value_a.clone(), vec![]);
+        let b = CommitteeMsg::pre_prepare(&self.key, 0, value_b.clone(), vec![]);
+        for (i, &m) in members.iter().enumerate() {
+            if m == self.id {
+                continue;
+            }
+            let msg = if i < half { a.clone() } else { b.clone() };
+            ctx.send(m, NodeMsg::Committee(msg));
+        }
+        self.equivocation_sent = true;
+    }
+}
+
+impl Actor<NodeMsg> for ByzantineActor {
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<NodeMsg>) {
+        match &self.strategy {
+            ByzantineStrategy::Silent | ByzantineStrategy::EquivocatePd { .. } => {}
+            ByzantineStrategy::FakePd { .. }
+            | ByzantineStrategy::EquivocateValue { .. }
+            | ByzantineStrategy::LieDecidedVal { .. } => {
+                if let Some(d) = &self.discovery {
+                    for (to, msg) in d.tick() {
+                        ctx.send(to, NodeMsg::Discovery(msg));
+                    }
+                }
+                ctx.set_timer(DISCOVERY_TICK, self.period);
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: NodeMsg, ctx: &mut Context<NodeMsg>) {
+        match (&self.strategy, msg) {
+            (ByzantineStrategy::Silent, _) => {}
+            (ByzantineStrategy::EquivocatePd { even, odd }, NodeMsg::Discovery(DiscoveryMsg::GetPds)) => {
+                let pd = if from.raw().is_multiple_of(2) { even } else { odd };
+                let cert = PdCertificate::sign(&self.key, pd);
+                ctx.send(
+                    from,
+                    NodeMsg::Discovery(DiscoveryMsg::SetPds(vec![cert])),
+                );
+            }
+            (ByzantineStrategy::EquivocatePd { .. }, _) => {}
+            (ByzantineStrategy::LieDecidedVal { value }, NodeMsg::GetDecidedVal) => {
+                ctx.send(from, NodeMsg::DecidedVal(value.clone()));
+            }
+            (_, NodeMsg::Discovery(m)) => {
+                if let Some(d) = &mut self.discovery {
+                    for (to, out) in d.handle(from, m) {
+                        ctx.send(to, NodeMsg::Discovery(out));
+                    }
+                }
+            }
+            // FakePd / EquivocateValue stay silent on committee traffic and
+            // never answer GETDECIDEDVAL.
+            (_, _) => {}
+        }
+    }
+
+    fn on_timer(&mut self, timer: u64, ctx: &mut Context<NodeMsg>) {
+        if timer != DISCOVERY_TICK {
+            return;
+        }
+        if let Some(d) = &self.discovery {
+            for (to, msg) in d.tick() {
+                ctx.send(to, NodeMsg::Discovery(msg));
+            }
+        }
+        self.maybe_equivocate(ctx);
+        ctx.set_timer(DISCOVERY_TICK, self.period);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cupft_graph::process_set;
+
+    fn make(strategy: ByzantineStrategy) -> (ByzantineActor, KeyRegistry) {
+        let mut registry = KeyRegistry::new();
+        let key = registry.register(4);
+        let actor = ByzantineActor::new(
+            key,
+            registry.clone(),
+            process_set([1, 2, 3]),
+            strategy,
+            20,
+        );
+        (actor, registry)
+    }
+
+    #[test]
+    fn silent_never_sends() {
+        let (mut actor, _) = make(ByzantineStrategy::Silent);
+        let mut ctx = Context::new(0, actor.id());
+        actor.on_start(&mut ctx);
+        actor.on_message(
+            ProcessId::new(1),
+            NodeMsg::Discovery(DiscoveryMsg::GetPds),
+            &mut ctx,
+        );
+        actor.on_message(ProcessId::new(1), NodeMsg::GetDecidedVal, &mut ctx);
+        assert!(ctx.queued_sends().is_empty());
+        assert!(ctx.queued_timers().is_empty());
+    }
+
+    #[test]
+    fn fake_pd_serves_fabricated_claim() {
+        let claimed = process_set([1, 2, 3]);
+        let (mut actor, registry) = make(ByzantineStrategy::FakePd {
+            claimed: claimed.clone(),
+        });
+        let mut ctx = Context::new(0, actor.id());
+        actor.on_message(
+            ProcessId::new(1),
+            NodeMsg::Discovery(DiscoveryMsg::GetPds),
+            &mut ctx,
+        );
+        let sends = ctx.queued_sends();
+        assert_eq!(sends.len(), 1);
+        match &sends[0].1 {
+            NodeMsg::Discovery(DiscoveryMsg::SetPds(certs)) => {
+                let own = certs.iter().find(|c| c.author() == actor.id()).unwrap();
+                assert_eq!(own.pd(), claimed);
+                // the lie is self-signed, hence verifiable
+                assert!(own.verify(&registry));
+            }
+            other => panic!("expected SetPds, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equivocate_pd_splits_by_requester() {
+        let (mut actor, registry) = make(ByzantineStrategy::EquivocatePd {
+            even: process_set([1]),
+            odd: process_set([2]),
+        });
+        let pd_served = |actor: &mut ByzantineActor, from: u64| {
+            let mut ctx = Context::new(0, actor.id());
+            actor.on_message(
+                ProcessId::new(from),
+                NodeMsg::Discovery(DiscoveryMsg::GetPds),
+                &mut ctx,
+            );
+            match &ctx.queued_sends()[0].1 {
+                NodeMsg::Discovery(DiscoveryMsg::SetPds(certs)) => {
+                    assert!(certs[0].verify(&registry));
+                    certs[0].pd()
+                }
+                _ => panic!("expected SetPds"),
+            }
+        };
+        assert_eq!(pd_served(&mut actor, 2), process_set([1]));
+        assert_eq!(pd_served(&mut actor, 3), process_set([2]));
+    }
+
+    #[test]
+    fn equivocate_value_sends_conflicting_proposals() {
+        let mut registry = KeyRegistry::new();
+        let key = registry.register(1); // lowest ID => view-0 leader
+        let mut actor = ByzantineActor::new(
+            key,
+            registry,
+            process_set([2, 3, 4]),
+            ByzantineStrategy::EquivocateValue {
+                committee: process_set([1, 2, 3, 4]),
+                value_a: Value::from_static(b"A"),
+                value_b: Value::from_static(b"B"),
+            },
+            20,
+        );
+        let mut ctx = Context::new(100, actor.id());
+        actor.on_timer(DISCOVERY_TICK, &mut ctx);
+        let proposals: Vec<&NodeMsg> = ctx
+            .queued_sends()
+            .iter()
+            .filter(|(_, m)| matches!(m, NodeMsg::Committee(_)))
+            .map(|(_, m)| m)
+            .collect();
+        assert_eq!(proposals.len(), 3);
+        // second tick must not re-send
+        let mut ctx2 = Context::new(120, actor.id());
+        actor.on_timer(DISCOVERY_TICK, &mut ctx2);
+        assert!(ctx2
+            .queued_sends()
+            .iter()
+            .all(|(_, m)| !matches!(m, NodeMsg::Committee(_))));
+    }
+}

@@ -1,0 +1,35 @@
+//! BFT-CUPFT: Byzantine consensus with unknown participants *and* unknown
+//! fault threshold — the primary contribution of the reproduced paper.
+//!
+//! This crate assembles the substrates into the paper's three protocol
+//! stacks:
+//!
+//! * the **authenticated BFT-CUP** node (Section III): Discovery
+//!   (Algorithm 1) + Sink identification with a known `f` (Algorithm 2) +
+//!   the Consensus wrapper (Algorithm 3) over committee consensus;
+//! * the **BFT-CUPFT** node (Section VI): the same wrapper with the Core
+//!   algorithm (Algorithm 4) replacing Sink — no process knows `f`;
+//! * the **naive sink guesser** (Section IV / Observation 1): what a
+//!   process *can only do* when the graph is merely in `G_di` and `f` is
+//!   unknown — adopt the first stable `isSink*` candidate. This node
+//!   exists to *fail*: it reproduces the Theorem 7 agreement violation.
+//!
+//! The [`scenario`] module runs whole systems (graph + Byzantine strategy
+//! assignment + delay policy) through the deterministic simulator and
+//! checks the four consensus properties, powering every experiment binary
+//! and most integration tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod byzantine;
+pub mod detect;
+pub mod msgs;
+pub mod node;
+pub mod scenario;
+
+pub use byzantine::{ByzantineActor, ByzantineStrategy};
+pub use detect::{CoreDetector, Detection, NaiveSinkGuesser, SinkDetector};
+pub use msgs::NodeMsg;
+pub use node::{Node, NodeConfig, Phase, ProtocolMode};
+pub use scenario::{run_scenario, run_scenario_traced, ConsensusCheck, Scenario, ScenarioOutcome};

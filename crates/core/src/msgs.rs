@@ -1,0 +1,60 @@
+//! The unified message type spoken by all protocol nodes.
+
+use cupft_committee::{CommitteeMsg, Value};
+use cupft_discovery::DiscoveryMsg;
+use cupft_net::Labeled;
+
+/// Every message a BFT-CUP / BFT-CUPFT node can send or receive.
+///
+/// One message universe per simulation keeps the actor roster
+/// heterogeneous (honest nodes, Byzantine strategies, naive guessers) while
+/// staying statically typed.
+#[derive(Debug, Clone)]
+pub enum NodeMsg {
+    /// Algorithm 1 traffic.
+    Discovery(DiscoveryMsg),
+    /// Committee consensus traffic (Algorithm 3 line 4).
+    Committee(CommitteeMsg),
+    /// "Send me the decided value" (Algorithm 3 line 6).
+    GetDecidedVal,
+    /// The decided value (Algorithm 3 line 10).
+    DecidedVal(Value),
+}
+
+impl Labeled for NodeMsg {
+    fn label(&self) -> &'static str {
+        match self {
+            NodeMsg::Discovery(m) => m.label(),
+            NodeMsg::Committee(m) => m.label(),
+            NodeMsg::GetDecidedVal => "GETDECIDEDVAL",
+            NodeMsg::DecidedVal(_) => "DECIDEDVAL",
+        }
+    }
+}
+
+impl From<DiscoveryMsg> for NodeMsg {
+    fn from(m: DiscoveryMsg) -> Self {
+        NodeMsg::Discovery(m)
+    }
+}
+
+impl From<CommitteeMsg> for NodeMsg {
+    fn from(m: CommitteeMsg) -> Self {
+        NodeMsg::Committee(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_delegate() {
+        assert_eq!(NodeMsg::from(DiscoveryMsg::GetPds).label(), "GETPDS");
+        assert_eq!(NodeMsg::GetDecidedVal.label(), "GETDECIDEDVAL");
+        assert_eq!(
+            NodeMsg::DecidedVal(Value::from_static(b"v")).label(),
+            "DECIDEDVAL"
+        );
+    }
+}

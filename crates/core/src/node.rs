@@ -1,0 +1,483 @@
+//! The full protocol node: Algorithm 3 with a pluggable identification
+//! algorithm (Sink, Core, or the naive guesser).
+
+use std::collections::BTreeMap;
+
+use cupft_committee::{view_of_timer, Committee, CommitteeMsg, Replica, ReplicaConfig, Value};
+use cupft_crypto::{KeyRegistry, SigningKey};
+use cupft_detector::SystemSetup;
+use cupft_discovery::{DiscoveryState, DISCOVERY_TICK};
+use cupft_graph::{ProcessId, ProcessSet};
+use cupft_net::threaded::Board;
+use cupft_net::{Actor, Context, Time};
+
+use crate::detect::{CoreDetector, Detection, NaiveSinkGuesser, SinkDetector};
+use crate::msgs::NodeMsg;
+
+/// Which identification algorithm the node runs before consensus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolMode {
+    /// Authenticated BFT-CUP: the fault threshold is provided
+    /// (Algorithm 2).
+    KnownThreshold(usize),
+    /// BFT-CUPFT: no process knows the fault threshold (Algorithm 4).
+    UnknownThreshold,
+    /// Observation 1's naive guesser: adopt the best `isSink*` candidate
+    /// after it has been stable for `settle_ticks` discovery rounds.
+    /// Exists to reproduce the Theorem 7 impossibility.
+    NaiveGuess {
+        /// Discovery rounds a candidate must survive unchanged.
+        settle_ticks: u32,
+    },
+}
+
+/// Node tuning knobs.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Identification mode.
+    pub mode: ProtocolMode,
+    /// Discovery/learning tick period.
+    pub discovery_period: u64,
+    /// Committee replica configuration.
+    pub replica: ReplicaConfig,
+    /// If set, the node crashes (goes permanently silent) at this time —
+    /// used for the crash-fault executions of Theorem 7.
+    pub crash_at: Option<Time>,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            mode: ProtocolMode::UnknownThreshold,
+            discovery_period: 20,
+            replica: ReplicaConfig::default(),
+            crash_at: None,
+        }
+    }
+}
+
+/// The protocol phase a node is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Running discovery, identification pending (Algorithm 3 line 2).
+    Discovering,
+    /// Identified as a member; running committee consensus (line 4).
+    Member,
+    /// Identified as a non-member; learning the decision (lines 6–7).
+    Learning,
+}
+
+/// A correct BFT-CUP / BFT-CUPFT process.
+///
+/// # Example
+///
+/// ```
+/// use cupft_core::{Node, NodeConfig, Phase, ProtocolMode};
+/// use cupft_detector::SystemSetup;
+/// use cupft_graph::{fig4b, ProcessId};
+///
+/// let fig = fig4b();
+/// let setup = SystemSetup::new(fig.graph());
+/// let node = Node::from_setup(
+///     &setup,
+///     ProcessId::new(5),
+///     cupft_committee::Value::from_static(b"proposal"),
+///     NodeConfig {
+///         mode: ProtocolMode::UnknownThreshold,
+///         ..NodeConfig::default()
+///     },
+/// )
+/// .expect("process 5 is in the graph");
+/// assert_eq!(node.phase(), Phase::Discovering);
+/// assert!(node.decision().is_none());
+/// ```
+#[derive(Debug)]
+pub struct Node {
+    id: ProcessId,
+    key: SigningKey,
+    registry: KeyRegistry,
+    config: NodeConfig,
+    my_value: Value,
+
+    discovery: DiscoveryState,
+    phase: Phase,
+    detection: Option<Detection>,
+    committee: Option<Committee>,
+    replica: Option<Replica>,
+    committee_backlog: Vec<(ProcessId, CommitteeMsg)>,
+    decided: Option<Value>,
+    pending_requests: ProcessSet,
+    answers: BTreeMap<Vec<u8>, ProcessSet>,
+    naive_stable: Option<(Detection, u32)>,
+
+    /// Simulated time at which identification succeeded.
+    pub detection_time: Option<Time>,
+    /// Simulated time at which the node decided.
+    pub decided_time: Option<Time>,
+    board: Option<Board<Vec<u8>>>,
+}
+
+impl Node {
+    /// Creates a node from its key, the shared registry, its PD, and its
+    /// proposal value.
+    pub fn new(
+        key: SigningKey,
+        registry: KeyRegistry,
+        pd: ProcessSet,
+        my_value: Value,
+        config: NodeConfig,
+    ) -> Self {
+        let id = ProcessId::new(key.id());
+        let discovery = DiscoveryState::new(&key, registry.clone(), pd);
+        Node {
+            id,
+            key,
+            registry,
+            config,
+            my_value,
+            discovery,
+            phase: Phase::Discovering,
+            detection: None,
+            committee: None,
+            replica: None,
+            committee_backlog: Vec::new(),
+            decided: None,
+            pending_requests: ProcessSet::new(),
+            answers: BTreeMap::new(),
+            naive_stable: None,
+            detection_time: None,
+            decided_time: None,
+            board: None,
+        }
+    }
+
+    /// Convenience constructor from a [`SystemSetup`].
+    pub fn from_setup(
+        setup: &SystemSetup,
+        id: ProcessId,
+        my_value: Value,
+        config: NodeConfig,
+    ) -> Option<Self> {
+        let key = setup.key_of(id)?.clone();
+        Some(Node::new(
+            key,
+            setup.registry().clone(),
+            setup.oracle().pd_of(id),
+            my_value,
+            config,
+        ))
+    }
+
+    /// Attaches a decision board (threaded runtime observability).
+    pub fn with_board(mut self, board: Board<Vec<u8>>) -> Self {
+        self.board = Some(board);
+        self
+    }
+
+    /// The node's decision, if reached.
+    pub fn decision(&self) -> Option<&Value> {
+        self.decided.as_ref()
+    }
+
+    /// The node's current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The identification result, if reached.
+    pub fn detection(&self) -> Option<&Detection> {
+        self.detection.as_ref()
+    }
+
+    /// The discovery state (for assertions on `S_known` / `S_received`).
+    pub fn discovery(&self) -> &DiscoveryState {
+        &self.discovery
+    }
+
+    /// The committee replica's current view, when this node is a member.
+    pub fn replica_view(&self) -> Option<u64> {
+        self.replica.as_ref().map(|r| r.view())
+    }
+
+    fn crashed(&self, now: Time) -> bool {
+        self.config.crash_at.is_some_and(|t| now >= t)
+    }
+
+    fn send_discovery_round(&mut self, ctx: &mut Context<NodeMsg>) {
+        for (to, msg) in self.discovery.tick() {
+            ctx.send(to, NodeMsg::Discovery(msg));
+        }
+    }
+
+    fn try_detect(&mut self, ctx: &mut Context<NodeMsg>, on_tick: bool) {
+        if self.detection.is_some() {
+            return;
+        }
+        let view = self.discovery.view();
+        let found = match self.config.mode {
+            ProtocolMode::KnownThreshold(f) => SinkDetector::new(f).check(view),
+            ProtocolMode::UnknownThreshold => CoreDetector::default().check(view),
+            ProtocolMode::NaiveGuess { settle_ticks } => {
+                if !on_tick {
+                    return; // stability is counted in discovery rounds
+                }
+                let best = NaiveSinkGuesser::default().check(view);
+                let Some(best) = best else {
+                    self.naive_stable = None;
+                    return;
+                };
+                match &mut self.naive_stable {
+                    Some((prev, count)) if *prev == best => {
+                        *count += 1;
+                        if *count >= settle_ticks {
+                            Some(best)
+                        } else {
+                            None
+                        }
+                    }
+                    _ => {
+                        self.naive_stable = Some((best, 1));
+                        None
+                    }
+                }
+            }
+        };
+        if let Some(detection) = found {
+            self.adopt_detection(detection, ctx);
+        }
+    }
+
+    fn adopt_detection(&mut self, detection: Detection, ctx: &mut Context<NodeMsg>) {
+        self.detection_time = Some(ctx.now());
+        let committee = Committee::new(detection.members.clone(), detection.threshold);
+        let is_member = detection.members.contains(&self.id);
+        self.detection = Some(detection);
+        self.committee = Some(committee.clone());
+        if is_member {
+            self.phase = Phase::Member;
+            let mut replica = Replica::new(
+                self.key.clone(),
+                self.registry.clone(),
+                committee,
+                self.my_value.clone(),
+                self.config.replica,
+            );
+            let fx = replica.start();
+            self.replica = Some(replica);
+            self.apply_replica_effects(fx, ctx);
+            // Drain committee messages that arrived before identification.
+            let backlog = std::mem::take(&mut self.committee_backlog);
+            for (from, msg) in backlog {
+                let fx = self
+                    .replica
+                    .as_mut()
+                    .expect("replica just created")
+                    .handle(from, msg);
+                self.apply_replica_effects(fx, ctx);
+            }
+        } else {
+            self.phase = Phase::Learning;
+            self.send_learning_round(ctx);
+        }
+    }
+
+    fn send_learning_round(&mut self, ctx: &mut Context<NodeMsg>) {
+        let Some(detection) = &self.detection else {
+            return;
+        };
+        for &member in &detection.members {
+            if member != self.id {
+                ctx.send(member, NodeMsg::GetDecidedVal);
+            }
+        }
+    }
+
+    fn apply_replica_effects(
+        &mut self,
+        fx: cupft_committee::Effects,
+        ctx: &mut Context<NodeMsg>,
+    ) {
+        for (to, msg) in fx.msgs {
+            ctx.send(to, NodeMsg::Committee(msg));
+        }
+        if let Some((kind, delay)) = fx.timer {
+            ctx.set_timer(kind, delay);
+        }
+        if let Some(value) = fx.decided {
+            self.set_decided(value, ctx);
+        }
+    }
+
+    fn set_decided(&mut self, value: Value, ctx: &mut Context<NodeMsg>) {
+        if self.decided.is_some() {
+            return; // Integrity: decide at most once
+        }
+        self.decided_time = Some(ctx.now());
+        if let Some(board) = &self.board {
+            board.publish(self.id, value.to_vec());
+        }
+        self.decided = Some(value.clone());
+        let pending = std::mem::take(&mut self.pending_requests);
+        for requester in pending {
+            ctx.send(requester, NodeMsg::DecidedVal(value.clone()));
+        }
+    }
+
+    fn on_decided_val(&mut self, from: ProcessId, value: Value, ctx: &mut Context<NodeMsg>) {
+        if self.decided.is_some() || self.phase == Phase::Discovering {
+            return;
+        }
+        let Some(committee) = &self.committee else {
+            return;
+        };
+        if !committee.contains(from) {
+            return;
+        }
+        let tally = self.answers.entry(value.to_vec()).or_default();
+        tally.insert(from);
+        // Algorithm 3 line 7: ⌈(|S|+1)/2⌉ identical answers from distinct
+        // members.
+        if tally.len() >= committee.learning_threshold() {
+            self.set_decided(value, ctx);
+        }
+    }
+}
+
+impl Actor<NodeMsg> for Node {
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<NodeMsg>) {
+        if self.crashed(ctx.now()) {
+            return;
+        }
+        self.send_discovery_round(ctx);
+        self.try_detect(ctx, true);
+        ctx.set_timer(DISCOVERY_TICK, self.config.discovery_period);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: NodeMsg, ctx: &mut Context<NodeMsg>) {
+        if self.crashed(ctx.now()) {
+            return;
+        }
+        match msg {
+            NodeMsg::Discovery(m) => {
+                for (to, out) in self.discovery.handle(from, m) {
+                    ctx.send(to, NodeMsg::Discovery(out));
+                }
+                if self.discovery.take_changed() && self.phase == Phase::Discovering {
+                    self.try_detect(ctx, false);
+                }
+            }
+            NodeMsg::Committee(m) => match &mut self.replica {
+                Some(replica) => {
+                    let fx = replica.handle(from, m);
+                    self.apply_replica_effects(fx, ctx);
+                }
+                None => {
+                    const BACKLOG_CAP: usize = 8192;
+                    if self.committee_backlog.len() < BACKLOG_CAP {
+                        self.committee_backlog.push((from, m));
+                    }
+                }
+            },
+            NodeMsg::GetDecidedVal => match &self.decided {
+                Some(value) => ctx.send(from, NodeMsg::DecidedVal(value.clone())),
+                None => {
+                    // Algorithm 3 line 9: wait until val ≠ ⊥, then answer.
+                    self.pending_requests.insert(from);
+                }
+            },
+            NodeMsg::DecidedVal(value) => self.on_decided_val(from, value, ctx),
+        }
+    }
+
+    fn on_timer(&mut self, timer: u64, ctx: &mut Context<NodeMsg>) {
+        if self.crashed(ctx.now()) {
+            return;
+        }
+        match timer {
+            DISCOVERY_TICK => {
+                match self.phase {
+                    Phase::Discovering => {
+                        self.send_discovery_round(ctx);
+                        self.try_detect(ctx, true);
+                    }
+                    Phase::Learning => {
+                        if self.decided.is_none() {
+                            self.send_learning_round(ctx);
+                        }
+                    }
+                    Phase::Member => {
+                        // The committee drives itself via view timers; as a
+                        // liveness backstop, an undecided member also polls
+                        // its peers for the decided value (the state-
+                        // transfer role of checkpoints in full PBFT —
+                        // ⌈(|S|+1)/2⌉ matching answers are safe to adopt).
+                        if self.decided.is_none() {
+                            self.send_learning_round(ctx);
+                        }
+                    }
+                }
+                // Keep ticking until decided (members keep it armed too so
+                // a node that decides keeps serving nothing new; learning
+                // retries need it).
+                if self.decided.is_none() {
+                    ctx.set_timer(DISCOVERY_TICK, self.config.discovery_period);
+                }
+            }
+            kind => {
+                if let (Some(view), Some(replica)) = (view_of_timer(kind), &mut self.replica) {
+                    let fx = replica.on_timeout(view);
+                    self.apply_replica_effects(fx, ctx);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_initial_state() {
+        let mut registry = KeyRegistry::new();
+        let key = registry.register(1);
+        let node = Node::new(
+            key,
+            registry,
+            [ProcessId::new(2)].into_iter().collect(),
+            Value::from_static(b"v"),
+            NodeConfig::default(),
+        );
+        assert_eq!(node.phase(), Phase::Discovering);
+        assert!(node.decision().is_none());
+        assert!(node.detection().is_none());
+        assert_eq!(node.id(), ProcessId::new(1));
+    }
+
+    #[test]
+    fn crashed_node_is_silent() {
+        let mut registry = KeyRegistry::new();
+        let key = registry.register(1);
+        let mut node = Node::new(
+            key,
+            registry,
+            [ProcessId::new(2)].into_iter().collect(),
+            Value::from_static(b"v"),
+            NodeConfig {
+                crash_at: Some(0),
+                ..NodeConfig::default()
+            },
+        );
+        let mut ctx = Context::new(5, ProcessId::new(1));
+        node.on_start(&mut ctx);
+        assert!(ctx.queued_sends().is_empty());
+    }
+}

@@ -1,0 +1,367 @@
+//! Whole-system scenario runner: graph + fault assignment + delay policy
+//! in, consensus-property verdicts out.
+//!
+//! Every experiment binary (Table I, Figures 1–4) and most integration
+//! tests are expressed as [`Scenario`]s run through the deterministic
+//! simulator.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cupft_committee::Value;
+use cupft_detector::SystemSetup;
+use cupft_graph::{DiGraph, ProcessId, ProcessSet};
+use cupft_net::sim::Simulation;
+use cupft_net::{DelayPolicy, NetStats, SimConfig, Time};
+
+use crate::byzantine::{ByzantineActor, ByzantineStrategy};
+use crate::msgs::NodeMsg;
+use crate::node::{Node, NodeConfig, ProtocolMode};
+
+/// A complete experiment description.
+///
+/// # Example
+///
+/// ```
+/// use cupft_core::{run_scenario, ByzantineStrategy, ProtocolMode, Scenario};
+/// use cupft_graph::fig1b;
+///
+/// let scenario = Scenario::new(fig1b().graph().clone(), ProtocolMode::KnownThreshold(1))
+///     .with_byzantine(4, ByzantineStrategy::Silent)
+///     .with_seed(7);
+/// let outcome = run_scenario(&scenario);
+/// assert!(outcome.check().consensus_solved());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The knowledge connectivity graph.
+    pub graph: DiGraph,
+    /// Identification mode every correct node runs.
+    pub mode: ProtocolMode,
+    /// Byzantine assignment (absent processes are correct).
+    pub byzantine: BTreeMap<ProcessId, ByzantineStrategy>,
+    /// Crash times for crash-faulty processes (correct-but-crashing:
+    /// Theorem 7's weaker fault model).
+    pub crashes: BTreeMap<ProcessId, Time>,
+    /// Proposal per process (defaults to `v<id>`).
+    pub values: BTreeMap<ProcessId, Value>,
+    /// Simulator configuration (seed, horizon, delay policy).
+    pub sim: SimConfig,
+    /// Discovery tick period.
+    pub discovery_period: u64,
+    /// Committee view-timeout base.
+    pub view_timeout_base: u64,
+}
+
+impl Scenario {
+    /// A scenario over `graph` with the given mode and defaults everywhere
+    /// else.
+    pub fn new(graph: DiGraph, mode: ProtocolMode) -> Self {
+        Scenario {
+            graph,
+            mode,
+            byzantine: BTreeMap::new(),
+            crashes: BTreeMap::new(),
+            values: BTreeMap::new(),
+            sim: SimConfig {
+                seed: 0,
+                max_time: 200_000,
+                policy: DelayPolicy::PartialSynchrony {
+                    gst: 200,
+                    delta: 10,
+                    pre_gst_max: 120,
+                },
+            },
+            discovery_period: 20,
+            view_timeout_base: 400,
+        }
+    }
+
+    /// Assigns a Byzantine strategy.
+    pub fn with_byzantine(mut self, id: u64, strategy: ByzantineStrategy) -> Self {
+        self.byzantine.insert(ProcessId::new(id), strategy);
+        self
+    }
+
+    /// Assigns a crash time.
+    pub fn with_crash(mut self, id: u64, at: Time) -> Self {
+        self.crashes.insert(ProcessId::new(id), at);
+        self
+    }
+
+    /// Sets a proposal value.
+    pub fn with_value(mut self, id: u64, value: &'static [u8]) -> Self {
+        self.values
+            .insert(ProcessId::new(id), Value::from_static(value));
+        self
+    }
+
+    /// Sets the delay policy.
+    pub fn with_policy(mut self, policy: DelayPolicy) -> Self {
+        self.sim.policy = policy;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.sim.seed = seed;
+        self
+    }
+
+    /// Sets the simulation horizon.
+    pub fn with_horizon(mut self, max_time: Time) -> Self {
+        self.sim.max_time = max_time;
+        self
+    }
+
+    /// The correct processes of this scenario (crash-faulty processes are
+    /// *not* correct — they are counted as faulty for the verdicts).
+    pub fn correct(&self) -> ProcessSet {
+        self.graph
+            .vertices()
+            .filter(|v| !self.byzantine.contains_key(v) && !self.crashes.contains_key(v))
+            .collect()
+    }
+
+    fn value_of(&self, id: ProcessId) -> Value {
+        self.values
+            .get(&id)
+            .cloned()
+            .unwrap_or_else(|| Value::from(format!("v{}", id.raw()).into_bytes()))
+    }
+
+    /// Values that could legitimately be decided: every process's proposal
+    /// plus any value a Byzantine equivocator may inject.
+    fn allowed_values(&self) -> BTreeSet<Vec<u8>> {
+        let mut allowed: BTreeSet<Vec<u8>> = self
+            .graph
+            .vertices()
+            .map(|v| self.value_of(v).to_vec())
+            .collect();
+        for strategy in self.byzantine.values() {
+            if let ByzantineStrategy::EquivocateValue {
+                value_a, value_b, ..
+            } = strategy
+            {
+                allowed.insert(value_a.to_vec());
+                allowed.insert(value_b.to_vec());
+            }
+        }
+        allowed
+    }
+}
+
+/// Per-process observations of one run.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Decisions of the correct processes (`None` = undecided at horizon).
+    pub decisions: BTreeMap<ProcessId, Option<Vec<u8>>>,
+    /// Sink/core sets identified by the correct processes.
+    pub detections: BTreeMap<ProcessId, Option<ProcessSet>>,
+    /// Identification times.
+    pub detection_times: BTreeMap<ProcessId, Option<Time>>,
+    /// Decision times.
+    pub decided_times: BTreeMap<ProcessId, Option<Time>>,
+    /// Simulated end time.
+    pub end_time: Time,
+    /// Network statistics.
+    pub stats: NetStats,
+    allowed_values: BTreeSet<Vec<u8>>,
+}
+
+/// Verdicts on the four consensus properties (Section II-B).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsensusCheck {
+    /// No two correct processes decided differently.
+    pub agreement: bool,
+    /// Every correct process decided within the horizon.
+    pub termination: bool,
+    /// Every decided value was proposed by some process.
+    pub validity: bool,
+    /// The distinct values decided by correct processes.
+    pub decided_values: BTreeSet<Vec<u8>>,
+}
+
+impl ConsensusCheck {
+    /// All properties hold (Integrity holds by construction: nodes set
+    /// their decision at most once).
+    pub fn consensus_solved(&self) -> bool {
+        self.agreement && self.termination && self.validity
+    }
+}
+
+impl ScenarioOutcome {
+    /// Evaluates the consensus properties over the recorded decisions.
+    pub fn check(&self) -> ConsensusCheck {
+        let decided_values: BTreeSet<Vec<u8>> = self
+            .decisions
+            .values()
+            .flatten()
+            .cloned()
+            .collect();
+        ConsensusCheck {
+            agreement: decided_values.len() <= 1,
+            termination: self.decisions.values().all(|d| d.is_some()),
+            validity: decided_values
+                .iter()
+                .all(|v| self.allowed_values.contains(v)),
+            decided_values,
+        }
+    }
+
+    /// The unique sink/core sets identified across correct processes.
+    pub fn distinct_detections(&self) -> BTreeSet<ProcessSet> {
+        self.detections.values().flatten().cloned().collect()
+    }
+
+    /// Latest decision time among deciders (simulated ticks).
+    pub fn last_decision_time(&self) -> Option<Time> {
+        self.decided_times.values().flatten().copied().max()
+    }
+}
+
+/// Runs a scenario to completion (all correct decided) or to the horizon.
+pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
+    run_scenario_traced(scenario).0
+}
+
+/// Like [`run_scenario`], additionally returning the full delivery trace —
+/// used by the indistinguishability tests that compare whole executions
+/// event-for-event (Theorem 7).
+pub fn run_scenario_traced(
+    scenario: &Scenario,
+) -> (ScenarioOutcome, Vec<cupft_net::TraceEntry>) {
+    let setup = SystemSetup::new(&scenario.graph);
+    let mut sim: Simulation<NodeMsg> = Simulation::new(scenario.sim.clone());
+    sim.enable_trace();
+    let correct = scenario.correct();
+
+    for v in scenario.graph.vertices() {
+        if let Some(strategy) = scenario.byzantine.get(&v) {
+            let key = setup.key_of(v).expect("registered").clone();
+            sim.add_actor(Box::new(ByzantineActor::new(
+                key,
+                setup.registry().clone(),
+                setup.oracle().pd_of(v),
+                strategy.clone(),
+                scenario.discovery_period,
+            )));
+        } else {
+            let config = NodeConfig {
+                mode: scenario.mode,
+                discovery_period: scenario.discovery_period,
+                replica: cupft_committee::ReplicaConfig {
+                    timeout_base: scenario.view_timeout_base,
+                },
+                crash_at: scenario.crashes.get(&v).copied(),
+            };
+            let node = Node::from_setup(&setup, v, scenario.value_of(v), config)
+                .expect("vertex registered");
+            sim.add_actor(Box::new(node));
+        }
+    }
+
+    let correct_list: Vec<ProcessId> = correct.iter().copied().collect();
+    sim.run_until(|s| {
+        correct_list
+            .iter()
+            .all(|&id| s.actor_as::<Node>(id).is_some_and(|n| n.decision().is_some()))
+    });
+
+    let end_time = sim.now();
+    let stats = sim.stats().clone();
+    let trace = sim.trace().to_vec();
+    let mut decisions = BTreeMap::new();
+    let mut detections = BTreeMap::new();
+    let mut detection_times = BTreeMap::new();
+    let mut decided_times = BTreeMap::new();
+    for (id, actor) in sim.into_actors() {
+        if !correct.contains(&id) {
+            continue;
+        }
+        let node = actor
+            .as_any()
+            .downcast_ref::<Node>()
+            .expect("correct actors are Nodes");
+        decisions.insert(id, node.decision().map(|v| v.to_vec()));
+        detections.insert(id, node.detection().map(|d| d.members.clone()));
+        detection_times.insert(id, node.detection_time);
+        decided_times.insert(id, node.decided_time);
+    }
+
+    (
+        ScenarioOutcome {
+            decisions,
+            detections,
+            detection_times,
+            decided_times,
+            end_time,
+            stats,
+            allowed_values: scenario.allowed_values(),
+        },
+        trace,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cupft_graph::{fig1b, fig4a, fig4b, process_set};
+
+    #[test]
+    fn bft_cup_on_fig1b_with_silent_byzantine() {
+        let fig = fig1b();
+        let scenario = Scenario::new(fig.graph().clone(), ProtocolMode::KnownThreshold(1))
+            .with_byzantine(4, ByzantineStrategy::Silent);
+        let outcome = run_scenario(&scenario);
+        let check = outcome.check();
+        assert!(check.consensus_solved(), "{outcome:?}");
+        // every correct process identified the paper's sink {1,2,3,4}
+        assert_eq!(
+            outcome.distinct_detections(),
+            [process_set([1, 2, 3, 4])].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn bft_cupft_on_fig4a_all_correct() {
+        let fig = fig4a();
+        let scenario = Scenario::new(fig.graph().clone(), ProtocolMode::UnknownThreshold);
+        let outcome = run_scenario(&scenario);
+        let check = outcome.check();
+        assert!(check.consensus_solved(), "{:?}", outcome.decisions);
+        assert_eq!(
+            outcome.distinct_detections(),
+            [process_set([1, 2, 3, 4, 5])].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn bft_cupft_on_fig4b_with_silent_byzantine_outside_core() {
+        let fig = fig4b();
+        let scenario = Scenario::new(fig.graph().clone(), ProtocolMode::UnknownThreshold)
+            .with_byzantine(4, ByzantineStrategy::Silent);
+        let outcome = run_scenario(&scenario);
+        let check = outcome.check();
+        assert!(check.consensus_solved(), "{:?}", outcome.decisions);
+        assert_eq!(
+            outcome.distinct_detections(),
+            [process_set([5, 6, 7, 8, 9])].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn deterministic_outcomes_by_seed() {
+        let fig = fig1b();
+        let s1 = Scenario::new(fig.graph().clone(), ProtocolMode::KnownThreshold(1))
+            .with_byzantine(4, ByzantineStrategy::Silent)
+            .with_seed(7);
+        let s2 = Scenario::new(fig.graph().clone(), ProtocolMode::KnownThreshold(1))
+            .with_byzantine(4, ByzantineStrategy::Silent)
+            .with_seed(7);
+        let o1 = run_scenario(&s1);
+        let o2 = run_scenario(&s2);
+        assert_eq!(o1.decisions, o2.decisions);
+        assert_eq!(o1.end_time, o2.end_time);
+        assert_eq!(o1.stats, o2.stats);
+    }
+}

@@ -1,0 +1,104 @@
+//! HMAC-SHA256 (RFC 2104).
+
+use crate::sha256::{digest, Digest, Sha256};
+
+const BLOCK_LEN: usize = 64;
+
+/// Computes `HMAC-SHA256(key, message)`.
+///
+/// # Example
+///
+/// ```
+/// use cupft_crypto::hmac::hmac_sha256;
+///
+/// let mac = hmac_sha256(b"key", b"message");
+/// assert_eq!(mac.len(), 32);
+/// assert_ne!(mac, hmac_sha256(b"key", b"other message"));
+/// ```
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Digest {
+    let mut key_block = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        let hashed = digest(key);
+        key_block[..hashed.len()].copy_from_slice(&hashed);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0u8; BLOCK_LEN];
+    let mut opad = [0u8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] = key_block[i] ^ 0x36;
+        opad[i] = key_block[i] ^ 0x5c;
+    }
+
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::to_hex;
+
+    // RFC 4231 test vectors.
+
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let mac = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            to_hex(&mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            to_hex(&mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaau8; 20];
+        let msg = [0xddu8; 50];
+        let mac = hmac_sha256(&key, &msg);
+        assert_eq!(
+            to_hex(&mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaau8; 131];
+        let mac = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            to_hex(&mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn distinct_keys_distinct_macs() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+    }
+
+    #[test]
+    fn exact_block_size_key() {
+        let key = [0x11u8; 64];
+        let a = hmac_sha256(&key, b"m");
+        let b = hmac_sha256(&key, b"m");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,239 @@
+//! Participant detectors: the initial-knowledge oracle of the CUP model.
+//!
+//! Section II-C: each process `i` obtains its initial knowledge from a
+//! local oracle `PDᵢ` returning a fixed subset of processes; the oracles
+//! collectively define the knowledge connectivity graph. This crate
+//! provides the oracle ([`PdOracle`]), signed PD certificates bridging the
+//! crypto substrate to [`cupft_graph`] types ([`PdCertificate`]), and the
+//! [`SystemSetup`] helper wiring a whole simulated system (keys + oracles)
+//! from a knowledge connectivity graph.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use cupft_crypto::{KeyRegistry, SignedPd, SigningKey};
+use cupft_graph::{DiGraph, ProcessId, ProcessSet};
+
+/// The participant detector oracle: a static map from process to its
+/// initial knowledge, derived from a knowledge connectivity graph.
+///
+/// The oracle always returns the same set for the same process (the PD of
+/// the CUP model is static; knowledge growth happens in the Discovery
+/// protocol's state, not in the oracle).
+///
+/// # Example
+///
+/// ```
+/// use cupft_detector::PdOracle;
+/// use cupft_graph::{DiGraph, ProcessId, process_set};
+///
+/// let g = DiGraph::from_edges([(1, 2), (1, 3), (2, 3)]);
+/// let oracle = PdOracle::from_graph(&g);
+/// assert_eq!(oracle.pd_of(ProcessId::new(1)), process_set([2, 3]));
+/// assert!(oracle.pd_of(ProcessId::new(9)).is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PdOracle {
+    pds: BTreeMap<ProcessId, ProcessSet>,
+}
+
+impl PdOracle {
+    /// Derives the oracle from a knowledge connectivity graph: `PDᵢ` is the
+    /// out-neighborhood of `i`.
+    pub fn from_graph(graph: &DiGraph) -> Self {
+        PdOracle {
+            pds: graph.vertices().map(|v| (v, graph.out_neighbors(v))).collect(),
+        }
+    }
+
+    /// The PD of `id` (empty for unknown processes).
+    pub fn pd_of(&self, id: ProcessId) -> ProcessSet {
+        self.pds.get(&id).cloned().unwrap_or_default()
+    }
+
+    /// All processes known to the oracle.
+    pub fn processes(&self) -> ProcessSet {
+        self.pds.keys().copied().collect()
+    }
+}
+
+/// A signature-carrying PD record in graph-typed form.
+///
+/// Correct processes produce these once at startup (Algorithm 1 line 1
+/// signs `⟨i, PDᵢ⟩ᵢ`); Byzantine processes may fabricate records for
+/// *their own* ID with arbitrary contents, but records fabricated for
+/// other IDs fail verification.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PdCertificate {
+    inner: SignedPd,
+}
+
+impl PdCertificate {
+    /// Signs `pd` as `key`'s participant detector output.
+    pub fn sign(key: &SigningKey, pd: &ProcessSet) -> Self {
+        let raw: Vec<u64> = pd.iter().map(|p| p.raw()).collect();
+        PdCertificate {
+            inner: SignedPd::sign(key, raw),
+        }
+    }
+
+    /// Fabricates an unverifiable record claiming to be `author`'s PD —
+    /// the attack Algorithm 1's signatures exist to prevent.
+    pub fn forge(author: ProcessId, pd: &ProcessSet) -> Self {
+        let raw: Vec<u64> = pd.iter().map(|p| p.raw()).collect();
+        PdCertificate {
+            inner: SignedPd::forge(author.raw(), raw),
+        }
+    }
+
+    /// The claimed author.
+    pub fn author(&self) -> ProcessId {
+        ProcessId::new(self.inner.author())
+    }
+
+    /// The claimed PD.
+    pub fn pd(&self) -> ProcessSet {
+        self.inner.pd().iter().map(|&r| ProcessId::new(r)).collect()
+    }
+
+    /// Verifies the signature against the registry.
+    pub fn verify(&self, registry: &KeyRegistry) -> bool {
+        self.inner.verify(registry)
+    }
+}
+
+/// Wires a complete simulated system from a knowledge connectivity graph:
+/// one registered key per vertex plus the PD oracle.
+///
+/// # Example
+///
+/// ```
+/// use cupft_detector::SystemSetup;
+/// use cupft_graph::{DiGraph, ProcessId};
+///
+/// let g = DiGraph::from_edges([(1, 2), (2, 1)]);
+/// let setup = SystemSetup::new(&g);
+/// let key = setup.key_of(ProcessId::new(1)).unwrap();
+/// let cert = setup.certificate_for(ProcessId::new(1)).unwrap();
+/// assert!(cert.verify(setup.registry()));
+/// assert_eq!(key.id(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemSetup {
+    registry: KeyRegistry,
+    keys: BTreeMap<ProcessId, SigningKey>,
+    oracle: PdOracle,
+}
+
+impl SystemSetup {
+    /// Registers every vertex of `graph` and derives the PD oracle.
+    pub fn new(graph: &DiGraph) -> Self {
+        let mut registry = KeyRegistry::new();
+        let keys = graph
+            .vertices()
+            .map(|v| (v, registry.register(v.raw())))
+            .collect();
+        SystemSetup {
+            registry,
+            keys,
+            oracle: PdOracle::from_graph(graph),
+        }
+    }
+
+    /// The shared key registry (simulated PKI).
+    pub fn registry(&self) -> &KeyRegistry {
+        &self.registry
+    }
+
+    /// The PD oracle.
+    pub fn oracle(&self) -> &PdOracle {
+        &self.oracle
+    }
+
+    /// The signing key of `id`, if registered.
+    pub fn key_of(&self, id: ProcessId) -> Option<&SigningKey> {
+        self.keys.get(&id)
+    }
+
+    /// Convenience: `id`'s correctly-signed PD certificate.
+    pub fn certificate_for(&self, id: ProcessId) -> Option<PdCertificate> {
+        let key = self.keys.get(&id)?;
+        Some(PdCertificate::sign(key, &self.oracle.pd_of(id)))
+    }
+
+    /// All process IDs in the system.
+    pub fn processes(&self) -> ProcessSet {
+        self.keys.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cupft_graph::process_set;
+
+    fn p(n: u64) -> ProcessId {
+        ProcessId::new(n)
+    }
+
+    #[test]
+    fn oracle_matches_graph() {
+        let g = DiGraph::from_edges([(1, 2), (1, 3), (3, 1)]);
+        let oracle = PdOracle::from_graph(&g);
+        assert_eq!(oracle.pd_of(p(1)), process_set([2, 3]));
+        assert_eq!(oracle.pd_of(p(2)), ProcessSet::new());
+        assert_eq!(oracle.processes(), process_set([1, 2, 3]));
+    }
+
+    #[test]
+    fn certificate_roundtrip() {
+        let g = DiGraph::from_edges([(1, 2), (1, 3)]);
+        let setup = SystemSetup::new(&g);
+        let cert = setup.certificate_for(p(1)).unwrap();
+        assert_eq!(cert.author(), p(1));
+        assert_eq!(cert.pd(), process_set([2, 3]));
+        assert!(cert.verify(setup.registry()));
+    }
+
+    #[test]
+    fn forged_certificate_rejected() {
+        let g = DiGraph::from_edges([(1, 2), (2, 1)]);
+        let setup = SystemSetup::new(&g);
+        // Byzantine 2 forges a PD for correct process 1.
+        let forged = PdCertificate::forge(p(1), &process_set([9]));
+        assert!(!forged.verify(setup.registry()));
+    }
+
+    #[test]
+    fn byzantine_own_pd_lies_verify() {
+        // A Byzantine process may claim ANY pd for itself — that is
+        // allowed by the model (signatures only pin authorship).
+        let g = DiGraph::from_edges([(1, 2), (2, 1)]);
+        let setup = SystemSetup::new(&g);
+        let key2 = setup.key_of(p(2)).unwrap();
+        let lying = PdCertificate::sign(key2, &process_set([1, 42, 99]));
+        assert!(lying.verify(setup.registry()));
+        assert_eq!(lying.pd(), process_set([1, 42, 99]));
+    }
+
+    #[test]
+    fn setup_covers_all_vertices() {
+        let g = DiGraph::from_edges([(1, 2), (3, 4), (4, 3), (2, 3)]);
+        let setup = SystemSetup::new(&g);
+        assert_eq!(setup.processes(), process_set([1, 2, 3, 4]));
+        for v in setup.processes() {
+            assert!(setup.key_of(v).is_some());
+            assert!(setup.certificate_for(v).unwrap().verify(setup.registry()));
+        }
+    }
+
+    #[test]
+    fn missing_process_has_no_key() {
+        let g = DiGraph::from_edges([(1, 2)]);
+        let setup = SystemSetup::new(&g);
+        assert!(setup.key_of(p(9)).is_none());
+        assert!(setup.certificate_for(p(9)).is_none());
+    }
+}

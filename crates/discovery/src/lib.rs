@@ -1,0 +1,207 @@
+//! The Discovery algorithm (Algorithm 1 of the paper).
+//!
+//! Every correct process periodically asks the processes it knows for the
+//! PDs they have collected (`GETPDS`), answers such requests with its own
+//! collection (`SETPDS`), and merges verified records into its
+//! [`cupft_graph::KnowledgeView`]. Theorem 2 guarantees that in a graph
+//! from `G_di` every correct process eventually knows all correct sink
+//! members and holds their PDs; the tests reproduce that convergence.
+//!
+//! The module exposes the protocol twice:
+//!
+//! * [`DiscoveryState`] — a runtime-agnostic state machine (messages in,
+//!   messages out), embedded by the full BFT-CUP/BFT-CUPFT nodes in
+//!   `cupft-core`;
+//! * [`DiscoveryActor`] — a standalone actor for discovery-only
+//!   experiments and benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod msgs;
+mod state;
+
+pub use msgs::DiscoveryMsg;
+pub use state::{DiscoveryState, DISCOVERY_TICK};
+
+use cupft_graph::ProcessId;
+use cupft_net::{Actor, Context};
+
+/// A standalone discovery participant: runs Algorithm 1 forever (the
+/// `discovery` task has no termination condition of its own — the Sink and
+/// Core algorithms simply stop consulting it once they return).
+#[derive(Debug)]
+pub struct DiscoveryActor {
+    state: DiscoveryState,
+    period: u64,
+}
+
+impl DiscoveryActor {
+    /// Creates an actor around an initialized state with the given tick
+    /// period.
+    pub fn new(state: DiscoveryState, period: u64) -> Self {
+        DiscoveryActor { state, period }
+    }
+
+    /// Read access to the protocol state.
+    pub fn state(&self) -> &DiscoveryState {
+        &self.state
+    }
+}
+
+impl Actor<DiscoveryMsg> for DiscoveryActor {
+    fn id(&self) -> ProcessId {
+        self.state.id()
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<DiscoveryMsg>) {
+        for (to, msg) in self.state.tick() {
+            ctx.send(to, msg);
+        }
+        ctx.set_timer(DISCOVERY_TICK, self.period);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: DiscoveryMsg, ctx: &mut Context<DiscoveryMsg>) {
+        for (to, out) in self.state.handle(from, msg) {
+            ctx.send(to, out);
+        }
+    }
+
+    fn on_timer(&mut self, _timer: u64, ctx: &mut Context<DiscoveryMsg>) {
+        for (to, msg) in self.state.tick() {
+            ctx.send(to, msg);
+        }
+        ctx.set_timer(DISCOVERY_TICK, self.period);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cupft_detector::SystemSetup;
+    use cupft_graph::{fig1b, process_set, DiGraph, ProcessSet};
+    use cupft_net::sim::Simulation;
+    use cupft_net::{DelayPolicy, SimConfig};
+
+    fn p(n: u64) -> ProcessId {
+        ProcessId::new(n)
+    }
+
+    /// Builds a simulation where every process in `graph` runs discovery;
+    /// `silent` processes are registered but never started (the silent-
+    /// Byzantine behavior).
+    fn discovery_sim(
+        graph: &DiGraph,
+        silent: &ProcessSet,
+        seed: u64,
+    ) -> (Simulation<DiscoveryMsg>, SystemSetup) {
+        let setup = SystemSetup::new(graph);
+        let mut sim = Simulation::new(SimConfig {
+            seed,
+            max_time: 50_000,
+            policy: DelayPolicy::PartialSynchrony {
+                gst: 200,
+                delta: 10,
+                pre_gst_max: 150,
+            },
+        });
+        for v in graph.vertices() {
+            if silent.contains(&v) {
+                continue;
+            }
+            let state = DiscoveryState::from_setup(&setup, v).unwrap();
+            sim.add_actor(Box::new(DiscoveryActor::new(state, 20)));
+        }
+        (sim, setup)
+    }
+
+    /// Extracts the concrete actor type back from the simulator.
+    fn as_discovery(actor: &dyn Actor<DiscoveryMsg>) -> &DiscoveryActor {
+        actor
+            .as_any()
+            .downcast_ref::<DiscoveryActor>()
+            .expect("all test actors are DiscoveryActor")
+    }
+
+    /// Theorem 2 on Fig. 1b: every correct process eventually discovers and
+    /// receives the PDs of all correct sink members, even with the
+    /// Byzantine process silent.
+    #[test]
+    fn theorem2_on_fig1b_with_silent_byzantine() {
+        let fig = fig1b();
+        let (mut sim, _setup) = discovery_sim(fig.graph(), fig.byzantine(), 1);
+        sim.run_until(|s| s.now() > 2_000);
+        let correct_sink = process_set([1, 2, 3]);
+        for (id, actor) in sim.into_actors() {
+            if fig.byzantine().contains(&id) {
+                continue;
+            }
+            let discovery = as_discovery(actor.as_ref());
+            let view = discovery.state().view();
+            for &member in &correct_sink {
+                assert!(
+                    view.knows(member),
+                    "{id} must discover sink member {member}"
+                );
+                assert!(
+                    view.has_pd_of(member),
+                    "{id} must receive PD of sink member {member}"
+                );
+            }
+        }
+    }
+
+    /// With the bridge process of Fig. 1a silent, the two halves never
+    /// learn of each other — the premise of the Fig. 1a impossibility.
+    #[test]
+    fn fig1a_partition_under_silent_bridge() {
+        let fig = cupft_graph::fig1a();
+        let (mut sim, _setup) = discovery_sim(fig.graph(), fig.byzantine(), 2);
+        sim.run_until(|s| s.now() > 2_000);
+        for (id, actor) in sim.into_actors() {
+            let discovery = as_discovery(actor.as_ref());
+            let view = discovery.state().view();
+            if [1, 2, 3].map(p).contains(&id) {
+                for other in [5, 6, 7, 8].map(p) {
+                    assert!(!view.knows(other), "{id} must not learn of {other}");
+                }
+            }
+            if [5, 6, 7, 8].map(p).contains(&id) {
+                for other in [1, 2, 3].map(p) {
+                    assert!(!view.knows(other), "{id} must not learn of {other}");
+                }
+            }
+        }
+    }
+
+    /// Discovery converges within O(diameter) rounds after GST.
+    #[test]
+    fn convergence_time_bounded_by_diameter() {
+        // A 6-process bidirectional chain: diameter 5.
+        let graph = DiGraph::from_edges([
+            (1, 2),
+            (2, 1),
+            (2, 3),
+            (3, 2),
+            (3, 4),
+            (4, 3),
+            (4, 5),
+            (5, 4),
+            (5, 6),
+            (6, 5),
+        ]);
+        let (mut sim, _setup) = discovery_sim(&graph, &ProcessSet::new(), 3);
+        // gst=200, delta=10, tick=20: full propagation needs a handful of
+        // round trips; 6 * (20 + 2*10) per hop is a generous bound.
+        let deadline = 200 + 6 * 60;
+        sim.run_until(|s| s.now() > deadline);
+        for (_id, actor) in sim.into_actors() {
+            let discovery = as_discovery(actor.as_ref());
+            assert_eq!(discovery.state().view().received_count(), 6);
+        }
+    }
+
+}

@@ -1,0 +1,33 @@
+//! Discovery protocol messages.
+
+use cupft_detector::PdCertificate;
+use cupft_net::Labeled;
+
+/// The two messages of Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiscoveryMsg {
+    /// "Send me the PDs you have received" (line 2).
+    GetPds,
+    /// The responder's `S_PD` (line 3): signed PD records.
+    SetPds(Vec<PdCertificate>),
+}
+
+impl Labeled for DiscoveryMsg {
+    fn label(&self) -> &'static str {
+        match self {
+            DiscoveryMsg::GetPds => "GETPDS",
+            DiscoveryMsg::SetPds(_) => "SETPDS",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(DiscoveryMsg::GetPds.label(), "GETPDS");
+        assert_eq!(DiscoveryMsg::SetPds(vec![]).label(), "SETPDS");
+    }
+}

@@ -1,0 +1,260 @@
+//! Runtime-agnostic Discovery state machine.
+
+use std::collections::BTreeMap;
+
+use cupft_crypto::{KeyRegistry, SigningKey};
+use cupft_detector::PdCertificate;
+use cupft_graph::{KnowledgeView, ProcessId, ProcessSet};
+
+use crate::msgs::DiscoveryMsg;
+
+/// Timer kind used by discovery actors for the periodic round.
+pub const DISCOVERY_TICK: u64 = 0xD15C;
+
+/// The per-process state of Algorithm 1.
+///
+/// Holds the three sets of the paper — `S_PD` (as verified certificates),
+/// `S_known`, `S_received` (both inside the [`KnowledgeView`]) — and
+/// produces outgoing messages as plain values, so the same state machine
+/// runs inside the simulator, the threaded runtime, and the full protocol
+/// nodes.
+///
+/// # Example
+///
+/// ```
+/// use cupft_detector::SystemSetup;
+/// use cupft_discovery::DiscoveryState;
+/// use cupft_graph::{DiGraph, ProcessId};
+///
+/// let g = DiGraph::from_edges([(1, 2), (2, 1)]);
+/// let setup = SystemSetup::new(&g);
+/// let mut s = DiscoveryState::from_setup(&setup, ProcessId::new(1)).unwrap();
+/// let round = s.tick();
+/// assert_eq!(round.len(), 1); // GETPDS to process 2
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiscoveryState {
+    id: ProcessId,
+    registry: KeyRegistry,
+    view: KnowledgeView,
+    certs: BTreeMap<ProcessId, PdCertificate>,
+    changed: bool,
+    /// Certificates that failed signature verification (forgery attempts).
+    pub rejected_forgeries: u64,
+    /// Verified certificates conflicting with an earlier one from the same
+    /// author (only a Byzantine author can produce these; first record
+    /// wins).
+    pub conflicting_records: u64,
+}
+
+impl DiscoveryState {
+    /// Initializes the state per Algorithm 1 line 1: the view starts from
+    /// the process's own PD and `S_PD = {⟨i, PDᵢ⟩ᵢ}`.
+    pub fn new(key: &SigningKey, registry: KeyRegistry, pd: ProcessSet) -> Self {
+        let id = ProcessId::new(key.id());
+        let own_cert = PdCertificate::sign(key, &pd);
+        let mut certs = BTreeMap::new();
+        certs.insert(id, own_cert);
+        DiscoveryState {
+            id,
+            registry,
+            view: KnowledgeView::new(id, pd),
+            certs,
+            changed: true,
+            rejected_forgeries: 0,
+            conflicting_records: 0,
+        }
+    }
+
+    /// Convenience constructor from a [`cupft_detector::SystemSetup`].
+    ///
+    /// Returns `None` if `id` is not part of the setup.
+    pub fn from_setup(setup: &cupft_detector::SystemSetup, id: ProcessId) -> Option<Self> {
+        let key = setup.key_of(id)?;
+        Some(DiscoveryState::new(
+            key,
+            setup.registry().clone(),
+            setup.oracle().pd_of(id),
+        ))
+    }
+
+    /// This process's ID.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// The accumulated knowledge view (`S_known`, `S_received`, PDs).
+    pub fn view(&self) -> &KnowledgeView {
+        &self.view
+    }
+
+    /// The verified certificates held (`S_PD`).
+    pub fn certificates(&self) -> impl Iterator<Item = &PdCertificate> + '_ {
+        self.certs.values()
+    }
+
+    /// Whether the view changed since the last [`Self::take_changed`].
+    pub fn take_changed(&mut self) -> bool {
+        std::mem::take(&mut self.changed)
+    }
+
+    /// One periodic round (Algorithm 1 line 2): `GETPDS` to every known
+    /// process except ourselves.
+    pub fn tick(&self) -> Vec<(ProcessId, DiscoveryMsg)> {
+        self.view
+            .known()
+            .iter()
+            .copied()
+            .filter(|&p| p != self.id)
+            .map(|p| (p, DiscoveryMsg::GetPds))
+            .collect()
+    }
+
+    /// Handles an incoming message, returning the responses to send.
+    pub fn handle(&mut self, from: ProcessId, msg: DiscoveryMsg) -> Vec<(ProcessId, DiscoveryMsg)> {
+        match msg {
+            DiscoveryMsg::GetPds => {
+                // line 3: send S_PD to the requester
+                vec![(
+                    from,
+                    DiscoveryMsg::SetPds(self.certs.values().cloned().collect()),
+                )]
+            }
+            DiscoveryMsg::SetPds(records) => {
+                for record in records {
+                    self.absorb(record);
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    /// Absorbs one signed PD record (Algorithm 1 lines 4–6): verify the
+    /// signature, reject conflicts, update the view.
+    pub fn absorb(&mut self, record: PdCertificate) {
+        if !record.verify(&self.registry) {
+            self.rejected_forgeries += 1;
+            return;
+        }
+        let author = record.author();
+        match self.certs.get(&author) {
+            Some(existing) if *existing == record => {}
+            Some(_) => {
+                // Equivocating author (necessarily Byzantine): first wins.
+                self.conflicting_records += 1;
+            }
+            None => {
+                let pd = record.pd();
+                self.certs.insert(author, record);
+                if self.view.record_pd(author, pd) {
+                    self.changed = true;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cupft_detector::SystemSetup;
+    use cupft_graph::{process_set, DiGraph};
+
+    fn p(n: u64) -> ProcessId {
+        ProcessId::new(n)
+    }
+
+    fn line_setup() -> SystemSetup {
+        // 1 -> 2 -> 3 (plus reverse edges so everything is reachable)
+        SystemSetup::new(&DiGraph::from_edges([(1, 2), (2, 1), (2, 3), (3, 2)]))
+    }
+
+    #[test]
+    fn initial_state_matches_line_1() {
+        let setup = line_setup();
+        let s = DiscoveryState::from_setup(&setup, p(1)).unwrap();
+        assert_eq!(*s.view().known(), process_set([1, 2]));
+        assert_eq!(s.view().received(), process_set([1]));
+        assert_eq!(s.certificates().count(), 1);
+    }
+
+    #[test]
+    fn tick_targets_known_processes() {
+        let setup = line_setup();
+        let s = DiscoveryState::from_setup(&setup, p(2)).unwrap();
+        let out = s.tick();
+        let targets: ProcessSet = out.iter().map(|(t, _)| *t).collect();
+        assert_eq!(targets, process_set([1, 3]));
+        assert!(out.iter().all(|(_, m)| matches!(m, DiscoveryMsg::GetPds)));
+    }
+
+    #[test]
+    fn getpds_answered_with_certificates() {
+        let setup = line_setup();
+        let mut s = DiscoveryState::from_setup(&setup, p(1)).unwrap();
+        let out = s.handle(p(2), DiscoveryMsg::GetPds);
+        assert_eq!(out.len(), 1);
+        let (to, msg) = &out[0];
+        assert_eq!(*to, p(2));
+        match msg {
+            DiscoveryMsg::SetPds(certs) => assert_eq!(certs.len(), 1),
+            _ => panic!("expected SetPds"),
+        }
+    }
+
+    #[test]
+    fn setpds_expands_knowledge_transitively() {
+        let setup = line_setup();
+        let mut s1 = DiscoveryState::from_setup(&setup, p(1)).unwrap();
+        let cert2 = setup.certificate_for(p(2)).unwrap();
+        s1.handle(p(2), DiscoveryMsg::SetPds(vec![cert2]));
+        // 2's PD = {1,3}: process 1 now knows 3.
+        assert_eq!(*s1.view().known(), process_set([1, 2, 3]));
+        assert_eq!(s1.view().received(), process_set([1, 2]));
+        assert!(s1.take_changed());
+        assert!(!s1.take_changed());
+    }
+
+    #[test]
+    fn forged_records_rejected_and_counted() {
+        let setup = line_setup();
+        let mut s1 = DiscoveryState::from_setup(&setup, p(1)).unwrap();
+        let forged = PdCertificate::forge(p(2), &process_set([999]));
+        s1.handle(p(2), DiscoveryMsg::SetPds(vec![forged]));
+        assert_eq!(s1.rejected_forgeries, 1);
+        assert!(!s1.view().knows(p(999)));
+        assert!(!s1.view().has_pd_of(p(2)));
+    }
+
+    #[test]
+    fn equivocating_pd_keeps_first() {
+        let setup = line_setup();
+        let mut s1 = DiscoveryState::from_setup(&setup, p(1)).unwrap();
+        let key2 = setup.key_of(p(2)).unwrap();
+        let a = PdCertificate::sign(key2, &process_set([1, 3]));
+        let b = PdCertificate::sign(key2, &process_set([42]));
+        s1.absorb(a);
+        s1.absorb(b);
+        assert_eq!(s1.conflicting_records, 1);
+        assert_eq!(s1.view().pd_of(p(2)), Some(&process_set([1, 3])));
+        assert!(!s1.view().knows(p(42)));
+    }
+
+    #[test]
+    fn duplicate_record_is_noop() {
+        let setup = line_setup();
+        let mut s1 = DiscoveryState::from_setup(&setup, p(1)).unwrap();
+        let cert2 = setup.certificate_for(p(2)).unwrap();
+        s1.absorb(cert2.clone());
+        let _ = s1.take_changed();
+        s1.absorb(cert2);
+        assert!(!s1.take_changed());
+        assert_eq!(s1.conflicting_records, 0);
+    }
+
+    #[test]
+    fn missing_process_in_setup() {
+        let setup = line_setup();
+        assert!(DiscoveryState::from_setup(&setup, p(99)).is_none());
+    }
+}

@@ -1,0 +1,537 @@
+//! Candidate search for sink and core identification.
+//!
+//! Algorithms 2 (Sink) and 4 (Core) are specified as `wait until ∃S1, S2 …`
+//! over all subsets of the local view — a specification, not an algorithm.
+//! This module supplies the executable search:
+//!
+//! * **Heuristic candidates**: the sink strongly-connected components of the
+//!   *received-knowledge* graph, plus "peeled" variants that drop members
+//!   whose (possibly fabricated) PDs depress connectivity. This covers
+//!   Scenarios I and II of Section III — silent Byzantine members and slow
+//!   correct members simply never enter the received graph, and lying
+//!   Byzantine members are peeled — and every witness graph in the paper.
+//! * **Exact search**: exhaustive subset enumeration used as ground truth in
+//!   tests and for small views, guarded by a cutoff.
+//!
+//! The heuristic is validated against the exact search by property tests in
+//! the crate's test suite.
+
+use crate::connectivity::DisjointPaths;
+use crate::digraph::DiGraph;
+use crate::error::GraphError;
+use crate::id::{ProcessId, ProcessSet};
+use crate::predicates::{derive_s2, is_sink_gdi, max_threshold, SinkDecomposition};
+use crate::scc::condensation;
+use crate::view::KnowledgeView;
+
+/// A candidate sink/core: a validated decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SinkCandidate {
+    /// The validated decomposition (`S1`, `S2`, threshold).
+    pub decomposition: SinkDecomposition,
+}
+
+impl SinkCandidate {
+    /// All members of the candidate (`S1 ∪ S2`).
+    pub fn members(&self) -> ProcessSet {
+        self.decomposition.members()
+    }
+
+    /// The candidate's fault threshold `f_Gdi`.
+    pub fn threshold(&self) -> usize {
+        self.decomposition.threshold
+    }
+
+    /// The candidate's connectivity `k_Gdi = f_Gdi + 1`.
+    pub fn connectivity(&self) -> usize {
+        self.decomposition.connectivity()
+    }
+}
+
+/// Configuration for candidate search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateSearch {
+    /// Maximum set size for exhaustive subset enumeration; beyond it only
+    /// heuristic candidates are considered.
+    pub exact_cutoff: usize,
+    /// Maximum number of peeling steps applied to each sink component of
+    /// the received graph.
+    pub max_peels: usize,
+}
+
+impl Default for CandidateSearch {
+    fn default() -> Self {
+        CandidateSearch {
+            exact_cutoff: 14,
+            max_peels: 4,
+        }
+    }
+}
+
+impl CandidateSearch {
+    /// Candidate `S1` sets derived from the structure of the received
+    /// graph: every SCC of `G[S_received]` in reverse topological order
+    /// (sink components first), plus "peeled" variants of each (iteratively
+    /// dropping the member with the lowest internal degree, which is where
+    /// a lying Byzantine PD shows up).
+    ///
+    /// All components are considered — not only sinks — because a Byzantine
+    /// member claiming edges to unreceived processes can make the true sink
+    /// look non-terminal in the received graph.
+    pub fn candidate_s1_sets(&self, view: &KnowledgeView) -> Vec<ProcessSet> {
+        let received_graph = view.received_graph();
+        let cond = condensation(&received_graph);
+        let mut out: Vec<ProcessSet> = Vec::new();
+        let push_unique = |s: ProcessSet, out: &mut Vec<ProcessSet>| {
+            if !s.is_empty() && !out.contains(&s) {
+                out.push(s);
+            }
+        };
+        for sink in cond.components() {
+            push_unique(sink.clone(), &mut out);
+            let mut cur = sink.clone();
+            for _ in 0..self.max_peels {
+                if cur.len() <= 1 {
+                    break;
+                }
+                let sub = received_graph.induced(&cur);
+                // Drop the member with the weakest internal connectivity
+                // footprint (min of in/out degree, ties by ID for
+                // determinism).
+                let victim = cur
+                    .iter()
+                    .copied()
+                    .min_by_key(|&v| (sub.out_degree(v).min(sub.in_degree(v)), v))
+                    .expect("non-empty candidate");
+                cur.remove(&victim);
+                push_unique(cur.clone(), &mut out);
+            }
+            // Minimum-cut splitting: a core embedded inside a larger SCC
+            // (e.g. Fig. 4a, where the whole graph is one SCC) is exposed by
+            // splitting the component at its minimum vertex cuts.
+            cut_split(&received_graph, sink, 3, &mut out);
+        }
+        out
+    }
+
+    /// Algorithm 2's search: find `S1 ⊆ S_received`, `S2 ⊆ S_known ∖ S1`
+    /// with `isSinkGdi(f, S1, S2)` for the *given* fault threshold.
+    ///
+    /// Returns `None` when the view does not yet contain a valid sink —
+    /// the caller keeps discovering and retries (the `wait until`).
+    pub fn sink_with_threshold(&self, view: &KnowledgeView, f: usize) -> Option<SinkCandidate> {
+        for s1 in self.candidate_s1_sets(view) {
+            let s2 = derive_s2(view, &s1, f);
+            if is_sink_gdi(view, f, &s1, &s2) {
+                return Some(SinkCandidate {
+                    decomposition: SinkDecomposition {
+                        s1,
+                        s2,
+                        threshold: f,
+                    },
+                });
+            }
+        }
+        // Exhaustive fallback for small views.
+        let received = view.received();
+        if received.len() <= self.exact_cutoff {
+            if let Ok(Some(cand)) = exact_sink_with_threshold(view, f, self.exact_cutoff) {
+                return Some(cand);
+            }
+        }
+        None
+    }
+
+    /// All validated candidates in the current view, each at its maximum
+    /// threshold, ordered by descending threshold (ties: larger member set
+    /// first, then lexicographically smaller `S1`).
+    pub fn ranked_candidates(&self, view: &KnowledgeView) -> Vec<SinkCandidate> {
+        let mut found: Vec<SinkCandidate> = Vec::new();
+        for s1 in self.candidate_s1_sets(view) {
+            if let Some(dec) = max_threshold(view, &s1) {
+                let cand = SinkCandidate { decomposition: dec };
+                if !found.contains(&cand) {
+                    found.push(cand);
+                }
+            }
+        }
+        found.sort_by(|a, b| {
+            b.threshold()
+                .cmp(&a.threshold())
+                .then_with(|| b.members().len().cmp(&a.members().len()))
+                .then_with(|| a.decomposition.s1.cmp(&b.decomposition.s1))
+        });
+        found
+    }
+
+    /// Algorithm 4's search: the best candidate by threshold, accepted only
+    /// if *internally maximal* — no strict subset of its member set forms a
+    /// sink with a threshold at least as large (Theorem 8, condition (b)).
+    pub fn best_core(&self, view: &KnowledgeView) -> Option<SinkCandidate> {
+        let ranked = self.ranked_candidates(view);
+        let best = ranked.into_iter().next()?;
+        if self.is_internally_maximal(view, &best) {
+            Some(best)
+        } else {
+            None
+        }
+    }
+
+    /// Theorem 8(b), made *stable* under partial knowledge: rejects
+    /// `candidate` unless it can be **certified** that no strict subset `V`
+    /// of its member set satisfies `isSink*(V)` with
+    /// `k_Gdi(V) ≥ k_Gdi(candidate)`.
+    ///
+    /// Certification happens in one of two ways:
+    ///
+    /// * **size stability** — a competing `V` needs its own `S1'` with
+    ///   `|S1'| ≥ 2·(threshold+1) + 1`; when `|members| ≤ 2·threshold + 2`
+    ///   no subset can ever beat the candidate, *regardless of PDs yet to
+    ///   arrive* (this covers minimal cores of size `2f+1` or `2f+2`
+    ///   without any enumeration);
+    /// * **complete knowledge** — every member's PD has been received, so
+    ///   subsets can be enumerated against ground truth.
+    ///
+    /// A candidate that is neither size-stable nor fully received is
+    /// rejected: a member with a missing PD could, once its PD arrives,
+    /// complete a higher-threshold subset (this is not hypothetical — a
+    /// view holding all of Fig. 4a's PDs *except one core member's* admits
+    /// a whole-graph pseudo-core that the literal Algorithm 4 text would
+    /// accept). Discovery continues and the check re-fires, so this
+    /// conservatism costs latency, never termination.
+    pub fn is_internally_maximal(&self, view: &KnowledgeView, candidate: &SinkCandidate) -> bool {
+        let members = candidate.members();
+        let g_star = candidate.threshold();
+        // Size stability: no subset large enough to beat g* can exist.
+        if members.len() <= 2 * g_star + 2 {
+            return true;
+        }
+        // Otherwise we need ground truth for every member.
+        if !members.iter().all(|&p| view.has_pd_of(p)) {
+            return false;
+        }
+        let eligible: Vec<ProcessId> = members.iter().copied().collect();
+        if eligible.len() <= self.exact_cutoff {
+            // Exhaustive: any subset decomposition landing strictly inside
+            // `members` with threshold >= g* disqualifies.
+            for mask in 1u64..(1u64 << eligible.len()) {
+                let s1: ProcessSet = eligible
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, &p)| p)
+                    .collect();
+                if s1.len() < 2 * g_star + 1 {
+                    continue;
+                }
+                if disqualifies(view, &s1, g_star, &members) {
+                    return false;
+                }
+            }
+            true
+        } else {
+            // Heuristic: check peeled variants of the candidate's S1 only.
+            let mut cur = candidate.decomposition.s1.clone();
+            let graph = view.graph();
+            for _ in 0..self.max_peels {
+                if cur.len() <= 2 * g_star + 1 {
+                    break;
+                }
+                let sub = graph.induced(&cur);
+                let victim = cur
+                    .iter()
+                    .copied()
+                    .min_by_key(|&v| (sub.out_degree(v).min(sub.in_degree(v)), v))
+                    .expect("non-empty");
+                cur.remove(&victim);
+                if disqualifies(view, &cur, g_star, &members) {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}
+
+/// Recursively splits `set` at minimum vertex cuts of the induced subgraph,
+/// pushing each side (with and without the cut vertices) as a candidate.
+///
+/// A set containing a high-connectivity core plus weakly-attached
+/// outsiders has a small vertex cut between some cross pair; the side
+/// containing the core, together with the cut, recovers the core exactly.
+/// Candidate volume is bounded by the recursion `depth` and a global cap.
+fn cut_split(graph: &DiGraph, set: &ProcessSet, depth: usize, out: &mut Vec<ProcessSet>) {
+    const MAX_CANDIDATES: usize = 96;
+    if depth == 0 || set.len() < 3 || out.len() >= MAX_CANDIDATES {
+        return;
+    }
+    let sub = graph.induced(set);
+    let dp = DisjointPaths::new(&sub);
+    // Find an ordered pair realizing the minimum number of disjoint paths.
+    let mut best: Option<(ProcessId, ProcessId, usize)> = None;
+    for u in sub.vertices() {
+        for v in sub.vertices() {
+            if u == v {
+                continue;
+            }
+            let bound = best.as_ref().map(|&(_, _, c)| c);
+            let c = dp.count_bounded(u, v, bound);
+            if best.as_ref().is_none_or(|&(_, _, bc)| c < bc) {
+                best = Some((u, v, c));
+            }
+        }
+    }
+    let Some((u, _v, kappa)) = best else { return };
+    if kappa == 0 {
+        // Not strongly connected: the SCC machinery covers this shape.
+        return;
+    }
+    let (_, v, _) = best.expect("just matched");
+    let cut = dp.min_vertex_cut(u, v);
+    if cut.is_empty() || cut.len() >= set.len().saturating_sub(2) {
+        return;
+    }
+    let without_cut: ProcessSet = set.difference(&cut).copied().collect();
+    let side_u = sub.induced(&without_cut).reachable_from(u);
+    let rest: ProcessSet = without_cut.difference(&side_u).copied().collect();
+    let push_unique = |s: ProcessSet, out: &mut Vec<ProcessSet>| {
+        if !s.is_empty() && s.len() < set.len() && !out.contains(&s) {
+            out.push(s);
+        }
+    };
+    let side_u_cut: ProcessSet = side_u.union(&cut).copied().collect();
+    let rest_cut: ProcessSet = rest.union(&cut).copied().collect();
+    push_unique(side_u.clone(), out);
+    push_unique(side_u_cut.clone(), out);
+    push_unique(rest.clone(), out);
+    push_unique(rest_cut.clone(), out);
+    cut_split(graph, &side_u_cut, depth - 1, out);
+    cut_split(graph, &rest_cut, depth - 1, out);
+}
+
+/// Whether candidate set `s1` (with any feasible `g ≥ g_star`) forms a sink
+/// whose members are a strict subset of `limit`.
+fn disqualifies(
+    view: &KnowledgeView,
+    s1: &ProcessSet,
+    g_star: usize,
+    limit: &ProcessSet,
+) -> bool {
+    let size_bound = (s1.len() - 1) / 2;
+    for g in g_star..=size_bound {
+        let s2 = derive_s2(view, s1, g);
+        let v: ProcessSet = s1.union(&s2).copied().collect();
+        if v == *limit || !v.is_subset(limit) {
+            continue;
+        }
+        if is_sink_gdi(view, g, s1, &s2) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Exhaustive version of Algorithm 2's search (ground truth for tests).
+///
+/// # Errors
+///
+/// Returns [`GraphError::TooLargeForExactCheck`] when the received set
+/// exceeds `cutoff`.
+pub fn exact_sink_with_threshold(
+    view: &KnowledgeView,
+    f: usize,
+    cutoff: usize,
+) -> Result<Option<SinkCandidate>, GraphError> {
+    let received: Vec<ProcessId> = view.received().into_iter().collect();
+    if received.len() > cutoff {
+        return Err(GraphError::TooLargeForExactCheck {
+            size: received.len(),
+            cutoff,
+        });
+    }
+    for mask in 1u64..(1u64 << received.len()) {
+        let s1: ProcessSet = received
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &p)| p)
+            .collect();
+        if s1.len() < 2 * f + 1 {
+            continue;
+        }
+        let s2 = derive_s2(view, &s1, f);
+        if is_sink_gdi(view, f, &s1, &s2) {
+            return Ok(Some(SinkCandidate {
+                decomposition: SinkDecomposition {
+                    s1,
+                    s2,
+                    threshold: f,
+                },
+            }));
+        }
+    }
+    Ok(None)
+}
+
+/// Exhaustive best-threshold sink over *all* subsets of the received set
+/// (ground truth for the core search).
+///
+/// # Errors
+///
+/// Returns [`GraphError::TooLargeForExactCheck`] when the received set
+/// exceeds `cutoff`.
+pub fn exact_best_sink(
+    view: &KnowledgeView,
+    cutoff: usize,
+) -> Result<Option<SinkCandidate>, GraphError> {
+    let received: Vec<ProcessId> = view.received().into_iter().collect();
+    if received.len() > cutoff {
+        return Err(GraphError::TooLargeForExactCheck {
+            size: received.len(),
+            cutoff,
+        });
+    }
+    let mut best: Option<SinkCandidate> = None;
+    for mask in 1u64..(1u64 << received.len()) {
+        let s1: ProcessSet = received
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &p)| p)
+            .collect();
+        if let Some(dec) = max_threshold(view, &s1) {
+            let replace = match &best {
+                None => true,
+                Some(b) => {
+                    dec.threshold > b.threshold()
+                        || (dec.threshold == b.threshold()
+                            && dec.members().len() > b.members().len())
+                }
+            };
+            if replace {
+                best = Some(SinkCandidate { decomposition: dec });
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// Convenience: all heuristic candidates of the default search.
+pub fn enumerate_sink_candidates(view: &KnowledgeView) -> Vec<SinkCandidate> {
+    CandidateSearch::default().ranked_candidates(view)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::DiGraph;
+    use crate::id::process_set;
+
+    /// Process 1's view in the Section III worked example (Fig. 1b,
+    /// process 2 slow, process 4 Byzantine claiming PD {1,2,3}).
+    fn worked_view() -> KnowledgeView {
+        let mut view = KnowledgeView::new(1.into(), process_set([2, 3, 4]));
+        view.record_pd(3.into(), process_set([1, 2, 4]));
+        view.record_pd(4.into(), process_set([1, 2, 3]));
+        view
+    }
+
+    #[test]
+    fn heuristic_finds_worked_example_sink() {
+        let view = worked_view();
+        let search = CandidateSearch::default();
+        let cand = search.sink_with_threshold(&view, 1).unwrap();
+        assert_eq!(cand.members(), process_set([1, 2, 3, 4]));
+        assert_eq!(cand.decomposition.s1, process_set([1, 3, 4]));
+        assert_eq!(cand.decomposition.s2, process_set([2]));
+    }
+
+    #[test]
+    fn heuristic_matches_exact_on_worked_example() {
+        let view = worked_view();
+        let exact = exact_sink_with_threshold(&view, 1, 14).unwrap().unwrap();
+        let heuristic = CandidateSearch::default()
+            .sink_with_threshold(&view, 1)
+            .unwrap();
+        assert_eq!(exact.members(), heuristic.members());
+    }
+
+    #[test]
+    fn no_candidate_before_enough_knowledge() {
+        // Only own PD received: nothing satisfies |S1| >= 3 for f = 1.
+        let view = KnowledgeView::new(1.into(), process_set([2, 3, 4]));
+        assert!(CandidateSearch::default()
+            .sink_with_threshold(&view, 1)
+            .is_none());
+    }
+
+    #[test]
+    fn core_on_complete_graph_is_whole_set() {
+        let g = DiGraph::complete(&process_set(1..=5));
+        let view = KnowledgeView::omniscient(&g);
+        let core = CandidateSearch::default().best_core(&view).unwrap();
+        assert_eq!(core.members(), process_set(1..=5));
+        assert_eq!(core.threshold(), 2);
+        assert_eq!(core.connectivity(), 3);
+    }
+
+    #[test]
+    fn ranked_candidates_ordering() {
+        let g = DiGraph::complete(&process_set(1..=5));
+        let view = KnowledgeView::omniscient(&g);
+        let ranked = CandidateSearch::default().ranked_candidates(&view);
+        assert!(!ranked.is_empty());
+        for pair in ranked.windows(2) {
+            assert!(pair[0].threshold() >= pair[1].threshold());
+        }
+    }
+
+    #[test]
+    fn exact_best_sink_on_complete_graph() {
+        let g = DiGraph::complete(&process_set(1..=5));
+        let view = KnowledgeView::omniscient(&g);
+        let best = exact_best_sink(&view, 14).unwrap().unwrap();
+        assert_eq!(best.threshold(), 2);
+        assert_eq!(best.members(), process_set(1..=5));
+    }
+
+    #[test]
+    fn exact_cutoff_errors() {
+        let g = DiGraph::complete(&process_set(1..=16));
+        let view = KnowledgeView::omniscient(&g);
+        assert!(exact_best_sink(&view, 8).is_err());
+        assert!(exact_sink_with_threshold(&view, 1, 8).is_err());
+    }
+
+    #[test]
+    fn peeling_recovers_sink_despite_lying_byzantine() {
+        // Sink triangle {1,2,3}; Byzantine 4 claims a PD pointing only at
+        // distant 9, sabotaging kappa of any S1 containing it.
+        let mut view = KnowledgeView::new(1.into(), process_set([2, 3, 4]));
+        view.record_pd(2.into(), process_set([1, 3]));
+        view.record_pd(3.into(), process_set([1, 2]));
+        view.record_pd(4.into(), process_set([9]));
+        let search = CandidateSearch::default();
+        let cand = search.sink_with_threshold(&view, 1);
+        // {1,2,3} is 2-strongly-connected, size 3 = 2f+1; 4's claimed PD
+        // pointing at 9 keeps it out of S2 (only one pointer).
+        let cand = cand.expect("sink should be identifiable by peeling");
+        assert_eq!(cand.decomposition.s1, process_set([1, 2, 3]));
+    }
+
+    #[test]
+    fn internally_maximal_rejects_weak_superset() {
+        // Core K4 {1,2,3,4} plus appendage 5 pointed at by only one member:
+        // the whole-graph candidate (threshold 0) is not maximal because
+        // {1,2,3,4} has threshold 1.
+        let mut g = DiGraph::complete(&process_set(1..=4));
+        g.add_edge(4.into(), 5.into());
+        g.add_edge(5.into(), 1.into());
+        g.add_edge(5.into(), 2.into());
+        let view = KnowledgeView::omniscient(&g);
+        let search = CandidateSearch::default();
+        let core = search.best_core(&view).unwrap();
+        assert_eq!(core.members(), process_set(1..=4));
+        assert_eq!(core.threshold(), 1);
+    }
+}

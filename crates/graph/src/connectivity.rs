@@ -1,0 +1,516 @@
+//! Node-disjoint paths and strong connectivity (Menger / max-flow).
+//!
+//! The paper's central graph quantity is the number of *node-disjoint
+//! paths* between ordered pairs, and the derived *strong connectivity*
+//! `κ(G)`: the maximum `k` such that every ordered pair of vertices is
+//! joined by at least `k` node-disjoint paths (Section II-C).
+//!
+//! "Node-disjoint" means internally disjoint: paths share no vertex other
+//! than the two endpoints. A direct edge counts as one path.
+
+use std::collections::BTreeMap;
+
+use crate::digraph::DiGraph;
+use crate::id::{ProcessId, ProcessSet};
+use crate::maxflow::UnitFlowNetwork;
+
+/// Node-disjoint path queries between ordered vertex pairs of one graph.
+///
+/// Construction pre-indexes vertices; each query builds a fresh
+/// vertex-split unit-flow network.
+///
+/// # Example
+///
+/// ```
+/// use cupft_graph::{DiGraph, DisjointPaths, ProcessId};
+///
+/// let p = |n| ProcessId::new(n);
+/// // Complete digraph on 4 vertices: 3 node-disjoint paths between any pair.
+/// let g = DiGraph::complete(&[1, 2, 3, 4].map(ProcessId::new).into_iter().collect());
+/// let dp = DisjointPaths::new(&g);
+/// assert_eq!(dp.count(p(1), p(3)), 3);
+/// assert!(dp.at_least(p(2), p(4), 3));
+/// assert!(!dp.at_least(p(2), p(4), 4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DisjointPaths<'g> {
+    graph: &'g DiGraph,
+    order: Vec<ProcessId>,
+    index: BTreeMap<ProcessId, usize>,
+}
+
+impl<'g> DisjointPaths<'g> {
+    /// Prepares disjoint-path queries over `graph`.
+    pub fn new(graph: &'g DiGraph) -> Self {
+        let order: Vec<ProcessId> = graph.vertices().collect();
+        let index = order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        DisjointPaths {
+            graph,
+            order,
+            index,
+        }
+    }
+
+    /// Builds the standard vertex-split flow network:
+    /// node `v` becomes `v_in = 2i` and `v_out = 2i + 1` with a capacity-1
+    /// arc `v_in → v_out`; every graph edge `u → w` becomes a capacity-1
+    /// arc `u_out → w_in`. Max flow from `s_out` to `t_in` equals the
+    /// maximum number of internally node-disjoint `s → t` paths (Menger).
+    fn build_network(&self) -> UnitFlowNetwork {
+        let n = self.order.len();
+        let mut net = UnitFlowNetwork::new(2 * n);
+        for i in 0..n {
+            net.add_edge(2 * i, 2 * i + 1, 1);
+        }
+        for (u, w) in self.graph.edges() {
+            let (ui, wi) = (self.index[&u], self.index[&w]);
+            net.add_edge(2 * ui + 1, 2 * wi, 1);
+        }
+        net
+    }
+
+    /// Maximum number of node-disjoint paths from `s` to `t`.
+    ///
+    /// Returns 0 if either endpoint is missing; returns `usize::MAX`
+    /// conceptually for `s == t` but we clamp it to the vertex count to keep
+    /// arithmetic safe.
+    pub fn count(&self, s: ProcessId, t: ProcessId) -> usize {
+        self.count_bounded(s, t, None)
+    }
+
+    /// Like [`Self::count`] but stops once `limit` paths are found.
+    pub fn count_bounded(&self, s: ProcessId, t: ProcessId, limit: Option<usize>) -> usize {
+        let (Some(&si), Some(&ti)) = (self.index.get(&s), self.index.get(&t)) else {
+            return 0;
+        };
+        if s == t {
+            return self.order.len();
+        }
+        let mut net = self.build_network();
+        net.max_flow(2 * si + 1, 2 * ti, limit)
+    }
+
+    /// Whether at least `k` node-disjoint paths join `s` to `t`.
+    pub fn at_least(&self, s: ProcessId, t: ProcessId, k: usize) -> bool {
+        if k == 0 {
+            return true;
+        }
+        self.count_bounded(s, t, Some(k)) >= k
+    }
+
+    /// Extracts a minimum vertex cut separating `s` from `t`: a smallest
+    /// set of vertices (excluding `s` and `t`) whose removal destroys all
+    /// `s → t` paths.
+    ///
+    /// A direct edge `s → t` cannot be cut by vertices; it is excluded, so
+    /// with a direct edge present the returned set severs exactly the
+    /// *indirect* paths. Returns an empty set when `t` is unreachable
+    /// (other than via the direct edge).
+    ///
+    /// Unlike the path-counting network (all capacities 1), the cut
+    /// network gives edge arcs effectively infinite capacity so that every
+    /// minimum cut consists solely of vertex-split arcs — otherwise a flow
+    /// saturating the source's outgoing *edges* would yield a residual cut
+    /// with no vertex interpretation.
+    pub fn min_vertex_cut(&self, s: ProcessId, t: ProcessId) -> ProcessSet {
+        let (Some(&si), Some(&ti)) = (self.index.get(&s), self.index.get(&t)) else {
+            return ProcessSet::new();
+        };
+        if s == t {
+            return ProcessSet::new();
+        }
+        let n = self.order.len();
+        let big = (n as u32) + 1;
+        let mut net = UnitFlowNetwork::new(2 * n);
+        for i in 0..n {
+            net.add_edge(2 * i, 2 * i + 1, 1);
+        }
+        for (u, w) in self.graph.edges() {
+            if u == s && w == t {
+                continue; // a direct edge is not cuttable by vertices
+            }
+            let (ui, wi) = (self.index[&u], self.index[&w]);
+            net.add_edge(2 * ui + 1, 2 * wi, big);
+        }
+        net.max_flow(2 * si + 1, 2 * ti, None);
+        let reach = net.residual_reachable(2 * si + 1);
+        let mut cut = ProcessSet::new();
+        for (i, &v) in self.order.iter().enumerate() {
+            if v == s || v == t {
+                continue;
+            }
+            // Vertex-split arc v_in -> v_out crosses the cut.
+            if reach[2 * i] && !reach[2 * i + 1] {
+                cut.insert(v);
+            }
+        }
+        cut
+    }
+
+    /// Extracts a maximum set of node-disjoint paths from `s` to `t`,
+    /// each returned as the full vertex sequence `s, …, t`.
+    ///
+    /// The number of returned paths equals [`Self::count`].
+    pub fn extract(&self, s: ProcessId, t: ProcessId) -> Vec<Vec<ProcessId>> {
+        let (Some(&si), Some(&ti)) = (self.index.get(&s), self.index.get(&t)) else {
+            return Vec::new();
+        };
+        if s == t {
+            return vec![vec![s]];
+        }
+        let mut net = self.build_network();
+        let flow = net.max_flow(2 * si + 1, 2 * ti, None);
+        if flow == 0 {
+            return Vec::new();
+        }
+        // Decompose: successor map over flow-carrying arcs. Because every
+        // internal vertex has unit capacity, each node index appears at most
+        // once as a source of flow, so successors are unique.
+        let mut succ: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (a, b) in net.saturated_edges() {
+            succ.entry(a).or_default().push(b);
+        }
+        let mut paths = Vec::with_capacity(flow);
+        let start = 2 * si + 1;
+        for _ in 0..flow {
+            let mut path = vec![s];
+            let mut cur = start;
+            loop {
+                let nexts = succ.get_mut(&cur);
+                let Some(nexts) = nexts else { break };
+                let Some(next) = nexts.pop() else { break };
+                if next == 2 * ti {
+                    path.push(t);
+                    break;
+                }
+                // next is some w_in; hop through w_out.
+                let w = self.order[next / 2];
+                path.push(w);
+                // consume the in->out arc
+                let through = succ.get_mut(&next).and_then(|v| v.pop());
+                match through {
+                    Some(out) => cur = out,
+                    None => break,
+                }
+            }
+            if path.last() == Some(&t) {
+                paths.push(path);
+            }
+        }
+        paths
+    }
+}
+
+impl DiGraph {
+    /// Maximum number of node-disjoint paths from `s` to `t`.
+    pub fn disjoint_path_count(&self, s: ProcessId, t: ProcessId) -> usize {
+        DisjointPaths::new(self).count(s, t)
+    }
+
+    /// Whether every ordered pair of distinct vertices is joined by at
+    /// least `k` node-disjoint paths.
+    ///
+    /// `k = 0` is trivially true. Single-vertex and empty graphs are
+    /// `k`-strongly connected for every `k` (vacuous quantification).
+    pub fn is_k_strongly_connected(&self, k: usize) -> bool {
+        if k == 0 || self.vertex_count() <= 1 {
+            return true;
+        }
+        // Quick degree-based rejection: each vertex needs out/in degree >= k.
+        for v in self.vertices() {
+            if self.out_degree(v) < k || self.in_degree(v) < k {
+                return false;
+            }
+        }
+        let dp = DisjointPaths::new(self);
+        for u in self.vertices() {
+            for v in self.vertices() {
+                if u != v && !dp.at_least(u, v, k) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The strong connectivity `κ(G)`: the largest `k` for which
+    /// [`Self::is_k_strongly_connected`] holds.
+    ///
+    /// For graphs with 0 or 1 vertices this returns the vertex count.
+    pub fn strong_connectivity(&self) -> usize {
+        let n = self.vertex_count();
+        if n <= 1 {
+            return n;
+        }
+        // Upper bound: min over vertices of min(out-degree, in-degree).
+        let mut bound = usize::MAX;
+        let mut in_deg: BTreeMap<ProcessId, usize> = self.vertices().map(|v| (v, 0)).collect();
+        for (_, w) in self.edges() {
+            *in_deg.get_mut(&w).expect("edge endpoint is a vertex") += 1;
+        }
+        for v in self.vertices() {
+            bound = bound.min(self.out_degree(v)).min(in_deg[&v]);
+        }
+        if bound == 0 {
+            return 0;
+        }
+        let dp = DisjointPaths::new(self);
+        let mut kappa = bound;
+        for u in self.vertices() {
+            for v in self.vertices() {
+                if u == v {
+                    continue;
+                }
+                if kappa == 0 {
+                    return 0;
+                }
+                // Only need to know whether the pair reaches the current
+                // minimum; if not, lower it to the exact pair value.
+                let c = dp.count_bounded(u, v, Some(kappa));
+                kappa = kappa.min(c);
+            }
+        }
+        kappa
+    }
+
+    /// Like [`Self::strong_connectivity`] but never spends effort proving
+    /// connectivity beyond `cap`: returns `min(κ(G), cap)`.
+    ///
+    /// The sink predicates only ever need `κ` up to `(|S1|-1)/2 + 1`, so a
+    /// capped computation avoids the full all-pairs cost on dense sets.
+    pub fn strong_connectivity_capped(&self, cap: usize) -> usize {
+        let n = self.vertex_count();
+        if n <= 1 {
+            return n.min(cap);
+        }
+        if cap == 0 {
+            return 0;
+        }
+        let dp = DisjointPaths::new(self);
+        let mut kappa = cap;
+        for u in self.vertices() {
+            if self.out_degree(u) < kappa {
+                kappa = self.out_degree(u);
+            }
+            if kappa == 0 {
+                return 0;
+            }
+            for v in self.vertices() {
+                if u == v {
+                    continue;
+                }
+                let c = dp.count_bounded(u, v, Some(kappa));
+                kappa = kappa.min(c);
+                if kappa == 0 {
+                    return 0;
+                }
+            }
+        }
+        kappa
+    }
+
+    /// Number of node-disjoint paths guaranteed from every vertex of `from`
+    /// to every vertex of `to` — the minimum over all cross pairs.
+    ///
+    /// Used for the "k node-disjoint paths from any process outside the
+    /// sink/core to any process inside" requirements (Definitions 1 and 2).
+    pub fn min_cross_disjoint_paths(&self, from: &ProcessSet, to: &ProcessSet) -> usize {
+        let dp = DisjointPaths::new(self);
+        let mut best = usize::MAX;
+        for &u in from {
+            for &v in to {
+                if u == v {
+                    continue;
+                }
+                best = best.min(dp.count_bounded(u, v, Some(best)));
+                if best == 0 {
+                    return 0;
+                }
+            }
+        }
+        if best == usize::MAX {
+            0
+        } else {
+            best
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::process_set;
+
+    fn p(n: u64) -> ProcessId {
+        ProcessId::new(n)
+    }
+
+    #[test]
+    fn direct_edge_is_one_path() {
+        let g = DiGraph::from_edges([(1, 2)]);
+        assert_eq!(g.disjoint_path_count(p(1), p(2)), 1);
+        assert_eq!(g.disjoint_path_count(p(2), p(1)), 0);
+    }
+
+    #[test]
+    fn triangle_connectivity() {
+        // Bidirected triangle: kappa = 2.
+        let g = DiGraph::complete(&process_set([1, 2, 3]));
+        assert_eq!(g.strong_connectivity(), 2);
+        assert!(g.is_k_strongly_connected(2));
+        assert!(!g.is_k_strongly_connected(3));
+    }
+
+    #[test]
+    fn complete_graph_connectivity() {
+        for n in 2..=6u64 {
+            let g = DiGraph::complete(&process_set(1..=n));
+            assert_eq!(g.strong_connectivity(), (n - 1) as usize, "K{n}");
+        }
+    }
+
+    #[test]
+    fn directed_cycle_has_kappa_one() {
+        let g = DiGraph::from_edges([(1, 2), (2, 3), (3, 4), (4, 1)]);
+        assert_eq!(g.strong_connectivity(), 1);
+    }
+
+    #[test]
+    fn circulant_kappa_equals_jumps() {
+        for k in 1..=3usize {
+            let g = DiGraph::circulant(&process_set(1..=8), k);
+            assert_eq!(g.strong_connectivity(), k, "circulant jumps={k}");
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_kappa_zero() {
+        let g = DiGraph::from_edges([(1, 2), (2, 1), (3, 4), (4, 3)]);
+        assert_eq!(g.strong_connectivity(), 0);
+        assert!(!g.is_k_strongly_connected(1));
+    }
+
+    #[test]
+    fn path_count_through_bottleneck() {
+        // Two routes but both pass through vertex 9.
+        let g = DiGraph::from_edges([(1, 9), (9, 5), (1, 2), (2, 9), (9, 6), (6, 5)]);
+        assert_eq!(g.disjoint_path_count(p(1), p(5)), 1);
+    }
+
+    #[test]
+    fn direct_edge_plus_detour() {
+        let g = DiGraph::from_edges([(1, 2), (1, 3), (3, 2)]);
+        assert_eq!(g.disjoint_path_count(p(1), p(2)), 2);
+    }
+
+    #[test]
+    fn extract_paths_are_disjoint_and_valid() {
+        let g = DiGraph::complete(&process_set([1, 2, 3, 4, 5]));
+        let dp = DisjointPaths::new(&g);
+        let paths = dp.extract(p(1), p(4));
+        assert_eq!(paths.len(), 4);
+        let mut internals = ProcessSet::new();
+        for path in &paths {
+            assert_eq!(path.first(), Some(&p(1)));
+            assert_eq!(path.last(), Some(&p(4)));
+            for w in path.windows(2) {
+                assert!(g.has_edge(w[0], w[1]), "edge {}->{} missing", w[0], w[1]);
+            }
+            for &v in &path[1..path.len() - 1] {
+                assert!(internals.insert(v), "internal vertex {v} reused");
+            }
+        }
+    }
+
+    #[test]
+    fn extract_empty_when_unreachable() {
+        let g = DiGraph::from_edges([(2, 1)]);
+        let dp = DisjointPaths::new(&g);
+        assert!(dp.extract(p(1), p(2)).is_empty());
+    }
+
+    #[test]
+    fn cross_disjoint_paths() {
+        // Non-sink {5} has exactly 2 disjoint paths to each of {1,2,3}.
+        let mut g = DiGraph::complete(&process_set([1, 2, 3]));
+        g.add_edge(p(5), p(1));
+        g.add_edge(p(5), p(2));
+        assert_eq!(
+            g.min_cross_disjoint_paths(&process_set([5]), &process_set([1, 2, 3])),
+            2
+        );
+    }
+
+    #[test]
+    fn trivial_graphs() {
+        let mut g = DiGraph::new();
+        assert_eq!(g.strong_connectivity(), 0);
+        g.add_vertex(p(1));
+        assert_eq!(g.strong_connectivity(), 1);
+        assert!(g.is_k_strongly_connected(5));
+    }
+
+    #[test]
+    fn bounded_count_early_exit_matches() {
+        let g = DiGraph::complete(&process_set(1..=6));
+        let dp = DisjointPaths::new(&g);
+        assert_eq!(dp.count_bounded(p(1), p(2), Some(3)), 3);
+        assert_eq!(dp.count(p(1), p(2)), 5);
+    }
+
+    #[test]
+    fn missing_vertices_count_zero() {
+        let g = DiGraph::from_edges([(1, 2)]);
+        assert_eq!(g.disjoint_path_count(p(1), p(99)), 0);
+    }
+}
+
+#[cfg(test)]
+mod min_cut_tests {
+    use super::*;
+    use crate::id::process_set;
+
+    fn p(n: u64) -> ProcessId {
+        ProcessId::new(n)
+    }
+
+    #[test]
+    fn bottleneck_vertex_is_the_cut() {
+        // 1 -> 9 -> 5 and 1 -> 2 -> 9 -> ... : all routes pass through 9.
+        let g = DiGraph::from_edges([(1, 9), (9, 5), (1, 2), (2, 9)]);
+        let dp = DisjointPaths::new(&g);
+        assert_eq!(dp.min_vertex_cut(p(1), p(5)), process_set([9]));
+    }
+
+    #[test]
+    fn cut_size_matches_menger() {
+        let g = DiGraph::complete(&process_set(1..=5));
+        let dp = DisjointPaths::new(&g);
+        // adjacent pair: the direct edge cannot be cut; the extracted cut
+        // covers the remaining paths (count - 1 vertices).
+        let cut = dp.min_vertex_cut(p(1), p(2));
+        assert_eq!(cut.len(), dp.count(p(1), p(2)) - 1);
+        assert_eq!(cut, process_set([3, 4, 5]));
+    }
+
+    #[test]
+    fn cut_disconnects_when_no_direct_edge() {
+        // two disjoint 2-hop routes: cut must take one vertex from each
+        let g = DiGraph::from_edges([(1, 2), (2, 5), (1, 3), (3, 5)]);
+        let dp = DisjointPaths::new(&g);
+        let cut = dp.min_vertex_cut(p(1), p(5));
+        assert_eq!(cut.len(), 2);
+        let mut g2 = g.clone();
+        for v in &cut {
+            g2.remove_vertex(*v);
+        }
+        assert_eq!(g2.disjoint_path_count(p(1), p(5)), 0);
+    }
+
+    #[test]
+    fn unreachable_pair_has_empty_cut() {
+        let g = DiGraph::from_edges([(2, 1)]);
+        let dp = DisjointPaths::new(&g);
+        assert!(dp.min_vertex_cut(p(1), p(2)).is_empty());
+    }
+}

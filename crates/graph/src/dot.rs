@@ -1,0 +1,102 @@
+//! Graphviz DOT export for knowledge connectivity graphs.
+
+use std::fmt::Write as _;
+
+use crate::digraph::DiGraph;
+use crate::id::ProcessSet;
+
+/// Options for DOT rendering.
+#[derive(Debug, Clone, Default)]
+pub struct DotStyle {
+    /// Vertices drawn filled red (conventionally the Byzantine processes).
+    pub highlight: ProcessSet,
+    /// Vertices drawn with a double border (conventionally the sink/core).
+    pub emphasize: ProcessSet,
+    /// Graph label rendered under the drawing.
+    pub label: String,
+}
+
+/// Renders `graph` as Graphviz DOT.
+///
+/// # Example
+///
+/// ```
+/// use cupft_graph::{to_dot, DiGraph, DotStyle};
+///
+/// let g = DiGraph::from_edges([(1, 2), (2, 1)]);
+/// let dot = to_dot(&g, &DotStyle::default());
+/// assert!(dot.starts_with("digraph knowledge"));
+/// assert!(dot.contains("p1 -> p2"));
+/// ```
+pub fn to_dot(graph: &DiGraph, style: &DotStyle) -> String {
+    let mut out = String::new();
+    out.push_str("digraph knowledge {\n");
+    out.push_str("  rankdir=LR;\n  node [shape=circle, fontsize=11];\n");
+    if !style.label.is_empty() {
+        let _ = writeln!(out, "  label=\"{}\";", style.label.replace('"', "'"));
+    }
+    for v in graph.vertices() {
+        let mut attrs: Vec<String> = Vec::new();
+        if style.highlight.contains(&v) {
+            attrs.push("style=filled, fillcolor=\"#f4cccc\"".into());
+        }
+        if style.emphasize.contains(&v) {
+            attrs.push("peripheries=2".into());
+        }
+        if attrs.is_empty() {
+            let _ = writeln!(out, "  {v};");
+        } else {
+            let _ = writeln!(out, "  {v} [{}];", attrs.join(", "));
+        }
+    }
+    for (a, b) in graph.edges() {
+        let _ = writeln!(out, "  {a} -> {b};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::fig1b;
+    use crate::id::process_set;
+
+    #[test]
+    fn renders_vertices_and_edges() {
+        let g = DiGraph::from_edges([(1, 2), (2, 3)]);
+        let dot = to_dot(&g, &DotStyle::default());
+        assert!(dot.contains("p1 -> p2;"));
+        assert!(dot.contains("p2 -> p3;"));
+        assert!(dot.contains("  p3"));
+    }
+
+    #[test]
+    fn styles_applied() {
+        let fig = fig1b();
+        let dot = to_dot(
+            fig.graph(),
+            &DotStyle {
+                highlight: fig.byzantine().clone(),
+                emphasize: process_set([1, 2, 3]),
+                label: "Fig. 1b".into(),
+            },
+        );
+        assert!(dot.contains("p4 [style=filled"));
+        assert!(dot.contains("p1 [peripheries=2]"));
+        assert!(dot.contains("label=\"Fig. 1b\""));
+    }
+
+    #[test]
+    fn label_quotes_escaped() {
+        let g = DiGraph::from_edges([(1, 2)]);
+        let dot = to_dot(
+            &g,
+            &DotStyle {
+                label: "say \"hi\"".into(),
+                ..DotStyle::default()
+            },
+        );
+        assert!(!dot.contains("\"say \"hi\"\""));
+    }
+}

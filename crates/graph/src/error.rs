@@ -1,0 +1,80 @@
+//! Error types for graph construction and generation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph generators and validators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// Generator parameters are internally inconsistent.
+    InvalidParams {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// Rejection sampling failed to produce a graph satisfying the target
+    /// property within the attempt budget.
+    GenerationFailed {
+        /// The property that could not be satisfied.
+        property: String,
+        /// Number of attempts made before giving up.
+        attempts: usize,
+    },
+    /// An exact check was requested on a graph too large for exhaustive
+    /// subset enumeration.
+    TooLargeForExactCheck {
+        /// Number of vertices in the offending set.
+        size: usize,
+        /// The enforced cutoff.
+        cutoff: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::InvalidParams { reason } => {
+                write!(f, "invalid generator parameters: {reason}")
+            }
+            GraphError::GenerationFailed { property, attempts } => write!(
+                f,
+                "failed to generate graph satisfying {property} after {attempts} attempts"
+            ),
+            GraphError::TooLargeForExactCheck { size, cutoff } => write!(
+                f,
+                "set of {size} vertices exceeds exact-enumeration cutoff of {cutoff}"
+            ),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::InvalidParams {
+            reason: "sink smaller than 2f+1".into(),
+        };
+        assert!(e.to_string().contains("sink smaller"));
+        let e = GraphError::GenerationFailed {
+            property: "extended 2-OSR".into(),
+            attempts: 64,
+        };
+        assert!(e.to_string().contains("64 attempts"));
+        let e = GraphError::TooLargeForExactCheck {
+            size: 40,
+            cutoff: 20,
+        };
+        assert!(e.to_string().contains("cutoff of 20"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(GraphError::InvalidParams { reason: "x".into() });
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,457 @@
+//! Random generators for the `G_di` (BFT-CUP) and extended-OSR (BFT-CUPFT)
+//! graph families.
+//!
+//! Generation is *constructive with verification*: graphs are built so the
+//! target property should hold by design (circulant/complete sinks, direct
+//! fan-in from non-sink layers) and then re-checked with the exact
+//! recognizers; rare rejected samples are retried with a perturbed seed.
+//! This keeps the generators honest — every returned graph provably
+//! satisfies its family's definition.
+
+use rand::rngs::StdRng;
+use rand::seq::{IndexedRandom, SliceRandom};
+use rand::{Rng, SeedableRng};
+
+use crate::digraph::DiGraph;
+use crate::error::GraphError;
+use crate::id::{ProcessId, ProcessSet};
+use crate::osr::osr_report;
+
+/// Parameters for generating a knowledge connectivity graph satisfying the
+/// BFT-CUP requirements (Theorem 1) — or the BFT-CUPFT requirements when
+/// [`GdiParams::extended`] is set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GdiParams {
+    /// Fault threshold `f` (the sink must hold `≥ 2f+1` correct processes
+    /// and be `(f+1)`-strongly connected).
+    pub fault_threshold: usize,
+    /// Number of *correct* sink/core members; must be `≥ 2f+1`.
+    pub sink_size: usize,
+    /// Number of correct non-sink members.
+    pub non_sink_size: usize,
+    /// Number of Byzantine processes to embed (`≤ f`). Byzantine processes
+    /// are attached adjacent to the sink (the hardest placement).
+    pub byzantine_count: usize,
+    /// Extra random intra-non-sink edges per non-sink process.
+    pub extra_edges: usize,
+    /// Generate the *extended* family (BFT-CUPFT): the core is complete
+    /// (so `k_Gdi = ⌊(m−1)/2⌋+1`) and non-core attachments are staggered to
+    /// keep every false sink strictly below the core's connectivity.
+    pub extended: bool,
+    /// Number of periphery layers (default 1: every non-sink process
+    /// points directly at sink members). With depth `d > 1`, layer `ℓ`
+    /// points at `k` distinct members of layer `ℓ−1` (layer 0 = sink),
+    /// exercising the transitive node-disjoint-path requirements; the
+    /// generated sample is still verified by the exact recognizers.
+    pub periphery_depth: usize,
+}
+
+impl GdiParams {
+    /// Conservative defaults: `f = 1`, minimal sink, a small periphery.
+    pub fn new(fault_threshold: usize) -> Self {
+        GdiParams {
+            fault_threshold,
+            sink_size: 2 * fault_threshold + 1,
+            non_sink_size: 2 * fault_threshold + 2,
+            byzantine_count: fault_threshold,
+            extra_edges: 1,
+            extended: false,
+            periphery_depth: 1,
+        }
+    }
+
+    fn validate(&self) -> Result<(), GraphError> {
+        if self.sink_size < 2 * self.fault_threshold + 1 {
+            return Err(GraphError::InvalidParams {
+                reason: format!(
+                    "sink_size {} < 2f+1 = {}",
+                    self.sink_size,
+                    2 * self.fault_threshold + 1
+                ),
+            });
+        }
+        if self.byzantine_count > self.fault_threshold {
+            return Err(GraphError::InvalidParams {
+                reason: format!(
+                    "byzantine_count {} exceeds fault threshold {}",
+                    self.byzantine_count, self.fault_threshold
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A generated system: the knowledge connectivity graph plus the ground
+/// truth the generator knows about it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratedSystem {
+    /// The knowledge connectivity graph (including Byzantine vertices).
+    pub graph: DiGraph,
+    /// The correct sink/core members.
+    pub sink: ProcessSet,
+    /// The Byzantine processes.
+    pub byzantine: ProcessSet,
+    /// The fault threshold the graph was built for.
+    pub fault_threshold: usize,
+}
+
+impl GeneratedSystem {
+    /// All correct processes.
+    pub fn correct(&self) -> ProcessSet {
+        self.graph
+            .vertices()
+            .filter(|v| !self.byzantine.contains(v))
+            .collect()
+    }
+
+    /// The safe subgraph `G[Π_C]`.
+    pub fn safe_subgraph(&self) -> DiGraph {
+        self.graph.induced(&self.correct())
+    }
+
+    /// The set the Sink/Core algorithms are expected to return: the correct
+    /// sink members plus any Byzantine process adjacent enough to be
+    /// absorbed into `S2` (here: all Byzantine processes, which the
+    /// generator wires with `> f` pointers from the sink).
+    pub fn expected_detection(&self) -> ProcessSet {
+        self.sink.union(&self.byzantine).copied().collect()
+    }
+}
+
+/// Deterministic, seeded generator for the graph families.
+#[derive(Debug, Clone)]
+pub struct Generator {
+    rng: StdRng,
+}
+
+impl Generator {
+    /// Creates a generator from a seed; identical seeds produce identical
+    /// graphs.
+    pub fn from_seed(seed: u64) -> Self {
+        Generator {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generates a system whose safe subgraph satisfies the BFT-CUP
+    /// requirements (`(f+1)`-OSR with a `≥ 2f+1` sink), or the BFT-CUPFT
+    /// requirements when `params.extended` is set.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidParams`] for inconsistent parameters;
+    /// [`GraphError::GenerationFailed`] if no valid sample is found within
+    /// the retry budget (indicates a parameter corner, not randomness).
+    pub fn generate(&mut self, params: &GdiParams) -> Result<GeneratedSystem, GraphError> {
+        params.validate()?;
+        const ATTEMPTS: usize = 32;
+        for _ in 0..ATTEMPTS {
+            let sys = self.build(params);
+            let k = params.fault_threshold + 1;
+            let report = osr_report(&sys.safe_subgraph(), k);
+            if sys.sink.len() == params.sink_size
+                && sys.sink.len() > 2 * params.fault_threshold
+                && report.is_k_osr()
+                && report
+                    .sink_members()
+                    .is_some_and(|s| *s == sys.sink)
+            {
+                return Ok(sys);
+            }
+        }
+        Err(GraphError::GenerationFailed {
+            property: format!(
+                "{}-OSR safe subgraph",
+                params.fault_threshold + 1
+            ),
+            attempts: ATTEMPTS,
+        })
+    }
+
+    fn build(&mut self, params: &GdiParams) -> GeneratedSystem {
+        let f = params.fault_threshold;
+        let k = f + 1;
+        // Sparse, shuffled ID space (IDs need not be consecutive).
+        // Strictly increasing gaps guarantee uniqueness — a collision here
+        // would silently shrink the sink below 2f+1.
+        let count = params.sink_size + params.non_sink_size + params.byzantine_count;
+        let mut acc = 0u64;
+        let mut raw_ids: Vec<u64> = Vec::with_capacity(count);
+        for _ in 0..count {
+            acc += self.rng.random_range(1..=7);
+            raw_ids.push(acc);
+        }
+        raw_ids.shuffle(&mut self.rng);
+        let mut iter = raw_ids.into_iter().map(ProcessId::new);
+        let sink: ProcessSet = (&mut iter).take(params.sink_size).collect();
+        let non_sink: Vec<ProcessId> = (&mut iter).take(params.non_sink_size).collect();
+        let byzantine: ProcessSet = iter.collect();
+
+        // Sink scaffold: complete for the extended family (maximum-
+        // connectivity core), circulant with k jumps otherwise (exactly
+        // k-strongly connected).
+        let mut graph = if params.extended {
+            DiGraph::complete(&sink)
+        } else {
+            let mut g = DiGraph::circulant(&sink, k);
+            // densify a little beyond the circulant for variety
+            let sink_vec: Vec<ProcessId> = sink.iter().copied().collect();
+            for _ in 0..params.extra_edges * sink_vec.len() / 2 {
+                let a = *sink_vec.choose(&mut self.rng).expect("non-empty");
+                let b = *sink_vec.choose(&mut self.rng).expect("non-empty");
+                g.add_edge(a, b);
+            }
+            g
+        };
+
+        // Non-sink members, split into `periphery_depth` layers. Layer 1
+        // points at k distinct sink members chosen round-robin with random
+        // rotation (staggering keeps false sinks from absorbing the whole
+        // core in the extended family); layer ℓ > 1 points at k distinct
+        // members of layer ℓ−1 *plus* one direct sink anchor (the anchor
+        // keeps the disjoint-path count from collapsing at narrow layers;
+        // the recognizer re-verifies every sample anyway). Random
+        // intra-layer back-edges add variety without creating new sinks.
+        let sink_vec: Vec<ProcessId> = sink.iter().copied().collect();
+        let core_k = if params.extended {
+            (sink_vec.len() - 1) / 2 + 1
+        } else {
+            k
+        };
+        let depth = params.periphery_depth.max(1);
+        let per_layer = non_sink.len().div_ceil(depth);
+        let layers: Vec<&[ProcessId]> = if non_sink.is_empty() {
+            Vec::new()
+        } else {
+            non_sink.chunks(per_layer.max(1)).collect()
+        };
+        let mut rotation = self.rng.random_range(0..sink_vec.len());
+        for (layer_idx, layer) in layers.iter().enumerate() {
+            for (idx, &v) in layer.iter().enumerate() {
+                graph.add_vertex(v);
+                let parents: &[ProcessId] = if layer_idx == 0 {
+                    &sink_vec
+                } else {
+                    layers[layer_idx - 1]
+                };
+                // k distinct parents (fall back to the sink when the
+                // previous layer is narrower than k)
+                if parents.len() >= core_k {
+                    for j in 0..core_k {
+                        graph.add_edge(v, parents[(rotation + j) % parents.len()]);
+                    }
+                } else {
+                    for &p in parents {
+                        graph.add_edge(v, p);
+                    }
+                    for j in 0..(core_k - parents.len()) {
+                        graph.add_edge(v, sink_vec[(rotation + j) % sink_vec.len()]);
+                    }
+                }
+                if layer_idx > 0 {
+                    // direct sink anchor for disjointness
+                    graph.add_edge(v, sink_vec[rotation % sink_vec.len()]);
+                }
+                rotation = (rotation + core_k.max(1)) % sink_vec.len().max(1);
+                // intra-layer edges (earlier members only: keeps the
+                // condensation free of extra sinks)
+                for _ in 0..params.extra_edges {
+                    if idx > 0 {
+                        let w = layer[self.rng.random_range(0..idx)];
+                        graph.add_edge(v, w);
+                        graph.add_edge(w, v);
+                    }
+                }
+            }
+        }
+
+        // Byzantine processes: adjacent to the sink with > f pointers from
+        // correct sink members (so they are absorbable into S2), plus
+        // arbitrary out-edges of their own.
+        for &b in &byzantine {
+            graph.add_vertex(b);
+            // f+1 correct sink members know b
+            for &s in sink_vec.iter().take(f + 1) {
+                graph.add_edge(s, b);
+            }
+            // b claims to know a few processes
+            for _ in 0..k {
+                let t = *sink_vec.choose(&mut self.rng).expect("non-empty");
+                graph.add_edge(b, t);
+            }
+            if let Some(&t) = non_sink.first() {
+                graph.add_edge(b, t);
+            }
+        }
+
+        GeneratedSystem {
+            graph,
+            sink,
+            byzantine,
+            fault_threshold: f,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extended::is_extended_k_osr;
+
+    #[test]
+    fn generated_bft_cup_graphs_are_valid() {
+        for seed in 0..10 {
+            let mut generator = Generator::from_seed(seed);
+            let params = GdiParams::new(1);
+            let sys = generator.generate(&params).expect("generation succeeds");
+            let report = osr_report(&sys.safe_subgraph(), 2);
+            assert!(report.is_k_osr(), "seed {seed}: {report:?}");
+            assert_eq!(report.sink_members(), Some(&sys.sink));
+            assert!(sys.sink.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn generated_graphs_deterministic_by_seed() {
+        let params = GdiParams::new(1);
+        let a = Generator::from_seed(42).generate(&params).unwrap();
+        let b = Generator::from_seed(42).generate(&params).unwrap();
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.sink, b.sink);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let params = GdiParams::new(1);
+        let a = Generator::from_seed(1).generate(&params).unwrap();
+        let b = Generator::from_seed(2).generate(&params).unwrap();
+        assert_ne!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn f2_generation() {
+        let mut generator = Generator::from_seed(7);
+        let params = GdiParams::new(2);
+        let sys = generator.generate(&params).unwrap();
+        let report = osr_report(&sys.safe_subgraph(), 3);
+        assert!(report.is_k_osr());
+        assert!(sys.sink.len() >= 5);
+        assert_eq!(sys.byzantine.len(), 2);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut generator = Generator::from_seed(0);
+        let mut params = GdiParams::new(1);
+        params.sink_size = 2; // < 2f+1
+        assert!(matches!(
+            generator.generate(&params),
+            Err(GraphError::InvalidParams { .. })
+        ));
+        let mut params = GdiParams::new(1);
+        params.byzantine_count = 5;
+        assert!(matches!(
+            generator.generate(&params),
+            Err(GraphError::InvalidParams { .. })
+        ));
+    }
+
+    #[test]
+    fn extended_generation_produces_valid_core() {
+        for seed in 0..5 {
+            let mut generator = Generator::from_seed(seed);
+            let mut params = GdiParams::new(1);
+            params.extended = true;
+            params.byzantine_count = 0;
+            params.non_sink_size = 3;
+            let sys = generator.generate(&params).unwrap();
+            let report = is_extended_k_osr(&sys.safe_subgraph(), 2, 12)
+                .expect("graph small enough for exact check");
+            assert!(report.holds(), "seed {seed}: {report:?}");
+            assert_eq!(
+                report.core.as_ref().map(|c| &c.members),
+                Some(&sys.sink),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn byzantine_absorbable_into_s2() {
+        let mut generator = Generator::from_seed(3);
+        let params = GdiParams::new(1);
+        let sys = generator.generate(&params).unwrap();
+        for &b in &sys.byzantine {
+            let pointers = sys
+                .sink
+                .iter()
+                .filter(|&&s| sys.graph.has_edge(s, b))
+                .count();
+            assert!(pointers > sys.fault_threshold);
+        }
+    }
+}
+
+#[cfg(test)]
+mod layered_tests {
+    use super::*;
+    use crate::osr::osr_report;
+
+    #[test]
+    fn layered_periphery_still_valid_gdi() {
+        for depth in [2usize, 3] {
+            for seed in 0..4 {
+                let mut params = GdiParams::new(1);
+                params.non_sink_size = 9;
+                params.periphery_depth = depth;
+                let sys = Generator::from_seed(seed)
+                    .generate(&params)
+                    .expect("layered generation succeeds");
+                let report = osr_report(&sys.safe_subgraph(), 2);
+                assert!(report.is_k_osr(), "depth {depth} seed {seed}: {report:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn layered_extended_periphery_valid() {
+        let mut params = GdiParams::new(1);
+        params.extended = true;
+        params.byzantine_count = 0;
+        params.non_sink_size = 6;
+        params.periphery_depth = 2;
+        for seed in 0..3 {
+            let sys = Generator::from_seed(seed)
+                .generate(&params)
+                .expect("layered extended generation succeeds");
+            let report = crate::extended::is_extended_k_osr(&sys.safe_subgraph(), 2, 12)
+                .expect("small enough");
+            assert!(report.holds(), "seed {seed}: {report:?}");
+            assert_eq!(report.core.unwrap().members, sys.sink, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn deep_periphery_is_structurally_layered() {
+        let mut deep = GdiParams::new(1);
+        deep.non_sink_size = 12;
+        deep.periphery_depth = 3;
+        deep.byzantine_count = 0;
+        let sys = Generator::from_seed(5).generate(&deep).unwrap();
+        // Some periphery member must rely on other periphery members for
+        // part of its knowledge: fewer direct sink edges than k+1 while
+        // having periphery out-edges.
+        let layered_member = sys
+            .graph
+            .vertices()
+            .filter(|v| !sys.sink.contains(v))
+            .any(|v| {
+                let outs = sys.graph.out_neighbors(v);
+                let to_sink = outs.iter().filter(|t| sys.sink.contains(t)).count();
+                let to_periphery = outs.len() - to_sink;
+                to_periphery >= 2 && to_sink < sys.sink.len()
+            });
+        assert!(layered_member, "depth-3 periphery must chain through layers");
+    }
+}

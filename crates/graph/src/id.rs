@@ -1,0 +1,119 @@
+//! Process identifiers.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A unique process identifier.
+///
+/// The system model (Section II-A of the paper) assumes each process has a
+/// unique ID, that IDs are *not necessarily consecutive*, and that faulty
+/// processes cannot mint additional IDs (no Sybil attacks). `ProcessId` is a
+/// newtype over `u64` so sparse ID spaces are representable, and the
+/// simulation registry is the Sybil guard.
+///
+/// # Example
+///
+/// ```
+/// use cupft_graph::ProcessId;
+///
+/// let a = ProcessId::new(7);
+/// let b = ProcessId::new(1_000_003);
+/// assert!(a < b);
+/// assert_eq!(a.raw(), 7);
+/// assert_eq!(format!("{a}"), "p7");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ProcessId(u64);
+
+impl ProcessId {
+    /// Creates a process identifier from a raw integer.
+    pub const fn new(raw: u64) -> Self {
+        ProcessId(raw)
+    }
+
+    /// Returns the raw integer value of this identifier.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u64> for ProcessId {
+    fn from(raw: u64) -> Self {
+        ProcessId(raw)
+    }
+}
+
+impl From<ProcessId> for u64 {
+    fn from(id: ProcessId) -> Self {
+        id.0
+    }
+}
+
+/// An ordered set of process identifiers.
+///
+/// Ordered so that iteration (and therefore every protocol decision derived
+/// from iteration) is deterministic across runs.
+pub type ProcessSet = BTreeSet<ProcessId>;
+
+/// Convenience constructor for a [`ProcessSet`] from raw integers.
+///
+/// # Example
+///
+/// ```
+/// use cupft_graph::{ProcessId, process_set};
+///
+/// let s = process_set([1, 2, 3]);
+/// assert!(s.contains(&ProcessId::new(2)));
+/// ```
+pub fn process_set<I: IntoIterator<Item = u64>>(raw: I) -> ProcessSet {
+    raw.into_iter().map(ProcessId::new).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(ProcessId::new(42).to_string(), "p42");
+    }
+
+    #[test]
+    fn ordering_matches_raw() {
+        let mut ids = [ProcessId::new(9), ProcessId::new(1), ProcessId::new(5)];
+        ids.sort();
+        assert_eq!(
+            ids.iter().map(|p| p.raw()).collect::<Vec<_>>(),
+            vec![1, 5, 9]
+        );
+    }
+
+    #[test]
+    fn roundtrip_from_u64() {
+        let id: ProcessId = 17u64.into();
+        let raw: u64 = id.into();
+        assert_eq!(raw, 17);
+    }
+
+    #[test]
+    fn process_set_dedups_and_sorts() {
+        let s = process_set([3, 1, 3, 2]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.iter().next().copied(), Some(ProcessId::new(1)));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(ProcessId::default().raw(), 0);
+    }
+}

@@ -1,0 +1,282 @@
+//! Unit-capacity max-flow (Dinic) used for Menger-style connectivity queries.
+
+use std::collections::VecDeque;
+
+/// A small max-flow network over dense `usize` node indices with integer
+/// capacities, specialized for the unit-capacity networks that arise from
+/// vertex-connectivity reductions.
+///
+/// The implementation is Dinic's algorithm; on unit-capacity networks it
+/// runs in `O(E · sqrt(V))`, far more than fast enough for knowledge
+/// connectivity graphs of protocol scale.
+///
+/// # Example
+///
+/// ```
+/// use cupft_graph::UnitFlowNetwork;
+///
+/// // Two parallel length-2 routes from 0 to 3.
+/// let mut net = UnitFlowNetwork::new(4);
+/// net.add_edge(0, 1, 1);
+/// net.add_edge(1, 3, 1);
+/// net.add_edge(0, 2, 1);
+/// net.add_edge(2, 3, 1);
+/// assert_eq!(net.max_flow(0, 3, None), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnitFlowNetwork {
+    n: usize,
+    // Edge list in pairs: edge 2k is forward, 2k+1 is its residual.
+    to: Vec<usize>,
+    cap: Vec<u32>,
+    head: Vec<Vec<usize>>,
+}
+
+impl UnitFlowNetwork {
+    /// Creates a network with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        UnitFlowNetwork {
+            n,
+            to: Vec::new(),
+            cap: Vec::new(),
+            head: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Adds a directed edge with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, from: usize, to: usize, capacity: u32) {
+        assert!(from < self.n && to < self.n, "edge endpoint out of range");
+        let e = self.to.len();
+        self.to.push(to);
+        self.cap.push(capacity);
+        self.head[from].push(e);
+        self.to.push(from);
+        self.cap.push(0);
+        self.head[to].push(e + 1);
+    }
+
+    /// Computes the maximum flow from `source` to `sink`, optionally
+    /// stopping early once `limit` units have been routed (useful when the
+    /// caller only needs to know whether the flow reaches a threshold).
+    ///
+    /// Mutates internal residual capacities; call on a fresh network (or
+    /// clone) per query.
+    pub fn max_flow(&mut self, source: usize, sink: usize, limit: Option<usize>) -> usize {
+        assert!(source < self.n && sink < self.n, "terminal out of range");
+        if source == sink {
+            return usize::MAX;
+        }
+        let limit = limit.unwrap_or(usize::MAX);
+        let mut flow = 0usize;
+        let mut level = vec![-1i32; self.n];
+        let mut iter = vec![0usize; self.n];
+
+        while flow < limit {
+            // BFS to build level graph.
+            level.fill(-1);
+            level[source] = 0;
+            let mut queue = VecDeque::from([source]);
+            while let Some(v) = queue.pop_front() {
+                for &e in &self.head[v] {
+                    let w = self.to[e];
+                    if self.cap[e] > 0 && level[w] < 0 {
+                        level[w] = level[v] + 1;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            if level[sink] < 0 {
+                break;
+            }
+            iter.fill(0);
+            // DFS blocking flow, one augmenting unit at a time (unit caps).
+            loop {
+                if flow >= limit {
+                    break;
+                }
+                let pushed = self.dfs_augment(source, sink, &level, &mut iter);
+                if pushed == 0 {
+                    break;
+                }
+                flow += pushed;
+            }
+        }
+        flow
+    }
+
+    fn dfs_augment(&mut self, v: usize, sink: usize, level: &[i32], iter: &mut [usize]) -> usize {
+        // Iterative DFS along the level graph carrying one unit.
+        let mut path: Vec<usize> = Vec::new(); // edge indices
+        let mut cur = v;
+        loop {
+            if cur == sink {
+                for &e in &path {
+                    self.cap[e] -= 1;
+                    self.cap[e ^ 1] += 1;
+                }
+                return 1;
+            }
+            let mut advanced = false;
+            while iter[cur] < self.head[cur].len() {
+                let e = self.head[cur][iter[cur]];
+                let w = self.to[e];
+                if self.cap[e] > 0 && level[w] == level[cur] + 1 {
+                    path.push(e);
+                    cur = w;
+                    advanced = true;
+                    break;
+                }
+                iter[cur] += 1;
+            }
+            if advanced {
+                continue;
+            }
+            // Dead end: retreat.
+            match path.pop() {
+                Some(e) => {
+                    cur = self.to[e ^ 1];
+                    iter[cur] += 1;
+                }
+                None => return 0,
+            }
+        }
+    }
+
+    /// After a [`Self::max_flow`] call, returns the set of nodes reachable
+    /// from `source` in the residual network (used to extract minimum
+    /// cuts via max-flow/min-cut duality).
+    pub fn residual_reachable(&self, source: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.n];
+        seen[source] = true;
+        let mut queue = VecDeque::from([source]);
+        while let Some(v) = queue.pop_front() {
+            for &e in &self.head[v] {
+                let w = self.to[e];
+                if self.cap[e] > 0 && !seen[w] {
+                    seen[w] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+        seen
+    }
+
+    /// After a [`Self::max_flow`] call, returns the forward edges (as
+    /// `(from, to)` pairs) that carry one unit of flow. Useful for path
+    /// decomposition.
+    pub fn saturated_edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for e in (0..self.to.len()).step_by(2) {
+            // Forward edge e originally had cap >= residual; it carries flow
+            // iff its residual twin gained capacity.
+            if self.cap[e + 1] > 0 {
+                out.push((self.to[e + 1], self.to[e]));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_path() {
+        let mut net = UnitFlowNetwork::new(3);
+        net.add_edge(0, 1, 1);
+        net.add_edge(1, 2, 1);
+        assert_eq!(net.max_flow(0, 2, None), 1);
+    }
+
+    #[test]
+    fn no_path() {
+        let mut net = UnitFlowNetwork::new(3);
+        net.add_edge(1, 0, 1);
+        net.add_edge(1, 2, 1);
+        assert_eq!(net.max_flow(0, 2, None), 0);
+    }
+
+    #[test]
+    fn parallel_paths_counted() {
+        let mut net = UnitFlowNetwork::new(6);
+        // three disjoint routes 0->x->5
+        for x in 1..=3 {
+            net.add_edge(0, x, 1);
+            net.add_edge(x, 5, 1);
+        }
+        assert_eq!(net.max_flow(0, 5, None), 3);
+    }
+
+    #[test]
+    fn limit_stops_early() {
+        let mut net = UnitFlowNetwork::new(6);
+        for x in 1..=4 {
+            net.add_edge(0, x, 1);
+            net.add_edge(x, 5, 1);
+        }
+        assert_eq!(net.max_flow(0, 5, Some(2)), 2);
+    }
+
+    #[test]
+    fn bottleneck_respected() {
+        // 0 -> 1 -> {2,3} -> 4: vertex 1 is a bottleneck edge of cap 1.
+        let mut net = UnitFlowNetwork::new(5);
+        net.add_edge(0, 1, 1);
+        net.add_edge(1, 2, 1);
+        net.add_edge(1, 3, 1);
+        net.add_edge(2, 4, 1);
+        net.add_edge(3, 4, 1);
+        assert_eq!(net.max_flow(0, 4, None), 1);
+    }
+
+    #[test]
+    fn rerouting_through_residuals() {
+        // Classic case where a greedy path must be undone via residual edges.
+        let mut net = UnitFlowNetwork::new(4);
+        net.add_edge(0, 1, 1);
+        net.add_edge(0, 2, 1);
+        net.add_edge(1, 2, 1);
+        net.add_edge(1, 3, 1);
+        net.add_edge(2, 3, 1);
+        assert_eq!(net.max_flow(0, 3, None), 2);
+    }
+
+    #[test]
+    fn saturated_edges_form_paths() {
+        let mut net = UnitFlowNetwork::new(4);
+        net.add_edge(0, 1, 1);
+        net.add_edge(1, 3, 1);
+        net.add_edge(0, 2, 1);
+        net.add_edge(2, 3, 1);
+        let f = net.max_flow(0, 3, None);
+        let sat = net.saturated_edges();
+        assert_eq!(f, 2);
+        assert_eq!(sat.len(), 4);
+        assert!(sat.contains(&(0, 1)));
+        assert!(sat.contains(&(2, 3)));
+    }
+
+    #[test]
+    fn larger_capacities() {
+        let mut net = UnitFlowNetwork::new(2);
+        net.add_edge(0, 1, 5);
+        assert_eq!(net.max_flow(0, 1, None), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut net = UnitFlowNetwork::new(2);
+        net.add_edge(0, 5, 1);
+    }
+}

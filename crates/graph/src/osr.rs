@@ -1,0 +1,191 @@
+//! The `k`-One Sink Reducibility (`k`-OSR) recognizer (Definition 1).
+
+use crate::digraph::DiGraph;
+use crate::id::ProcessSet;
+use crate::scc::condensation;
+
+/// The result of checking a graph against the four `k`-OSR conditions of
+/// Definition 1.
+///
+/// The conditions are:
+/// 1. the undirected counterpart of the graph is connected;
+/// 2. the condensation has exactly one sink component;
+/// 3. the sink component is `k`-strongly connected;
+/// 4. there are at least `k` node-disjoint paths from every non-sink
+///    process to every sink process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OsrReport {
+    /// The `k` the report was evaluated against.
+    pub k: usize,
+    /// Condition 1: undirected counterpart is connected.
+    pub undirected_connected: bool,
+    /// Number of sink components in the condensation (condition 2 requires
+    /// exactly one).
+    pub sink_count: usize,
+    /// The unique sink component, when `sink_count == 1`.
+    pub sink: Option<ProcessSet>,
+    /// Strong connectivity of the sink component (0 when no unique sink).
+    pub sink_connectivity: usize,
+    /// Minimum over all (non-sink, sink) ordered pairs of the number of
+    /// node-disjoint paths; `usize::MAX` when there are no non-sink
+    /// members (vacuously satisfied).
+    pub min_nonsink_to_sink_paths: usize,
+}
+
+impl OsrReport {
+    /// Whether every `k`-OSR condition holds.
+    pub fn is_k_osr(&self) -> bool {
+        self.undirected_connected
+            && self.sink_count == 1
+            && self.sink_connectivity >= self.k
+            && self.min_nonsink_to_sink_paths >= self.k
+    }
+
+    /// The sink members, when the graph has a unique sink.
+    pub fn sink_members(&self) -> Option<&ProcessSet> {
+        self.sink.as_ref()
+    }
+}
+
+/// Evaluates the `k`-OSR conditions on `g`.
+///
+/// # Example
+///
+/// ```
+/// use cupft_graph::{osr_report, DiGraph, process_set};
+///
+/// // Bidirected triangle sink {1,2,3}; 4 points into it twice.
+/// let mut g = DiGraph::complete(&process_set([1, 2, 3]));
+/// g.add_edge(4.into(), 1.into());
+/// g.add_edge(4.into(), 2.into());
+/// let report = osr_report(&g, 2);
+/// assert!(report.is_k_osr());
+/// assert_eq!(report.sink_members(), Some(&process_set([1, 2, 3])));
+/// ```
+pub fn osr_report(g: &DiGraph, k: usize) -> OsrReport {
+    let undirected_connected = g.is_undirected_connected();
+    let cond = condensation(g);
+    let sinks = cond.sinks();
+    let sink_count = sinks.len();
+    let sink = if sink_count == 1 {
+        Some(sinks[0].clone())
+    } else {
+        None
+    };
+
+    let (sink_connectivity, min_paths) = match &sink {
+        Some(sink_set) => {
+            let sub = g.induced(sink_set);
+            let kappa = sub.strong_connectivity();
+            let non_sink: ProcessSet = g
+                .vertices()
+                .filter(|v| !sink_set.contains(v))
+                .collect();
+            let min_paths = if non_sink.is_empty() {
+                usize::MAX
+            } else {
+                g.min_cross_disjoint_paths(&non_sink, sink_set)
+            };
+            (kappa, min_paths)
+        }
+        None => (0, 0),
+    };
+
+    OsrReport {
+        k,
+        undirected_connected,
+        sink_count,
+        sink,
+        sink_connectivity,
+        min_nonsink_to_sink_paths: min_paths,
+    }
+}
+
+/// The members of all sink components of `g` (usually exactly one
+/// component for graphs of interest).
+pub fn sink_members(g: &DiGraph) -> ProcessSet {
+    let cond = condensation(g);
+    let mut out = ProcessSet::new();
+    for sink in cond.sinks() {
+        out.extend(sink.iter().copied());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::process_set;
+
+    #[test]
+    fn triangle_with_feeders_is_2_osr() {
+        let mut g = DiGraph::complete(&process_set([1, 2, 3]));
+        g.add_edge(4.into(), 1.into());
+        g.add_edge(4.into(), 2.into());
+        g.add_edge(5.into(), 2.into());
+        g.add_edge(5.into(), 3.into());
+        let r = osr_report(&g, 2);
+        assert!(r.is_k_osr());
+        assert_eq!(r.sink_connectivity, 2);
+        assert_eq!(r.min_nonsink_to_sink_paths, 2);
+    }
+
+    #[test]
+    fn single_feeder_edge_fails_2_osr_but_passes_1_osr() {
+        let mut g = DiGraph::complete(&process_set([1, 2, 3]));
+        g.add_edge(4.into(), 1.into());
+        assert!(!osr_report(&g, 2).is_k_osr());
+        assert!(osr_report(&g, 1).is_k_osr());
+    }
+
+    #[test]
+    fn two_sinks_fail() {
+        // Two disjoint triangles joined by an undirected-connecting feeder.
+        let mut g = DiGraph::complete(&process_set([1, 2, 3]));
+        g.merge(&DiGraph::complete(&process_set([4, 5, 6])));
+        g.add_edge(7.into(), 1.into());
+        g.add_edge(7.into(), 4.into());
+        let r = osr_report(&g, 1);
+        assert!(r.undirected_connected);
+        assert_eq!(r.sink_count, 2);
+        assert!(!r.is_k_osr());
+        assert_eq!(sink_members(&g), process_set([1, 2, 3, 4, 5, 6]));
+    }
+
+    #[test]
+    fn disconnected_graph_fails() {
+        let mut g = DiGraph::complete(&process_set([1, 2, 3]));
+        g.merge(&DiGraph::complete(&process_set([4, 5, 6])));
+        let r = osr_report(&g, 1);
+        assert!(!r.undirected_connected);
+        assert!(!r.is_k_osr());
+    }
+
+    #[test]
+    fn whole_graph_strongly_connected_is_its_own_sink() {
+        let g = DiGraph::complete(&process_set([1, 2, 3, 4]));
+        let r = osr_report(&g, 3);
+        assert!(r.is_k_osr());
+        assert_eq!(r.sink, Some(process_set([1, 2, 3, 4])));
+        // no non-sink members: vacuous path requirement
+        assert_eq!(r.min_nonsink_to_sink_paths, usize::MAX);
+    }
+
+    #[test]
+    fn path_requirement_counts_disjointness() {
+        // 4 reaches the sink triangle twice but both routes share vertex 5.
+        let mut g = DiGraph::complete(&process_set([1, 2, 3]));
+        g.add_edge(4.into(), 5.into());
+        g.add_edge(5.into(), 1.into());
+        g.add_edge(5.into(), 2.into());
+        let r = osr_report(&g, 2);
+        assert_eq!(r.min_nonsink_to_sink_paths, 1);
+        assert!(!r.is_k_osr());
+    }
+
+    #[test]
+    fn report_k_recorded() {
+        let g = DiGraph::complete(&process_set([1, 2, 3]));
+        assert_eq!(osr_report(&g, 7).k, 7);
+    }
+}

@@ -1,0 +1,371 @@
+//! The `isSinkGdi` predicate family (Theorem 3, Algorithm 2, Section V).
+//!
+//! Given a fault threshold `g` and two candidate sets `S1`, `S2`, the
+//! predicate `isSinkGdi(g, S1, S2)` holds on a process's knowledge view iff:
+//!
+//! * **P1** `|S1| ≥ 2g + 1`;
+//! * **P2** `κ(G[S1]) ≥ g + 1`, computed from *received* PDs (so `S1` must
+//!   be a subset of `S_received`);
+//! * **P3** at most `g` members of `S1` have outgoing edges to processes
+//!   outside `S1 ∪ S2`;
+//! * **P4** `S2` is exactly the set of known processes outside `S1` to which
+//!   more than `g` members of `S1` point, and `|S2| ≤ g` (Theorem 3
+//!   instantiates `S2` as the Byzantine sink members, of which there are at
+//!   most the fault threshold; see [`is_sink_gdi`] for why the bound is
+//!   load-bearing).
+//!
+//! On the boundary rule (P3): the paper states P3 as `S1 →^{≤f} V ∖ S1`, but
+//! its own Theorem 3 instantiation (`S1` = correct sink members, `S2` =
+//! Byzantine sink members) has up to `f+1` correct members pointing at each
+//! Byzantine sink member, and Fig. 1b's worked example
+//! (`isSinkGdi(1, {1,3,4}, {2})` with three processes pointing at 2) would
+//! fail a literal reading. The consistent semantics — used in the proof of
+//! Theorem 4, where outgoing edges to *non-sink* processes are what P3
+//! bounds — is that P3 counts edges leaving `S1 ∪ S2`. We implement that
+//! reading and validate it against every worked example in the paper.
+//!
+//! When no fault threshold is known, `isSink*(S)` (Section V) holds iff some
+//! decomposition `S = S1 ∪ S2` satisfies `isSinkGdi(g, S1, S2)` for some
+//! `g ≥ 0`; `f_Gdi(S)` is the maximum such `g` and `k_Gdi(S) = f_Gdi(S)+1`
+//! is the set's connectivity.
+
+use crate::error::GraphError;
+use crate::id::{ProcessId, ProcessSet};
+use crate::view::KnowledgeView;
+
+/// A successful sink decomposition: sets `S1`, `S2` and the fault threshold
+/// `g` they were validated against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SinkDecomposition {
+    /// The connectivity-computable part (PDs of all members received).
+    pub s1: ProcessSet,
+    /// The absorbed part (more than `threshold` members of `S1` point at
+    /// each member; PDs possibly missing).
+    pub s2: ProcessSet,
+    /// The fault threshold `g` for which `isSinkGdi(g, S1, S2)` holds.
+    pub threshold: usize,
+}
+
+impl SinkDecomposition {
+    /// All members: `S1 ∪ S2` (the sink/core candidate set).
+    pub fn members(&self) -> ProcessSet {
+        self.s1.union(&self.s2).copied().collect()
+    }
+
+    /// The connectivity `k_Gdi = threshold + 1` of this decomposition.
+    pub fn connectivity(&self) -> usize {
+        self.threshold + 1
+    }
+}
+
+/// Number of members of `s1` whose received PD contains `target`
+/// (the `S1 →^{·} {target}` count).
+fn pointers_into(view: &KnowledgeView, s1: &ProcessSet, target: ProcessId) -> usize {
+    s1.iter()
+        .filter(|&&i| view.pd_of(i).is_some_and(|pd| pd.contains(&target)))
+        .count()
+}
+
+/// Derives the forced `S2` for a threshold `g` and candidate `S1`
+/// (property P4): every known process outside `S1` at which more than `g`
+/// members of `S1` point.
+///
+/// # Example
+///
+/// ```
+/// use cupft_graph::{derive_s2, DiGraph, KnowledgeView, process_set};
+///
+/// // 1, 3, 4 all point at 2.
+/// let g = DiGraph::from_edges([(1, 2), (3, 2), (4, 2), (1, 3), (3, 4), (4, 1), (1, 4), (4, 3), (3, 1)]);
+/// let view = KnowledgeView::omniscient(&g);
+/// let s2 = derive_s2(&view, &process_set([1, 3, 4]), 1);
+/// assert_eq!(s2, process_set([2]));
+/// ```
+pub fn derive_s2(view: &KnowledgeView, s1: &ProcessSet, g: usize) -> ProcessSet {
+    view.known()
+        .iter()
+        .copied()
+        .filter(|p| !s1.contains(p))
+        .filter(|&p| pointers_into(view, s1, p) > g)
+        .collect()
+}
+
+/// Number of members of `s1` with at least one outgoing edge to a known
+/// process outside `s1 ∪ s2` (property P3's boundary count).
+fn boundary_count(view: &KnowledgeView, s1: &ProcessSet, s2: &ProcessSet) -> usize {
+    s1.iter()
+        .filter(|&&i| {
+            view.pd_of(i).is_some_and(|pd| {
+                pd.iter()
+                    .any(|t| !s1.contains(t) && !s2.contains(t) && view.knows(*t))
+            })
+        })
+        .count()
+}
+
+/// Evaluates `isSinkGdi(g, S1, S2)` on a knowledge view (Algorithm 2,
+/// line 1).
+///
+/// Returns `false` (rather than erroring) when `S1` contains processes
+/// whose PDs have not been received: their connectivity is not computable,
+/// which is exactly the situation properties P1–P4 are designed around.
+///
+/// # Example
+///
+/// ```
+/// use cupft_graph::{is_sink_gdi, fig1b, KnowledgeView, process_set};
+///
+/// // The paper's worked example on Fig. 1b: S1 = {1,3,4}, S2 = {2}, f = 1.
+/// let view = KnowledgeView::omniscient(fig1b().graph());
+/// assert!(is_sink_gdi(&view, 1, &process_set([1, 3, 4]), &process_set([2])));
+/// ```
+pub fn is_sink_gdi(
+    view: &KnowledgeView,
+    g: usize,
+    s1: &ProcessSet,
+    s2: &ProcessSet,
+) -> bool {
+    if s1.is_empty() {
+        return false;
+    }
+    // S1 must be connectivity-computable: all PDs received.
+    if !s1.iter().all(|&p| view.has_pd_of(p)) {
+        return false;
+    }
+    // P1: |S1| >= 2g+1.
+    if s1.len() < 2 * g + 1 {
+        return false;
+    }
+    // P4: S2 is exactly the derived set, and no larger than g. The size
+    // bound is implicit in Theorem 3's construction (S2 holds Byzantine or
+    // slow *sink members*, of which there are at most f) and is load-
+    // bearing for Algorithm 4's soundness: without it, a process's initial
+    // view admits the trivial candidate S1 = {self}, S2 = PD_self at g = 0,
+    // and the Core algorithm would terminate before discovering anything.
+    if s2.len() > g || *s2 != derive_s2(view, s1, g) {
+        return false;
+    }
+    // P3: at most g members of S1 point outside S1 ∪ S2.
+    if boundary_count(view, s1, s2) > g {
+        return false;
+    }
+    // P2: κ(G[S1]) >= g+1 (checked last: most expensive).
+    view.graph().induced(s1).is_k_strongly_connected(g + 1)
+}
+
+/// Computes the maximum threshold `g` for which the candidate `S1`
+/// (with its forced `S2`) satisfies `isSinkGdi`, if any.
+///
+/// The feasible range is bounded above by `min(κ(G[S1]) − 1, (|S1|−1)/2)`;
+/// within it, feasibility is not monotone in `g` (raising `g` shrinks `S2`
+/// and can surface boundary edges), so the range is scanned from the top.
+pub fn max_threshold(view: &KnowledgeView, s1: &ProcessSet) -> Option<SinkDecomposition> {
+    if s1.is_empty() || !s1.iter().all(|&p| view.has_pd_of(p)) {
+        return None;
+    }
+    let size_bound = (s1.len() - 1) / 2;
+    let sub = view.graph().induced(s1);
+    let kappa = sub.strong_connectivity_capped(size_bound + 1);
+    if kappa == 0 {
+        return None;
+    }
+    let hi = size_bound.min(kappa - 1);
+    for g in (0..=hi).rev() {
+        let s2 = derive_s2(view, s1, g);
+        if s2.len() <= g && boundary_count(view, s1, &s2) <= g {
+            return Some(SinkDecomposition {
+                s1: s1.clone(),
+                s2,
+                threshold: g,
+            });
+        }
+    }
+    None
+}
+
+/// Exact evaluation of `isSink*(S)` (Section V): searches all
+/// decompositions `S = S1 ∪ S2` with `S1 ⊆ S_received` and returns the one
+/// with the maximum threshold (`f_Gdi(S)`), or `None` if `S` is not a sink.
+///
+/// # Errors
+///
+/// Returns [`GraphError::TooLargeForExactCheck`] when `|S ∩ S_received|`
+/// exceeds `cutoff`, since the search enumerates subsets.
+pub fn is_sink_star(
+    view: &KnowledgeView,
+    s: &ProcessSet,
+    cutoff: usize,
+) -> Result<Option<SinkDecomposition>, GraphError> {
+    let eligible: Vec<ProcessId> = s
+        .iter()
+        .copied()
+        .filter(|&p| view.has_pd_of(p))
+        .collect();
+    if eligible.len() > cutoff {
+        return Err(GraphError::TooLargeForExactCheck {
+            size: eligible.len(),
+            cutoff,
+        });
+    }
+    let mut best: Option<SinkDecomposition> = None;
+    for mask in 1u64..(1u64 << eligible.len()) {
+        let s1: ProcessSet = eligible
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &p)| p)
+            .collect();
+        let size_bound = (s1.len() - 1) / 2;
+        for g in (0..=size_bound).rev() {
+            if best.as_ref().is_some_and(|b| g <= b.threshold) {
+                break; // cannot improve on the best threshold found
+            }
+            let s2 = derive_s2(view, &s1, g);
+            let members: ProcessSet = s1.union(&s2).copied().collect();
+            if members != *s {
+                continue;
+            }
+            if is_sink_gdi(view, g, &s1, &s2) {
+                let better = best.as_ref().is_none_or(|b| g > b.threshold);
+                if better {
+                    best = Some(SinkDecomposition {
+                        s1: s1.clone(),
+                        s2,
+                        threshold: g,
+                    });
+                }
+                break; // lower g for same S1 cannot beat this
+            }
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::DiGraph;
+    use crate::id::process_set;
+
+    /// The sink-side of Fig. 1b as seen by process 1 in the worked example:
+    /// 2 is slow (PD not received); 4 is Byzantine claiming PD {1,2,3}.
+    fn fig1b_partial_view() -> KnowledgeView {
+        let mut view = KnowledgeView::new(1.into(), process_set([2, 3, 4]));
+        view.record_pd(3.into(), process_set([1, 2, 4]));
+        view.record_pd(4.into(), process_set([1, 2, 3]));
+        view
+    }
+
+    #[test]
+    fn worked_example_from_section_iii() {
+        // isSinkGdi(1, {1,3,4}, {2}) must hold in process 1's partial view.
+        let view = fig1b_partial_view();
+        let s1 = process_set([1, 3, 4]);
+        assert_eq!(derive_s2(&view, &s1, 1), process_set([2]));
+        assert!(is_sink_gdi(&view, 1, &s1, &process_set([2])));
+        let best = max_threshold(&view, &s1).unwrap();
+        assert_eq!(best.threshold, 1);
+        assert_eq!(best.members(), process_set([1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn s2_mismatch_rejected() {
+        let view = fig1b_partial_view();
+        let s1 = process_set([1, 3, 4]);
+        assert!(!is_sink_gdi(&view, 1, &s1, &ProcessSet::new()));
+        assert!(!is_sink_gdi(&view, 1, &s1, &process_set([2, 5])));
+    }
+
+    #[test]
+    fn size_requirement_p1() {
+        let view = fig1b_partial_view();
+        let s1 = process_set([1, 3]);
+        // |S1| = 2 < 2*1+1
+        let s2 = derive_s2(&view, &s1, 1);
+        assert!(!is_sink_gdi(&view, 1, &s1, &s2));
+    }
+
+    #[test]
+    fn unreceived_pd_rejected() {
+        let view = fig1b_partial_view();
+        // 2's PD was never received: any S1 containing 2 is rejected.
+        let s1 = process_set([1, 2, 3]);
+        let s2 = derive_s2(&view, &s1, 1);
+        assert!(!is_sink_gdi(&view, 1, &s1, &s2));
+        assert!(max_threshold(&view, &s1).is_none());
+    }
+
+    #[test]
+    fn connectivity_requirement_p2() {
+        // A directed 5-cycle has kappa = 1 < g+1 for g = 1.
+        let g = DiGraph::from_edges([(1, 2), (2, 3), (3, 4), (4, 5), (5, 1)]);
+        let view = KnowledgeView::omniscient(&g);
+        let s1 = process_set([1, 2, 3, 4, 5]);
+        let s2 = derive_s2(&view, &s1, 1);
+        assert!(!is_sink_gdi(&view, 1, &s1, &s2));
+        // but it is a valid g = 0 sink
+        let s2 = derive_s2(&view, &s1, 0);
+        assert!(is_sink_gdi(&view, 0, &s1, &s2));
+    }
+
+    #[test]
+    fn boundary_requirement_p3() {
+        // Complete triangle {1,2,3}, but 1 and 2 also point at 9 and 1 at 8;
+        // 9 and 8 receive ≤ g pointers so S2 stays empty.
+        let mut g = DiGraph::complete(&process_set([1, 2, 3]));
+        g.add_edge(1.into(), 9.into());
+        g.add_edge(2.into(), 8.into());
+        let view = KnowledgeView::omniscient(&g);
+        let s1 = process_set([1, 2, 3]);
+        let s2 = derive_s2(&view, &s1, 1);
+        assert!(s2.is_empty());
+        // two boundary members > g = 1
+        assert!(!is_sink_gdi(&view, 1, &s1, &s2));
+    }
+
+    #[test]
+    fn max_threshold_of_complete_graphs() {
+        for n in 3..=9u64 {
+            let g = DiGraph::complete(&process_set(1..=n));
+            let view = KnowledgeView::omniscient(&g);
+            let best = max_threshold(&view, &process_set(1..=n)).unwrap();
+            // complete K_n: kappa = n-1, size bound (n-1)/2 dominates
+            assert_eq!(best.threshold, ((n - 1) / 2) as usize, "K{n}");
+            assert!(best.s2.is_empty());
+        }
+    }
+
+    #[test]
+    fn is_sink_star_finds_best_decomposition() {
+        let view = fig1b_partial_view();
+        let s = process_set([1, 2, 3, 4]);
+        let best = is_sink_star(&view, &s, 16).unwrap().unwrap();
+        assert_eq!(best.threshold, 1);
+        assert_eq!(best.s1, process_set([1, 3, 4]));
+        assert_eq!(best.s2, process_set([2]));
+    }
+
+    #[test]
+    fn is_sink_star_rejects_non_sinks() {
+        let view = fig1b_partial_view();
+        // {1,3} is not expressible: derived S2 at any g never equals {3}∖...
+        assert!(is_sink_star(&view, &process_set([1, 3]), 16)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn is_sink_star_cutoff_enforced() {
+        let g = DiGraph::complete(&process_set(1..=25));
+        let view = KnowledgeView::omniscient(&g);
+        let err = is_sink_star(&view, &process_set(1..=25), 20).unwrap_err();
+        assert!(matches!(err, GraphError::TooLargeForExactCheck { .. }));
+    }
+
+    #[test]
+    fn empty_s1_rejected() {
+        let view = fig1b_partial_view();
+        assert!(!is_sink_gdi(&view, 0, &ProcessSet::new(), &ProcessSet::new()));
+        assert!(max_threshold(&view, &ProcessSet::new()).is_none());
+    }
+}

@@ -1,0 +1,254 @@
+//! A process's local knowledge view: received PDs plus known identifiers.
+
+use std::collections::BTreeMap;
+
+use crate::digraph::DiGraph;
+use crate::id::{ProcessId, ProcessSet};
+
+/// The local knowledge a process accumulates while running the Discovery
+/// algorithm (Algorithm 1): which processes it *knows about*
+/// (`S_known`), and whose *participant detector outputs it has received and
+/// verified* (`S_received`, with the PD contents).
+///
+/// All sink/core predicates (Theorems 3, 4, 8) are evaluated against a
+/// `KnowledgeView`: the strong connectivity of a candidate set `S1` is
+/// computable only when the view holds the PDs of every member of `S1`,
+/// which is exactly why the paper splits sink members into `S1`
+/// (connectivity computable) and `S2` (not).
+///
+/// # Example
+///
+/// ```
+/// use cupft_graph::{KnowledgeView, ProcessId};
+///
+/// let p = |n| ProcessId::new(n);
+/// let mut view = KnowledgeView::new(p(1), [p(2), p(3)].into_iter().collect());
+/// assert!(view.knows(p(2)));
+/// assert!(!view.has_pd_of(p(2)));
+/// view.record_pd(p(2), [p(1), p(4)].into_iter().collect());
+/// assert!(view.has_pd_of(p(2)));
+/// assert!(view.knows(p(4))); // learned transitively from 2's PD
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KnowledgeView {
+    owner: ProcessId,
+    pds: BTreeMap<ProcessId, ProcessSet>,
+    known: ProcessSet,
+}
+
+impl KnowledgeView {
+    /// Creates the initial view of process `owner` whose participant
+    /// detector returned `own_pd`.
+    ///
+    /// Mirrors Algorithm 1 line 1: `S_PD = {⟨i, PDᵢ⟩}`,
+    /// `S_known = PDᵢ ∪ {i}`, `S_received = {i}`.
+    pub fn new(owner: ProcessId, own_pd: ProcessSet) -> Self {
+        let mut known = own_pd.clone();
+        known.insert(owner);
+        let mut pds = BTreeMap::new();
+        pds.insert(owner, own_pd);
+        KnowledgeView { owner, pds, known }
+    }
+
+    /// Builds an *omniscient* view of an entire knowledge connectivity
+    /// graph: every vertex known, every PD received.
+    ///
+    /// Used for static (whole-graph) evaluation of the predicates, e.g. the
+    /// Figure 3 analysis where `isSinkGdi(2, {1,2,3,4,6}, {5,7})` is
+    /// evaluated on the drawn graph.
+    pub fn omniscient(graph: &DiGraph) -> Self {
+        let owner = graph.vertices().next().unwrap_or_default();
+        let mut pds = BTreeMap::new();
+        let mut known = ProcessSet::new();
+        for v in graph.vertices() {
+            known.insert(v);
+            let outs = graph.out_neighbors(v);
+            known.extend(outs.iter().copied());
+            pds.insert(v, outs);
+        }
+        KnowledgeView { owner, pds, known }
+    }
+
+    /// The process owning this view.
+    pub fn owner(&self) -> ProcessId {
+        self.owner
+    }
+
+    /// `S_known`: every process this view has heard of.
+    pub fn known(&self) -> &ProcessSet {
+        &self.known
+    }
+
+    /// `S_received`: every process whose PD this view holds.
+    pub fn received(&self) -> ProcessSet {
+        self.pds.keys().copied().collect()
+    }
+
+    /// Number of PDs held.
+    pub fn received_count(&self) -> usize {
+        self.pds.len()
+    }
+
+    /// Whether `p` is in `S_known`.
+    pub fn knows(&self, p: ProcessId) -> bool {
+        self.known.contains(&p)
+    }
+
+    /// Whether the PD of `p` has been received.
+    pub fn has_pd_of(&self, p: ProcessId) -> bool {
+        self.pds.contains_key(&p)
+    }
+
+    /// The recorded PD of `p`, if received.
+    pub fn pd_of(&self, p: ProcessId) -> Option<&ProcessSet> {
+        self.pds.get(&p)
+    }
+
+    /// Records a (signature-verified) PD for `author`.
+    ///
+    /// Mirrors Algorithm 1 lines 4–6: the author joins `S_received`, and
+    /// both the author and every member of the PD join `S_known`.
+    ///
+    /// Returns `true` if the view changed. Re-recording an identical PD is
+    /// a no-op; recording a *different* PD for the same author replaces it
+    /// (cannot happen for correct authors, whose PD is immutable and
+    /// signed — the discovery layer rejects conflicting signed PDs before
+    /// they reach the view).
+    pub fn record_pd(&mut self, author: ProcessId, pd: ProcessSet) -> bool {
+        let mut changed = self.known.insert(author);
+        for &p in &pd {
+            changed |= self.known.insert(p);
+        }
+        match self.pds.get(&author) {
+            Some(existing) if *existing == pd => changed,
+            _ => {
+                self.pds.insert(author, pd);
+                true
+            }
+        }
+    }
+
+    /// Merges every PD of `other` into this view (the effect of receiving a
+    /// `SETPDS` message carrying `other`'s `S_PD`).
+    pub fn absorb(&mut self, other: &KnowledgeView) -> bool {
+        let mut changed = false;
+        for (&author, pd) in &other.pds {
+            changed |= self.record_pd(author, pd.clone());
+        }
+        changed
+    }
+
+    /// The knowledge graph implied by the received PDs: vertices are
+    /// `S_known`; an edge `i → j` exists iff `i`'s received PD contains `j`.
+    pub fn graph(&self) -> DiGraph {
+        let mut g = DiGraph::new();
+        for &v in &self.known {
+            g.add_vertex(v);
+        }
+        for (&author, pd) in &self.pds {
+            for &target in pd {
+                g.add_edge(author, target);
+            }
+        }
+        g
+    }
+
+    /// The knowledge graph restricted to processes whose PDs were received
+    /// (the graph on which candidate connectivity is computable).
+    pub fn received_graph(&self) -> DiGraph {
+        let received = self.received();
+        self.graph().induced(&received)
+    }
+
+    /// Processes in `S_known` whose PDs are still missing
+    /// (`S_known ∖ S_received`).
+    pub fn missing_pds(&self) -> ProcessSet {
+        self.known
+            .iter()
+            .copied()
+            .filter(|p| !self.pds.contains_key(p))
+            .collect()
+    }
+
+    /// Iterates over `(author, pd)` pairs in deterministic order.
+    pub fn pds(&self) -> impl Iterator<Item = (ProcessId, &ProcessSet)> + '_ {
+        self.pds.iter().map(|(&a, pd)| (a, pd))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::process_set;
+
+    fn p(n: u64) -> ProcessId {
+        ProcessId::new(n)
+    }
+
+    #[test]
+    fn initial_view_matches_algorithm1_line1() {
+        let view = KnowledgeView::new(p(1), process_set([2, 3, 4]));
+        assert_eq!(view.owner(), p(1));
+        assert_eq!(*view.known(), process_set([1, 2, 3, 4]));
+        assert_eq!(view.received(), process_set([1]));
+        assert_eq!(view.pd_of(p(1)), Some(&process_set([2, 3, 4])));
+    }
+
+    #[test]
+    fn record_pd_expands_known() {
+        let mut view = KnowledgeView::new(p(1), process_set([2]));
+        assert!(view.record_pd(p(2), process_set([5, 6])));
+        assert_eq!(*view.known(), process_set([1, 2, 5, 6]));
+        assert_eq!(view.received(), process_set([1, 2]));
+        // idempotent
+        assert!(!view.record_pd(p(2), process_set([5, 6])));
+    }
+
+    #[test]
+    fn absorb_merges_views() {
+        let mut a = KnowledgeView::new(p(1), process_set([2]));
+        let mut b = KnowledgeView::new(p(2), process_set([3]));
+        b.record_pd(p(3), process_set([4]));
+        assert!(a.absorb(&b));
+        assert!(a.has_pd_of(p(3)));
+        assert!(a.knows(p(4)));
+        assert!(!a.absorb(&b));
+    }
+
+    #[test]
+    fn graph_reflects_received_pds_only() {
+        let mut view = KnowledgeView::new(p(1), process_set([2, 3]));
+        view.record_pd(p(2), process_set([3]));
+        let g = view.graph();
+        assert!(g.has_edge(p(1), p(2)));
+        assert!(g.has_edge(p(2), p(3)));
+        // 3's PD unknown: no out-edges from 3.
+        assert_eq!(g.out_degree(p(3)), 0);
+        assert_eq!(g.vertex_count(), 3);
+    }
+
+    #[test]
+    fn received_graph_excludes_unreceived() {
+        let mut view = KnowledgeView::new(p(1), process_set([2, 3]));
+        view.record_pd(p(2), process_set([1, 3]));
+        let rg = view.received_graph();
+        assert_eq!(rg.vertex_set(), process_set([1, 2]));
+        assert!(rg.has_edge(p(2), p(1)));
+        assert!(!rg.contains_vertex(p(3)));
+    }
+
+    #[test]
+    fn missing_pds_listed() {
+        let mut view = KnowledgeView::new(p(1), process_set([2, 3]));
+        view.record_pd(p(2), process_set([4]));
+        assert_eq!(view.missing_pds(), process_set([3, 4]));
+    }
+
+    #[test]
+    fn omniscient_covers_whole_graph() {
+        let g = DiGraph::from_edges([(1, 2), (2, 3), (3, 1)]);
+        let view = KnowledgeView::omniscient(&g);
+        assert_eq!(view.received(), process_set([1, 2, 3]));
+        assert_eq!(view.graph(), g);
+    }
+}

@@ -1,0 +1,218 @@
+//! Message-delay policies: the adversary's scheduling power.
+
+use cupft_graph::{ProcessId, ProcessSet};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::Time;
+
+/// How the network delays each message.
+///
+/// The policy *is* the scheduling adversary: partial synchrony constrains
+/// it after GST, and the scripted variants reproduce the executions used in
+/// the paper's proofs.
+#[derive(Debug, Clone)]
+pub enum DelayPolicy {
+    /// Synchronous network: every message takes exactly `delta`.
+    Synchronous {
+        /// The fixed delivery delay.
+        delta: Time,
+    },
+    /// Partial synchrony: before `gst`, delays are drawn adversarially
+    /// from `[delta, pre_gst_max]`; at/after `gst`, delays are at most
+    /// `delta` (drawn from `[1, delta]`).
+    PartialSynchrony {
+        /// Global stabilization time.
+        gst: Time,
+        /// Post-GST delay bound `δ`.
+        delta: Time,
+        /// Worst pre-GST delay the adversary inflicts.
+        pre_gst_max: Time,
+    },
+    /// "Asynchronous" horizon: every message is delayed into
+    /// `[delta, unbounded_max]` regardless of time — i.e. GST never occurs
+    /// within any finite experiment horizon. Used for the Table I async
+    /// row: no deterministic protocol can be shown terminating under this
+    /// policy within the horizon (the checkable shadow of FLP).
+    Asynchronous {
+        /// Minimum delay.
+        delta: Time,
+        /// Maximum (effectively unbounded w.r.t. the horizon) delay.
+        unbounded_max: Time,
+    },
+    /// The Theorem 7 construction: messages *within* a group behave
+    /// synchronously (`delta`), messages *across* groups are delayed by
+    /// `cross_delay` (chosen larger than both sub-systems' decision times).
+    Partitioned {
+        /// Fast intra-group delay.
+        delta: Time,
+        /// The process groups (a process absent from every group is
+        /// treated as its own singleton group).
+        groups: Vec<ProcessSet>,
+        /// Cross-group delay.
+        cross_delay: Time,
+    },
+}
+
+impl Default for DelayPolicy {
+    fn default() -> Self {
+        DelayPolicy::PartialSynchrony {
+            gst: 100,
+            delta: 10,
+            pre_gst_max: 50,
+        }
+    }
+}
+
+impl DelayPolicy {
+    /// The delay the adversary assigns to a message from `from` to `to`
+    /// sent at time `now`.
+    pub fn delay(&self, from: ProcessId, to: ProcessId, now: Time, rng: &mut StdRng) -> Time {
+        match self {
+            DelayPolicy::Synchronous { delta } => (*delta).max(1),
+            DelayPolicy::PartialSynchrony {
+                gst,
+                delta,
+                pre_gst_max,
+            } => {
+                if now >= *gst {
+                    rng.random_range(1..=(*delta).max(1))
+                } else {
+                    let hi = (*pre_gst_max).max(*delta).max(1);
+                    let lo = (*delta).max(1).min(hi);
+                    // Ensure pre-GST messages never beat GST stabilization
+                    // by more than the adversary intends, but may also land
+                    // after GST.
+                    rng.random_range(lo..=hi)
+                }
+            }
+            DelayPolicy::Asynchronous {
+                delta,
+                unbounded_max,
+            } => {
+                let lo = (*delta).max(1);
+                let hi = (*unbounded_max).max(lo);
+                rng.random_range(lo..=hi)
+            }
+            DelayPolicy::Partitioned {
+                delta,
+                groups,
+                cross_delay,
+            } => {
+                let group_of = |p: ProcessId| groups.iter().position(|g| g.contains(&p));
+                let same = match (group_of(from), group_of(to)) {
+                    (Some(a), Some(b)) => a == b,
+                    // Unlisted processes are singleton groups: a message
+                    // to/from them is cross-group unless from == to.
+                    _ => from == to,
+                };
+                if same {
+                    (*delta).max(1)
+                } else {
+                    (*cross_delay).max(1)
+                }
+            }
+        }
+    }
+
+    /// The post-stabilization delay bound `δ` of this policy (the bound
+    /// used by convergence-time assertions).
+    pub fn delta(&self) -> Time {
+        match self {
+            DelayPolicy::Synchronous { delta }
+            | DelayPolicy::PartialSynchrony { delta, .. }
+            | DelayPolicy::Asynchronous { delta, .. }
+            | DelayPolicy::Partitioned { delta, .. } => (*delta).max(1),
+        }
+    }
+
+    /// The GST of this policy, if it has one (`Synchronous` stabilizes at
+    /// 0; `Asynchronous` never stabilizes).
+    pub fn gst(&self) -> Option<Time> {
+        match self {
+            DelayPolicy::Synchronous { .. } => Some(0),
+            DelayPolicy::PartialSynchrony { gst, .. } => Some(*gst),
+            DelayPolicy::Asynchronous { .. } => None,
+            DelayPolicy::Partitioned { .. } => Some(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cupft_graph::process_set;
+    use rand::SeedableRng;
+
+    fn p(n: u64) -> ProcessId {
+        ProcessId::new(n)
+    }
+
+    #[test]
+    fn synchronous_is_constant() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = DelayPolicy::Synchronous { delta: 7 };
+        for _ in 0..10 {
+            assert_eq!(d.delay(p(1), p(2), 0, &mut rng), 7);
+        }
+    }
+
+    #[test]
+    fn partial_synchrony_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = DelayPolicy::PartialSynchrony {
+            gst: 100,
+            delta: 10,
+            pre_gst_max: 90,
+        };
+        for _ in 0..100 {
+            let pre = d.delay(p(1), p(2), 0, &mut rng);
+            assert!((10..=90).contains(&pre), "pre-GST delay {pre}");
+            let post = d.delay(p(1), p(2), 100, &mut rng);
+            assert!((1..=10).contains(&post), "post-GST delay {post}");
+        }
+    }
+
+    #[test]
+    fn partitioned_cross_group_slow() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = DelayPolicy::Partitioned {
+            delta: 5,
+            groups: vec![process_set([1, 2, 3]), process_set([6, 7, 8])],
+            cross_delay: 10_000,
+        };
+        assert_eq!(d.delay(p(1), p(2), 0, &mut rng), 5);
+        assert_eq!(d.delay(p(6), p(8), 0, &mut rng), 5);
+        assert_eq!(d.delay(p(1), p(6), 0, &mut rng), 10_000);
+        // unlisted process 9: cross to everyone
+        assert_eq!(d.delay(p(9), p(1), 0, &mut rng), 10_000);
+    }
+
+    #[test]
+    fn async_never_fast() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = DelayPolicy::Asynchronous {
+            delta: 50,
+            unbounded_max: 1_000_000,
+        };
+        for t in [0u64, 1_000, 1_000_000] {
+            let delay = d.delay(p(1), p(2), t, &mut rng);
+            assert!(delay >= 50);
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(DelayPolicy::Synchronous { delta: 3 }.delta(), 3);
+        assert_eq!(DelayPolicy::Synchronous { delta: 3 }.gst(), Some(0));
+        assert_eq!(
+            DelayPolicy::Asynchronous {
+                delta: 1,
+                unbounded_max: 10
+            }
+            .gst(),
+            None
+        );
+        assert_eq!(DelayPolicy::default().gst(), Some(100));
+    }
+}

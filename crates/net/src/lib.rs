@@ -1,0 +1,71 @@
+//! Partially synchronous message substrate for BFT-CUP / BFT-CUPFT.
+//!
+//! The paper's system model (Section II-A): a finite set of processes with
+//! unique IDs communicating over *authenticated reliable point-to-point
+//! channels* under **partial synchrony** — for every execution there is a
+//! Global Stabilization Time (GST) and a bound `δ` such that messages
+//! between correct processes sent after GST are delivered within `δ`;
+//! before GST, delays are arbitrary (but finite: channels are reliable).
+//!
+//! Two interchangeable runtimes execute the same [`Actor`] code:
+//!
+//! * [`sim::Simulation`] — a deterministic discrete-event simulator with an
+//!   explicit GST, seeded adversarial pre-GST delays, and scripted delay
+//!   policies (needed to reproduce the indistinguishability executions of
+//!   Theorem 7 exactly);
+//! * [`threaded::run_threaded`] — an OS-thread runtime using crossbeam
+//!   channels with randomized real-time delays, for wall-clock validation.
+//!
+//! # Example
+//!
+//! ```
+//! use cupft_net::{Actor, Context, SimConfig};
+//! use cupft_net::sim::Simulation;
+//! use cupft_graph::ProcessId;
+//!
+//! #[derive(Clone)]
+//! enum Ping { Ping, Pong }
+//! impl cupft_net::Labeled for Ping {
+//!     fn label(&self) -> &'static str {
+//!         match self { Ping::Ping => "PING", Ping::Pong => "PONG" }
+//!     }
+//! }
+//!
+//! struct Node { id: ProcessId, peer: ProcessId, got_pong: bool }
+//! impl Actor<Ping> for Node {
+//!     fn id(&self) -> ProcessId { self.id }
+//!     fn as_any(&self) -> &dyn std::any::Any { self }
+//!     fn on_start(&mut self, ctx: &mut Context<Ping>) {
+//!         ctx.send(self.peer, Ping::Ping);
+//!     }
+//!     fn on_message(&mut self, from: ProcessId, msg: Ping, ctx: &mut Context<Ping>) {
+//!         match msg {
+//!             Ping::Ping => ctx.send(from, Ping::Pong),
+//!             Ping::Pong => { self.got_pong = true; ctx.halt(); }
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(SimConfig::default());
+//! sim.add_actor(Box::new(Node { id: ProcessId::new(1), peer: ProcessId::new(2), got_pong: false }));
+//! sim.add_actor(Box::new(Node { id: ProcessId::new(2), peer: ProcessId::new(1), got_pong: false }));
+//! let report = sim.run();
+//! assert!(report.all_halted);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod actor;
+mod delay;
+pub mod sim;
+mod stats;
+pub mod threaded;
+
+pub use actor::{Actor, Context, Labeled, TimerKind};
+pub use delay::DelayPolicy;
+pub use sim::{RunReport, SimConfig, Simulation, TraceEntry};
+pub use stats::NetStats;
+
+/// Simulated time, in abstract ticks.
+pub type Time = u64;

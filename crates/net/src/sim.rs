@@ -1,0 +1,628 @@
+//! Deterministic discrete-event simulator.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use cupft_graph::ProcessId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::actor::{Actor, Context, Labeled, TimerKind};
+use crate::delay::DelayPolicy;
+use crate::stats::NetStats;
+use crate::Time;
+
+/// Configuration for a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// RNG seed; identical seeds replay identical executions.
+    pub seed: u64,
+    /// Hard stop: no event later than this is processed.
+    pub max_time: Time,
+    /// The delay policy (the scheduling adversary).
+    pub policy: DelayPolicy,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            max_time: 100_000,
+            policy: DelayPolicy::default(),
+        }
+    }
+}
+
+/// One delivered-event record in a simulation trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Delivery time.
+    pub time: Time,
+    /// Sender.
+    pub from: ProcessId,
+    /// Receiver.
+    pub to: ProcessId,
+    /// Message label (from [`Labeled`]).
+    pub label: &'static str,
+}
+
+/// Outcome of a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Simulated time when the run stopped.
+    pub end_time: Time,
+    /// Whether every actor halted (vs. hitting `max_time` / event
+    /// exhaustion with live actors).
+    pub all_halted: bool,
+    /// Number of events processed.
+    pub events: u64,
+    /// Network statistics.
+    pub stats: NetStats,
+}
+
+enum EventKind<M> {
+    Deliver { from: ProcessId, msg: M },
+    Timer { kind: TimerKind },
+    Start,
+}
+
+struct Event<M> {
+    time: Time,
+    seq: u64,
+    target: ProcessId,
+    kind: EventKind<M>,
+}
+
+/// The discrete-event simulator.
+///
+/// Events are processed in `(time, sequence)` order, making executions a
+/// pure function of the configuration, the actor set, and the seed. The
+/// determinism is load-bearing: the Theorem 7 reproduction compares whole
+/// executions across systems A, B, and AB.
+pub struct Simulation<M> {
+    actors: BTreeMap<ProcessId, Box<dyn Actor<M>>>,
+    halted: BTreeMap<ProcessId, bool>,
+    queue: BinaryHeap<Reverse<OrderedEvent<M>>>,
+    now: Time,
+    seq: u64,
+    events_processed: u64,
+    rng: StdRng,
+    config: SimConfig,
+    stats: NetStats,
+    trace: Option<Vec<TraceEntry>>,
+}
+
+struct OrderedEvent<M>(Event<M>);
+
+impl<M> PartialEq for OrderedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.time == other.0.time && self.0.seq == other.0.seq
+    }
+}
+impl<M> Eq for OrderedEvent<M> {}
+impl<M> PartialOrd for OrderedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for OrderedEvent<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.0.time, self.0.seq).cmp(&(other.0.time, other.0.seq))
+    }
+}
+
+impl<M: Clone + Labeled + 'static> Simulation<M> {
+    /// Creates a simulation with no actors.
+    pub fn new(config: SimConfig) -> Self {
+        Simulation {
+            actors: BTreeMap::new(),
+            halted: BTreeMap::new(),
+            queue: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            events_processed: 0,
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            stats: NetStats::default(),
+            trace: None,
+        }
+    }
+
+    /// Enables delivery tracing: every delivered message is recorded as a
+    /// [`TraceEntry`]. Costs memory proportional to message volume; off by
+    /// default.
+    pub fn enable_trace(&mut self) {
+        self.trace.get_or_insert_with(Vec::new);
+    }
+
+    /// The recorded trace (empty unless [`Self::enable_trace`] was called).
+    pub fn trace(&self) -> &[TraceEntry] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// A stable fingerprint of the trace (FNV-1a over entries), for
+    /// determinism assertions: identical seeds must produce identical
+    /// fingerprints.
+    pub fn trace_fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf29ce484222325;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x100000001b3);
+            }
+        };
+        for e in self.trace() {
+            mix(&e.time.to_be_bytes());
+            mix(&e.from.raw().to_be_bytes());
+            mix(&e.to.raw().to_be_bytes());
+            mix(e.label.as_bytes());
+        }
+        hash
+    }
+
+    /// Registers an actor and schedules its `on_start` at time 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an actor with the same ID is already registered.
+    pub fn add_actor(&mut self, actor: Box<dyn Actor<M>>) {
+        let id = actor.id();
+        assert!(
+            self.actors.insert(id, actor).is_none(),
+            "duplicate actor {id}"
+        );
+        self.halted.insert(id, false);
+        let seq = self.next_seq();
+        self.queue.push(Reverse(OrderedEvent(Event {
+            time: 0,
+            seq,
+            target: id,
+            kind: EventKind::Start,
+        })));
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Immutable access to an actor (for assertions between steps).
+    pub fn actor(&self, id: ProcessId) -> Option<&dyn Actor<M>> {
+        self.actors.get(&id).map(|b| b.as_ref())
+    }
+
+    /// Downcast access to an actor's concrete type.
+    pub fn actor_as<T: 'static>(&self, id: ProcessId) -> Option<&T> {
+        self.actors
+            .get(&id)
+            .and_then(|b| b.as_any().downcast_ref::<T>())
+    }
+
+    /// Whether the given actor has halted.
+    pub fn is_halted(&self, id: ProcessId) -> bool {
+        self.halted.get(&id).copied().unwrap_or(false)
+    }
+
+    /// Processes the next event. Returns `false` when the queue is empty,
+    /// the time horizon is exceeded, or every actor has halted.
+    pub fn step(&mut self) -> bool {
+        if self.halted.values().all(|&h| h) {
+            return false;
+        }
+        let Some(Reverse(OrderedEvent(event))) = self.queue.pop() else {
+            return false;
+        };
+        if event.time > self.config.max_time {
+            // push back so a later horizon extension could resume
+            self.queue.push(Reverse(OrderedEvent(event)));
+            return false;
+        }
+        self.now = self.now.max(event.time);
+        self.events_processed += 1;
+
+        if self.halted.get(&event.target).copied().unwrap_or(true) {
+            return true; // drop events for halted/unknown actors
+        }
+        let mut ctx = Context::new(self.now, event.target);
+        {
+            let actor = self
+                .actors
+                .get_mut(&event.target)
+                .expect("event target registered");
+            match event.kind {
+                EventKind::Start => actor.on_start(&mut ctx),
+                EventKind::Deliver { from, msg } => {
+                    self.stats.messages_delivered += 1;
+                    if let Some(trace) = &mut self.trace {
+                        trace.push(TraceEntry {
+                            time: self.now,
+                            from,
+                            to: event.target,
+                            label: msg.label(),
+                        });
+                    }
+                    actor.on_message(from, msg, &mut ctx);
+                }
+                EventKind::Timer { kind } => {
+                    self.stats.timers_fired += 1;
+                    actor.on_timer(kind, &mut ctx);
+                }
+            }
+        }
+        self.apply_effects(event.target, ctx);
+        true
+    }
+
+    fn apply_effects(&mut self, source: ProcessId, ctx: Context<M>) {
+        let Context {
+            sends,
+            timers,
+            halted,
+            ..
+        } = ctx;
+        for (to, msg) in sends {
+            self.stats.record_send(msg.label());
+            let delay = self.config.policy.delay(source, to, self.now, &mut self.rng);
+            let seq = self.next_seq();
+            self.queue.push(Reverse(OrderedEvent(Event {
+                time: self.now + delay,
+                seq,
+                target: to,
+                kind: EventKind::Deliver { from: source, msg },
+            })));
+        }
+        for (kind, delay) in timers {
+            let seq = self.next_seq();
+            self.queue.push(Reverse(OrderedEvent(Event {
+                time: self.now + delay,
+                seq,
+                target: source,
+                kind: EventKind::Timer { kind },
+            })));
+        }
+        if halted {
+            self.halted.insert(source, true);
+        }
+    }
+
+    /// Runs until no progress is possible (all halted, horizon reached, or
+    /// no events left).
+    pub fn run(&mut self) -> RunReport {
+        while self.step() {}
+        RunReport {
+            end_time: self.now,
+            all_halted: self.halted.values().all(|&h| h),
+            events: self.events_processed,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Runs until `predicate` returns true (checked after each event) or no
+    /// progress is possible. Returns whether the predicate fired.
+    pub fn run_until<F>(&mut self, mut predicate: F) -> bool
+    where
+        F: FnMut(&Simulation<M>) -> bool,
+    {
+        loop {
+            if predicate(self) {
+                return true;
+            }
+            if !self.step() {
+                return false;
+            }
+        }
+    }
+
+    /// Consumes the simulation, returning the actors for inspection.
+    pub fn into_actors(self) -> BTreeMap<ProcessId, Box<dyn Actor<M>>> {
+        self.actors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    impl Labeled for Msg {
+        fn label(&self) -> &'static str {
+            match self {
+                Msg::Ping(_) => "PING",
+                Msg::Pong(_) => "PONG",
+            }
+        }
+    }
+
+    struct PingPong {
+        id: ProcessId,
+        peer: ProcessId,
+        initiator: bool,
+        rounds_left: u32,
+        finished_at: Option<Time>,
+    }
+
+    impl Actor<Msg> for PingPong {
+        fn id(&self) -> ProcessId {
+            self.id
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn on_start(&mut self, ctx: &mut Context<Msg>) {
+            if self.initiator {
+                ctx.send(self.peer, Msg::Ping(self.rounds_left));
+            }
+        }
+        fn on_message(&mut self, from: ProcessId, msg: Msg, ctx: &mut Context<Msg>) {
+            match msg {
+                Msg::Ping(n) => {
+                    ctx.send(from, Msg::Pong(n));
+                    if n == 0 {
+                        ctx.halt();
+                    }
+                }
+                Msg::Pong(n) => {
+                    if n == 0 {
+                        self.finished_at = Some(ctx.now());
+                        ctx.halt();
+                    } else {
+                        ctx.send(from, Msg::Ping(n - 1));
+                    }
+                }
+            }
+        }
+    }
+
+    fn pingpong_sim(seed: u64) -> Simulation<Msg> {
+        let mut sim = Simulation::new(SimConfig {
+            seed,
+            max_time: 1_000_000,
+            policy: DelayPolicy::PartialSynchrony {
+                gst: 100,
+                delta: 10,
+                pre_gst_max: 70,
+            },
+        });
+        sim.add_actor(Box::new(PingPong {
+            id: ProcessId::new(1),
+            peer: ProcessId::new(2),
+            initiator: true,
+            rounds_left: 5,
+            finished_at: None,
+        }));
+        sim.add_actor(Box::new(PingPong {
+            id: ProcessId::new(2),
+            peer: ProcessId::new(1),
+            initiator: false,
+            rounds_left: 0,
+            finished_at: None,
+        }));
+        sim
+    }
+
+    #[test]
+    fn pingpong_completes() {
+        let mut sim = pingpong_sim(7);
+        let report = sim.run();
+        assert!(report.all_halted);
+        assert_eq!(report.stats.label_count("PING"), 6);
+        assert_eq!(report.stats.label_count("PONG"), 6);
+        assert_eq!(report.stats.messages_sent, 12);
+        assert_eq!(report.stats.messages_delivered, 12);
+    }
+
+    #[test]
+    fn identical_seeds_replay_identically() {
+        let r1 = pingpong_sim(99).run();
+        let r2 = pingpong_sim(99).run();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn different_seeds_change_timing() {
+        let r1 = pingpong_sim(1).run();
+        let r2 = pingpong_sim(2).run();
+        // same message counts, (almost surely) different end time
+        assert_eq!(r1.stats.messages_sent, r2.stats.messages_sent);
+        assert_ne!(r1.end_time, r2.end_time);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerActor {
+            id: ProcessId,
+            fired: Vec<TimerKind>,
+        }
+        #[derive(Clone)]
+        struct NoMsg;
+        impl Labeled for NoMsg {
+            fn label(&self) -> &'static str {
+                "NONE"
+            }
+        }
+        impl Actor<NoMsg> for TimerActor {
+            fn id(&self) -> ProcessId {
+                self.id
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn on_start(&mut self, ctx: &mut Context<NoMsg>) {
+                ctx.set_timer(3, 30);
+                ctx.set_timer(1, 10);
+                ctx.set_timer(2, 20);
+            }
+            fn on_message(&mut self, _: ProcessId, _: NoMsg, _: &mut Context<NoMsg>) {}
+            fn on_timer(&mut self, kind: TimerKind, ctx: &mut Context<NoMsg>) {
+                self.fired.push(kind);
+                if self.fired.len() == 3 {
+                    ctx.halt();
+                }
+            }
+        }
+        let mut sim: Simulation<NoMsg> = Simulation::new(SimConfig::default());
+        sim.add_actor(Box::new(TimerActor {
+            id: ProcessId::new(1),
+            fired: vec![],
+        }));
+        let report = sim.run();
+        assert!(report.all_halted);
+        assert_eq!(report.end_time, 30);
+    }
+
+    #[test]
+    fn horizon_stops_run() {
+        let mut sim = Simulation::new(SimConfig {
+            seed: 0,
+            max_time: 5,
+            policy: DelayPolicy::Synchronous { delta: 100 },
+        });
+        sim.add_actor(Box::new(PingPong {
+            id: ProcessId::new(1),
+            peer: ProcessId::new(2),
+            initiator: true,
+            rounds_left: 1,
+            finished_at: None,
+        }));
+        sim.add_actor(Box::new(PingPong {
+            id: ProcessId::new(2),
+            peer: ProcessId::new(1),
+            initiator: false,
+            rounds_left: 0,
+            finished_at: None,
+        }));
+        let report = sim.run();
+        assert!(!report.all_halted);
+        assert!(report.end_time <= 5);
+    }
+
+    #[test]
+    fn run_until_predicate() {
+        let mut sim = pingpong_sim(3);
+        let fired = sim.run_until(|s| s.stats().messages_delivered >= 3);
+        assert!(fired);
+        assert!(sim.stats().messages_delivered >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate actor")]
+    fn duplicate_actor_panics() {
+        let mut sim = pingpong_sim(0);
+        sim.add_actor(Box::new(PingPong {
+            id: ProcessId::new(1),
+            peer: ProcessId::new(2),
+            initiator: false,
+            rounds_left: 0,
+            finished_at: None,
+        }));
+    }
+
+    #[test]
+    fn halted_actor_receives_nothing() {
+        // actor 2 halts after first ping; further pings are dropped
+        struct Spammer {
+            id: ProcessId,
+            peer: ProcessId,
+            sent: u32,
+        }
+        impl Actor<Msg> for Spammer {
+            fn id(&self) -> ProcessId {
+                self.id
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn on_start(&mut self, ctx: &mut Context<Msg>) {
+                for i in 0..5 {
+                    ctx.send(self.peer, Msg::Ping(i));
+                    self.sent += 1;
+                }
+                ctx.halt();
+            }
+            fn on_message(&mut self, _: ProcessId, _: Msg, _: &mut Context<Msg>) {}
+        }
+        struct OneShot {
+            id: ProcessId,
+            received: u32,
+        }
+        impl Actor<Msg> for OneShot {
+            fn id(&self) -> ProcessId {
+                self.id
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn on_message(&mut self, _: ProcessId, _: Msg, ctx: &mut Context<Msg>) {
+                self.received += 1;
+                ctx.halt();
+            }
+        }
+        let mut sim: Simulation<Msg> = Simulation::new(SimConfig::default());
+        sim.add_actor(Box::new(Spammer {
+            id: ProcessId::new(1),
+            peer: ProcessId::new(2),
+            sent: 0,
+        }));
+        sim.add_actor(Box::new(OneShot {
+            id: ProcessId::new(2),
+            received: 0,
+        }));
+        let report = sim.run();
+        assert!(report.all_halted);
+        // only one delivery reached the actor
+        assert_eq!(report.stats.messages_delivered, 1);
+    }
+
+    #[test]
+    fn trace_records_deliveries() {
+        let mut sim = pingpong_sim(4);
+        sim.enable_trace();
+        sim.run();
+        assert_eq!(sim.trace().len(), 12);
+        assert!(sim.trace().iter().any(|e| e.label == "PING"));
+        assert!(sim.trace().iter().any(|e| e.label == "PONG"));
+        // trace times are monotone
+        for w in sim.trace().windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+
+    #[test]
+    fn trace_fingerprint_deterministic() {
+        let mut a = pingpong_sim(21);
+        a.enable_trace();
+        a.run();
+        let mut b = pingpong_sim(21);
+        b.enable_trace();
+        b.run();
+        assert_eq!(a.trace_fingerprint(), b.trace_fingerprint());
+        let mut c = pingpong_sim(22);
+        c.enable_trace();
+        c.run();
+        assert_ne!(a.trace_fingerprint(), c.trace_fingerprint());
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let mut sim = pingpong_sim(4);
+        sim.run();
+        assert!(sim.trace().is_empty());
+        assert_eq!(sim.trace_fingerprint(), 0xcbf29ce484222325);
+    }
+}

@@ -1,0 +1,64 @@
+//! Network statistics collected by the runtimes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Counters describing one run of a runtime.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Total messages handed to the network.
+    pub messages_sent: u64,
+    /// Total messages delivered to actors.
+    pub messages_delivered: u64,
+    /// Total timer events fired.
+    pub timers_fired: u64,
+    /// Per-label message counts (the label comes from
+    /// [`crate::Labeled::label`]).
+    pub by_label: BTreeMap<&'static str, u64>,
+}
+
+impl NetStats {
+    /// Records a send with the given label.
+    pub(crate) fn record_send(&mut self, label: &'static str) {
+        self.messages_sent += 1;
+        *self.by_label.entry(label).or_insert(0) += 1;
+    }
+
+    /// Messages of one label, 0 if none.
+    pub fn label_count(&self, label: &str) -> u64 {
+        self.by_label.get(label).copied().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for NetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sent={} delivered={} timers={}",
+            self.messages_sent, self.messages_delivered, self.timers_fired
+        )?;
+        for (label, count) in &self.by_label {
+            write!(f, " {label}={count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_displays() {
+        let mut s = NetStats::default();
+        s.record_send("PING");
+        s.record_send("PING");
+        s.record_send("PONG");
+        assert_eq!(s.messages_sent, 3);
+        assert_eq!(s.label_count("PING"), 2);
+        assert_eq!(s.label_count("NOPE"), 0);
+        let text = s.to_string();
+        assert!(text.contains("PING=2"));
+        assert!(text.contains("sent=3"));
+    }
+}

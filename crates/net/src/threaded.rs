@@ -1,0 +1,517 @@
+//! OS-thread runtime: the same actors on real threads and channels.
+//!
+//! Each actor runs on its own thread with a crossbeam inbox; a router
+//! thread applies randomized delivery delays. Real-time interleaving is
+//! inherently nondeterministic — use [`crate::sim::Simulation`] for
+//! reproducible experiments and this runtime for wall-clock validation
+//! that the protocols are not simulator artifacts.
+
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use cupft_graph::ProcessId;
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::actor::{Actor, Context, Labeled, TimerKind};
+use crate::stats::NetStats;
+use crate::Time;
+
+/// Configuration for the threaded runtime.
+#[derive(Debug, Clone)]
+pub struct ThreadedConfig {
+    /// Minimum artificial delivery delay.
+    pub min_delay: Duration,
+    /// Maximum artificial delivery delay.
+    pub max_delay: Duration,
+    /// Wall-clock budget for the run.
+    pub wall_timeout: Duration,
+    /// Seed for the delay sampler.
+    pub seed: u64,
+    /// External stop signal: when some supervisor sets this flag the run
+    /// winds down early (useful for protocols whose actors never halt,
+    /// where the caller detects goal completion out of band, e.g. via a
+    /// [`Board`]).
+    pub stop: Option<Arc<AtomicBool>>,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        ThreadedConfig {
+            min_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(10),
+            wall_timeout: Duration::from_secs(10),
+            seed: 0,
+            stop: None,
+        }
+    }
+}
+
+/// Result of a threaded run: the actors (for state inspection) and stats.
+pub struct ThreadedReport<M> {
+    /// The actors, keyed by ID, in their final states.
+    pub actors: BTreeMap<ProcessId, Box<dyn Actor<M>>>,
+    /// Network statistics observed by the router.
+    pub stats: NetStats,
+    /// Whether every actor halted before the wall timeout.
+    pub all_halted: bool,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl<M> std::fmt::Debug for ThreadedReport<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedReport")
+            .field("actors", &self.actors.keys().collect::<Vec<_>>())
+            .field("stats", &self.stats)
+            .field("all_halted", &self.all_halted)
+            .field("elapsed", &self.elapsed)
+            .finish()
+    }
+}
+
+enum RouterMsg<M> {
+    Send {
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+        label: &'static str,
+    },
+    Halted(ProcessId),
+}
+
+struct Pending<M> {
+    due: Instant,
+    seq: u64,
+    from: ProcessId,
+    to: ProcessId,
+    msg: M,
+}
+
+impl<M> PartialEq for Pending<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<M> Eq for Pending<M> {}
+impl<M> PartialOrd for Pending<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Pending<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // reversed: BinaryHeap is a max-heap, we want earliest due first
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+
+/// Runs `actors` on OS threads until all halt or the wall timeout expires.
+pub fn run_threaded<M>(actors: Vec<Box<dyn Actor<M>>>, config: ThreadedConfig) -> ThreadedReport<M>
+where
+    M: Clone + Send + Labeled + 'static,
+{
+    let start = Instant::now();
+    let (router_tx, router_rx) = unbounded::<RouterMsg<M>>();
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    // Inbox per actor.
+    let mut inboxes: BTreeMap<ProcessId, Sender<(ProcessId, M)>> = BTreeMap::new();
+    let mut handles = Vec::new();
+    let ids: Vec<ProcessId> = actors.iter().map(|a| a.id()).collect();
+
+    for actor in actors {
+        let id = actor.id();
+        let (tx, rx) = bounded::<(ProcessId, M)>(4096);
+        inboxes.insert(id, tx);
+        let router_tx = router_tx.clone();
+        let shutdown = shutdown.clone();
+        handles.push(thread::spawn(move || {
+            actor_loop(actor, rx, router_tx, shutdown, start)
+        }));
+    }
+    drop(router_tx);
+
+    // Router loop on this thread.
+    let mut stats = NetStats::default();
+    let mut heap: BinaryHeap<Pending<M>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut halted: BTreeMap<ProcessId, bool> = ids.iter().map(|&i| (i, false)).collect();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let deadline = start + config.wall_timeout;
+
+    loop {
+        if halted.values().all(|&h| h) {
+            break;
+        }
+        if config
+            .stop
+            .as_ref()
+            .is_some_and(|s| s.load(Ordering::SeqCst))
+        {
+            break;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        // Deliver everything due.
+        while heap.peek().is_some_and(|p| p.due <= now) {
+            let p = heap.pop().expect("peeked");
+            if let Some(tx) = inboxes.get(&p.to) {
+                if tx.try_send((p.from, p.msg)).is_ok() {
+                    stats.messages_delivered += 1;
+                }
+            }
+        }
+        let wait = heap
+            .peek()
+            .map(|p| p.due.saturating_duration_since(now))
+            .unwrap_or(Duration::from_millis(5))
+            .min(deadline.saturating_duration_since(now))
+            .min(Duration::from_millis(5));
+        match router_rx.recv_timeout(wait) {
+            Ok(RouterMsg::Send {
+                from,
+                to,
+                msg,
+                label,
+            }) => {
+                stats.record_send(label);
+                let spread = config
+                    .max_delay
+                    .saturating_sub(config.min_delay)
+                    .as_millis() as u64;
+                let extra = if spread == 0 {
+                    0
+                } else {
+                    rng.random_range(0..=spread)
+                };
+                let due = Instant::now() + config.min_delay + Duration::from_millis(extra);
+                seq += 1;
+                heap.push(Pending {
+                    due,
+                    seq,
+                    from,
+                    to,
+                    msg,
+                });
+            }
+            Ok(RouterMsg::Halted(id)) => {
+                halted.insert(id, true);
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+
+    let all_halted = halted.values().all(|&h| h);
+    shutdown.store(true, Ordering::SeqCst);
+    drop(inboxes);
+    let mut out = BTreeMap::new();
+    for handle in handles {
+        let actor = handle.join().expect("actor thread panicked");
+        out.insert(actor.id(), actor);
+    }
+    ThreadedReport {
+        actors: out,
+        stats,
+        all_halted,
+        elapsed: start.elapsed(),
+    }
+}
+
+fn actor_loop<M>(
+    mut actor: Box<dyn Actor<M>>,
+    inbox: Receiver<(ProcessId, M)>,
+    router: Sender<RouterMsg<M>>,
+    shutdown: Arc<AtomicBool>,
+    start: Instant,
+) -> Box<dyn Actor<M>>
+where
+    M: Clone + Send + Labeled + 'static,
+{
+    let id = actor.id();
+    let mut timers: BinaryHeap<(std::cmp::Reverse<Time>, TimerKind)> = BinaryHeap::new();
+    let now_ms = |start: Instant| -> Time { start.elapsed().as_millis() as Time };
+
+    let mut halted = false;
+    {
+        let mut ctx = Context::new(now_ms(start), id);
+        actor.on_start(&mut ctx);
+        halted = apply(&mut timers, &router, id, ctx, now_ms(start)) || halted;
+    }
+
+    while !halted && !shutdown.load(Ordering::SeqCst) {
+        let now = now_ms(start);
+        // Fire due timers first.
+        let mut fired = false;
+        while timers.peek().is_some_and(|&(std::cmp::Reverse(at), _)| at <= now) {
+            let (_, kind) = timers.pop().expect("peeked");
+            let mut ctx = Context::new(now, id);
+            actor.on_timer(kind, &mut ctx);
+            halted = apply(&mut timers, &router, id, ctx, now) || halted;
+            fired = true;
+            if halted {
+                break;
+            }
+        }
+        if halted {
+            break;
+        }
+        if fired {
+            continue;
+        }
+        let wait = timers
+            .peek()
+            .map(|&(std::cmp::Reverse(at), _)| Duration::from_millis(at.saturating_sub(now)))
+            .unwrap_or(Duration::from_millis(20))
+            .min(Duration::from_millis(20));
+        match inbox.recv_timeout(wait) {
+            Ok((from, msg)) => {
+                let mut ctx = Context::new(now_ms(start), id);
+                actor.on_message(from, msg, &mut ctx);
+                halted = apply(&mut timers, &router, id, ctx, now_ms(start)) || halted;
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    if halted {
+        let _ = router.send(RouterMsg::Halted(id));
+    }
+    actor
+}
+
+/// Applies buffered context effects; returns whether the actor halted.
+fn apply<M>(
+    timers: &mut BinaryHeap<(std::cmp::Reverse<Time>, TimerKind)>,
+    router: &Sender<RouterMsg<M>>,
+    id: ProcessId,
+    ctx: Context<M>,
+    now: Time,
+) -> bool
+where
+    M: Clone + Send + Labeled + 'static,
+{
+    let Context {
+        sends,
+        timers: new_timers,
+        halted,
+        ..
+    } = ctx;
+    for (to, msg) in sends {
+        let label = msg.label();
+        let _ = router.send(RouterMsg::Send {
+            from: id,
+            to,
+            msg,
+            label,
+        });
+    }
+    for (kind, delay) in new_timers {
+        timers.push((std::cmp::Reverse(now + delay), kind));
+    }
+    halted
+}
+
+/// Shared decision board: a tiny utility actors can use (via `Arc`) to
+/// publish values for cross-thread assertions in tests and examples.
+#[derive(Debug, Default, Clone)]
+pub struct Board<T> {
+    inner: Arc<Mutex<BTreeMap<ProcessId, T>>>,
+}
+
+impl<T: Clone> Board<T> {
+    /// Creates an empty board.
+    pub fn new() -> Self {
+        Board {
+            inner: Arc::new(Mutex::new(BTreeMap::new())),
+        }
+    }
+
+    /// Publishes `value` for process `id`.
+    pub fn publish(&self, id: ProcessId, value: T) {
+        self.inner.lock().insert(id, value);
+    }
+
+    /// Snapshot of all published values.
+    pub fn snapshot(&self) -> BTreeMap<ProcessId, T> {
+        self.inner.lock().clone()
+    }
+
+    /// Number of published entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether nothing has been published.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone)]
+    enum Msg {
+        Ping,
+        Pong,
+    }
+    impl Labeled for Msg {
+        fn label(&self) -> &'static str {
+            match self {
+                Msg::Ping => "PING",
+                Msg::Pong => "PONG",
+            }
+        }
+    }
+
+    struct Node {
+        id: ProcessId,
+        peer: ProcessId,
+        initiator: bool,
+        board: Board<bool>,
+    }
+
+    impl Actor<Msg> for Node {
+        fn id(&self) -> ProcessId {
+            self.id
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn on_start(&mut self, ctx: &mut Context<Msg>) {
+            if self.initiator {
+                ctx.send(self.peer, Msg::Ping);
+            }
+        }
+        fn on_message(&mut self, from: ProcessId, msg: Msg, ctx: &mut Context<Msg>) {
+            match msg {
+                Msg::Ping => {
+                    ctx.send(from, Msg::Pong);
+                    self.board.publish(self.id, true);
+                    ctx.halt();
+                }
+                Msg::Pong => {
+                    self.board.publish(self.id, true);
+                    ctx.halt();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_pingpong() {
+        let board = Board::new();
+        let actors: Vec<Box<dyn Actor<Msg>>> = vec![
+            Box::new(Node {
+                id: ProcessId::new(1),
+                peer: ProcessId::new(2),
+                initiator: true,
+                board: board.clone(),
+            }),
+            Box::new(Node {
+                id: ProcessId::new(2),
+                peer: ProcessId::new(1),
+                initiator: false,
+                board: board.clone(),
+            }),
+        ];
+        let report = run_threaded(
+            actors,
+            ThreadedConfig {
+                wall_timeout: Duration::from_secs(5),
+                ..ThreadedConfig::default()
+            },
+        );
+        assert!(report.all_halted, "{report:?}");
+        assert_eq!(board.len(), 2);
+        assert_eq!(report.stats.label_count("PING"), 1);
+        assert_eq!(report.stats.label_count("PONG"), 1);
+    }
+
+    #[test]
+    fn wall_timeout_terminates_stuck_actors() {
+        struct Stuck {
+            id: ProcessId,
+        }
+        impl Actor<Msg> for Stuck {
+            fn id(&self) -> ProcessId {
+                self.id
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn on_message(&mut self, _: ProcessId, _: Msg, _: &mut Context<Msg>) {}
+        }
+        let report = run_threaded(
+            vec![Box::new(Stuck {
+                id: ProcessId::new(1),
+            }) as Box<dyn Actor<Msg>>],
+            ThreadedConfig {
+                wall_timeout: Duration::from_millis(200),
+                ..ThreadedConfig::default()
+            },
+        );
+        assert!(!report.all_halted);
+        assert!(report.elapsed >= Duration::from_millis(200));
+    }
+
+    #[test]
+    fn timers_fire_in_threaded_runtime() {
+        struct TimerNode {
+            id: ProcessId,
+            fired: u32,
+        }
+        impl Actor<Msg> for TimerNode {
+            fn id(&self) -> ProcessId {
+                self.id
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn on_start(&mut self, ctx: &mut Context<Msg>) {
+                ctx.set_timer(1, 10);
+            }
+            fn on_message(&mut self, _: ProcessId, _: Msg, _: &mut Context<Msg>) {}
+            fn on_timer(&mut self, _: TimerKind, ctx: &mut Context<Msg>) {
+                self.fired += 1;
+                if self.fired >= 3 {
+                    ctx.halt();
+                } else {
+                    ctx.set_timer(1, 10);
+                }
+            }
+        }
+        let report = run_threaded(
+            vec![Box::new(TimerNode {
+                id: ProcessId::new(1),
+                fired: 0,
+            }) as Box<dyn Actor<Msg>>],
+            ThreadedConfig {
+                wall_timeout: Duration::from_secs(5),
+                ..ThreadedConfig::default()
+            },
+        );
+        assert!(report.all_halted);
+    }
+
+    #[test]
+    fn board_snapshot() {
+        let board: Board<u32> = Board::new();
+        assert!(board.is_empty());
+        board.publish(ProcessId::new(1), 10);
+        board.publish(ProcessId::new(2), 20);
+        let snap = board.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[&ProcessId::new(1)], 10);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests over the graph substrate's public API.
+
+use bft_cupft::graph::{
+    condensation, process_set, strongly_connected_components, DiGraph, DisjointPaths,
+    KnowledgeView, ProcessId, ProcessSet,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random digraph on up to `n` vertices with edge probability
+/// controlled by the density parameter.
+fn arb_digraph(max_n: u64) -> impl Strategy<Value = DiGraph> {
+    (2..=max_n, proptest::collection::vec(any::<u32>(), 1..200)).prop_map(|(n, seeds)| {
+        let mut g = DiGraph::new();
+        for v in 1..=n {
+            g.add_vertex(ProcessId::new(v));
+        }
+        for (i, s) in seeds.iter().enumerate() {
+            let a = 1 + (*s as u64 ^ i as u64) % n;
+            let b = 1 + (*s as u64).rotate_left(7) % n;
+            g.add_edge(ProcessId::new(a), ProcessId::new(b));
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SCCs partition the vertex set.
+    #[test]
+    fn sccs_partition_vertices(g in arb_digraph(24)) {
+        let sccs = strongly_connected_components(&g);
+        let mut seen = ProcessSet::new();
+        let mut total = 0;
+        for c in &sccs {
+            prop_assert!(!c.is_empty());
+            total += c.len();
+            seen.extend(c.iter().copied());
+        }
+        prop_assert_eq!(total, g.vertex_count());
+        prop_assert_eq!(seen, g.vertex_set());
+    }
+
+    /// Two vertices share a component iff they reach each other.
+    #[test]
+    fn scc_membership_is_mutual_reachability(g in arb_digraph(12)) {
+        let cond = condensation(&g);
+        for u in g.vertices() {
+            let ru = g.reachable_from(u);
+            for v in g.vertices() {
+                let same = cond.component_of(u) == cond.component_of(v);
+                let mutual = ru.contains(&v) && g.reachable_from(v).contains(&u);
+                prop_assert_eq!(same, mutual, "{} vs {}", u, v);
+            }
+        }
+    }
+
+    /// The condensation is acyclic: no component reaches itself through
+    /// another component.
+    #[test]
+    fn condensation_is_acyclic(g in arb_digraph(16)) {
+        let cond = condensation(&g);
+        let n = cond.components().len();
+        // Kahn-style: repeatedly remove sinks; all must be removable.
+        let mut out_deg: Vec<usize> = (0..n).map(|c| cond.component_edges(c).len()).collect();
+        let mut removed = vec![false; n];
+        for _ in 0..n {
+            let Some(s) = (0..n).find(|&c| !removed[c] && out_deg[c] == 0) else {
+                prop_assert!(false, "cycle in condensation");
+                unreachable!()
+            };
+            removed[s] = true;
+            for c in 0..n {
+                if !removed[c] && cond.component_edges(c).contains(&s) {
+                    out_deg[c] -= 1;
+                }
+            }
+        }
+    }
+
+    /// Menger sanity: path count bounded by out/in degree; monotone under
+    /// edge addition; direct edge gives at least one path.
+    #[test]
+    fn disjoint_path_bounds(g in arb_digraph(14)) {
+        let dp = DisjointPaths::new(&g);
+        for u in g.vertices().take(5) {
+            for v in g.vertices().take(5) {
+                if u == v { continue; }
+                let c = dp.count(u, v);
+                prop_assert!(c <= g.out_degree(u));
+                prop_assert!(c <= g.in_degree(v));
+                if g.has_edge(u, v) {
+                    prop_assert!(c >= 1);
+                }
+            }
+        }
+    }
+
+    /// Adding an edge never decreases any pair's disjoint-path count.
+    #[test]
+    fn path_count_monotone_under_edge_addition(g in arb_digraph(10), extra in any::<u32>()) {
+        let n = g.vertex_count() as u64;
+        let a = ProcessId::new(1 + extra as u64 % n);
+        let b = ProcessId::new(1 + (extra as u64 / 7) % n);
+        if a != b {
+            let before = DiGraph::disjoint_path_count(&g, a, b);
+            let mut g2 = g.clone();
+            g2.add_edge(a, b);
+            let after = g2.disjoint_path_count(a, b);
+            prop_assert!(after >= before.max(1));
+        }
+    }
+
+    /// Extracted paths realize the count and are internally disjoint.
+    #[test]
+    fn extracted_paths_valid(g in arb_digraph(10)) {
+        let dp = DisjointPaths::new(&g);
+        for u in g.vertices().take(3) {
+            for v in g.vertices().take(3) {
+                if u == v { continue; }
+                let paths = dp.extract(u, v);
+                prop_assert_eq!(paths.len(), dp.count(u, v));
+                let mut internals = ProcessSet::new();
+                for path in &paths {
+                    prop_assert_eq!(path.first(), Some(&u));
+                    prop_assert_eq!(path.last(), Some(&v));
+                    for w in path.windows(2) {
+                        prop_assert!(g.has_edge(w[0], w[1]));
+                    }
+                    for &x in &path[1..path.len() - 1] {
+                        prop_assert!(internals.insert(x), "reused internal {}", x);
+                    }
+                }
+            }
+        }
+    }
+
+    /// κ of a circulant equals its jump count (known closed form).
+    #[test]
+    fn circulant_connectivity_closed_form(n in 4u64..12, k in 1usize..4) {
+        let k = k.min((n - 1) as usize);
+        let g = DiGraph::circulant(&process_set(1..=n), k);
+        prop_assert_eq!(g.strong_connectivity(), k);
+    }
+
+    /// The capped connectivity agrees with the exact one up to the cap.
+    #[test]
+    fn capped_connectivity_consistent(g in arb_digraph(10), cap in 0usize..5) {
+        let exact = g.strong_connectivity();
+        prop_assert_eq!(g.strong_connectivity_capped(cap), exact.min(cap));
+    }
+
+    /// An omniscient view's graph round-trips the original.
+    #[test]
+    fn omniscient_view_roundtrip(g in arb_digraph(12)) {
+        let view = KnowledgeView::omniscient(&g);
+        prop_assert_eq!(view.graph(), g.clone());
+        prop_assert_eq!(view.received(), g.vertex_set());
+    }
+}

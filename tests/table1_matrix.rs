@@ -1,0 +1,82 @@
+//! Table I as an enforced test matrix: every cell of the paper's
+//! (im)possibility table must hold on every `cargo test` run.
+//! (The printable version with timings is `cargo run -p cupft-bench --bin
+//! table1`.)
+
+use bft_cupft::core::{run_scenario, ByzantineStrategy, ProtocolMode, Scenario};
+use bft_cupft::graph::{fig1b, fig4a, process_set, DiGraph};
+use bft_cupft::net::DelayPolicy;
+
+fn cell(
+    graph: DiGraph,
+    mode: ProtocolMode,
+    byzantine: u64,
+    policy: DelayPolicy,
+    horizon: u64,
+) -> bft_cupft::core::ConsensusCheck {
+    let scenario = Scenario::new(graph, mode)
+        .with_byzantine(byzantine, ByzantineStrategy::Silent)
+        .with_policy(policy)
+        .with_horizon(horizon);
+    run_scenario(&scenario).check()
+}
+
+fn sync() -> DelayPolicy {
+    DelayPolicy::Synchronous { delta: 10 }
+}
+
+fn psync() -> DelayPolicy {
+    DelayPolicy::PartialSynchrony {
+        gst: 300,
+        delta: 10,
+        pre_gst_max: 200,
+    }
+}
+
+fn adversarial() -> DelayPolicy {
+    DelayPolicy::Asynchronous {
+        delta: 10,
+        unbounded_max: 1_000_000,
+    }
+}
+
+fn known_membership() -> DiGraph {
+    DiGraph::complete(&process_set(1..=4))
+}
+
+#[test]
+fn row_synchronous_all_possible() {
+    for (graph, mode, byz) in [
+        (known_membership(), ProtocolMode::KnownThreshold(1), 4),
+        (fig1b().graph().clone(), ProtocolMode::KnownThreshold(1), 4),
+        (fig4a().graph().clone(), ProtocolMode::UnknownThreshold, 9),
+    ] {
+        let check = cell(graph, mode, byz, sync(), 100_000);
+        assert!(check.consensus_solved(), "{mode:?}: {check:?}");
+    }
+}
+
+#[test]
+fn row_partially_synchronous_all_possible() {
+    for (graph, mode, byz) in [
+        (known_membership(), ProtocolMode::KnownThreshold(1), 4),
+        (fig1b().graph().clone(), ProtocolMode::KnownThreshold(1), 4),
+        (fig4a().graph().clone(), ProtocolMode::UnknownThreshold, 9),
+    ] {
+        let check = cell(graph, mode, byz, psync(), 200_000);
+        assert!(check.consensus_solved(), "{mode:?}: {check:?}");
+    }
+}
+
+#[test]
+fn row_asynchronous_stalls_safely() {
+    for (graph, mode, byz) in [
+        (known_membership(), ProtocolMode::KnownThreshold(1), 4),
+        (fig1b().graph().clone(), ProtocolMode::KnownThreshold(1), 4),
+        (fig4a().graph().clone(), ProtocolMode::UnknownThreshold, 9),
+    ] {
+        let check = cell(graph, mode, byz, adversarial(), 50_000);
+        assert!(!check.termination, "{mode:?} must not decide: {check:?}");
+        assert!(check.agreement, "{mode:?} must stay safe: {check:?}");
+    }
+}

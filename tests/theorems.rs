@@ -1,0 +1,160 @@
+//! Cross-crate integration: executable checks of the paper's theorems on
+//! witness graphs and generated families.
+
+use bft_cupft::core::{run_scenario, ByzantineStrategy, ProtocolMode, Scenario};
+use bft_cupft::detector::SystemSetup;
+use bft_cupft::discovery::{DiscoveryActor, DiscoveryState};
+use bft_cupft::graph::{
+    exact_best_sink, fig1b, fig4a, fig4b, is_extended_k_osr, osr_report, process_set,
+    CandidateSearch, GdiParams, Generator, KnowledgeView,
+};
+use bft_cupft::net::sim::Simulation;
+use bft_cupft::net::{DelayPolicy, SimConfig};
+
+/// Theorem 1 (necessity side, spot check): the witness graphs satisfying
+/// BFT-CUP have (f+1)-OSR safe subgraphs with ≥ 2f+1 sinks.
+#[test]
+fn theorem1_requirements_on_witnesses() {
+    let fig = fig1b();
+    let report = osr_report(&fig.safe_subgraph(), 2);
+    assert!(report.is_k_osr());
+    assert!(report.sink_members().unwrap().len() >= 3);
+}
+
+/// Theorem 2: after GST, every correct process discovers all correct sink
+/// members and receives their PDs, within a delay bounded by the graph
+/// distance structure.
+#[test]
+fn theorem2_discovery_convergence_and_bound() {
+    let fig = fig1b();
+    let setup = SystemSetup::new(fig.graph());
+    let gst = 200u64;
+    let delta = 10u64;
+    let period = 20u64;
+    let mut sim = Simulation::new(SimConfig {
+        seed: 3,
+        max_time: 100_000,
+        policy: DelayPolicy::PartialSynchrony {
+            gst,
+            delta,
+            pre_gst_max: 150,
+        },
+    });
+    for v in fig.graph().vertices() {
+        if fig.byzantine().contains(&v) {
+            continue;
+        }
+        let state = DiscoveryState::from_setup(&setup, v).unwrap();
+        sim.add_actor(Box::new(DiscoveryActor::new(state, period)));
+    }
+    let correct_sink = process_set([1, 2, 3]);
+    let correct: Vec<_> = fig.correct().into_iter().collect();
+    let converged = sim.run_until(|s| {
+        correct.iter().all(|&v| {
+            s.actor_as::<DiscoveryActor>(v).is_some_and(|a| {
+                correct_sink.iter().all(|&m| a.state().view().has_pd_of(m))
+            })
+        })
+    });
+    assert!(converged);
+    // Theorem 2's bound is GST + 2(d−1)δ in the round-free model; with a
+    // periodic tick the per-hop cost gains one period. d ≤ diameter of the
+    // correct graph.
+    let d = fig.safe_subgraph().max_finite_distance() as u64;
+    let bound = gst + 2 * d * (delta + period);
+    assert!(
+        sim.now() <= bound,
+        "converged at {} > bound {bound}",
+        sim.now()
+    );
+}
+
+/// Theorems 4/5: the Sink algorithm returns all and only sink members —
+/// identically at every correct process, matching the exact search.
+#[test]
+fn theorem5_sink_detection_sound_and_consistent() {
+    for seed in 0..6 {
+        let sys = Generator::from_seed(seed)
+            .generate(&GdiParams::new(1))
+            .unwrap();
+        let view = KnowledgeView::omniscient(&sys.graph);
+        let search = CandidateSearch::default();
+        let heuristic = search.sink_with_threshold(&view, 1).expect("sink found");
+        assert_eq!(heuristic.members(), sys.expected_detection(), "seed {seed}");
+        if view.received().len() <= 14 {
+            let exact = bft_cupft::graph::exact_sink_with_threshold(&view, 1, 14)
+                .unwrap()
+                .expect("exact sink");
+            assert_eq!(exact.members(), heuristic.members(), "seed {seed}");
+        }
+    }
+}
+
+/// Theorems 8/9: the Core algorithm returns the unique core on extended
+/// graphs, and its member set equals the best exact sink's.
+#[test]
+fn theorem9_core_detection_matches_exact() {
+    for fig in [fig4a(), fig4b()] {
+        let view = KnowledgeView::omniscient(fig.graph());
+        let core = CandidateSearch::default()
+            .best_core(&view)
+            .expect("core found");
+        assert_eq!(
+            &core.members(),
+            fig.expected_sink().unwrap(),
+            "{}",
+            fig.name()
+        );
+        let exact = exact_best_sink(&view, 14).unwrap().expect("exact best");
+        assert_eq!(exact.members(), core.members(), "{}", fig.name());
+        assert_eq!(exact.threshold(), core.threshold(), "{}", fig.name());
+    }
+}
+
+/// Definition 2 sanity across the generated extended family.
+#[test]
+fn extended_family_generated_graphs_validate() {
+    let mut params = GdiParams::new(1);
+    params.extended = true;
+    params.byzantine_count = 0;
+    params.non_sink_size = 4;
+    for seed in 0..4 {
+        let sys = Generator::from_seed(seed).generate(&params).unwrap();
+        let report = is_extended_k_osr(&sys.safe_subgraph(), 2, 12).unwrap();
+        assert!(report.holds(), "seed {seed}: {report:?}");
+        assert_eq!(report.core.unwrap().members, sys.sink);
+    }
+}
+
+/// Theorem 10 end-to-end: consensus in the BFT-CUPFT model, with the core
+/// detection consistent across every correct process (the property whose
+/// absence breaks mixed-committee safety).
+#[test]
+fn theorem10_consistent_detection_then_consensus() {
+    for seed in 0..4 {
+        let scenario = Scenario::new(fig4b().graph().clone(), ProtocolMode::UnknownThreshold)
+            .with_byzantine(4, ByzantineStrategy::Silent)
+            .with_seed(seed);
+        let outcome = run_scenario(&scenario);
+        assert!(outcome.check().consensus_solved(), "seed {seed}");
+        assert_eq!(
+            outcome.distinct_detections().len(),
+            1,
+            "seed {seed}: all correct processes must return the same core"
+        );
+    }
+}
+
+/// The Section III worked example, end to end: process 2 slow (crashy
+/// scheduling via partition), Byzantine 4 claiming PD {1,2,3}; process 1
+/// still identifies sink {1,2,3,4}.
+#[test]
+fn section3_worked_example_detection() {
+    let mut view = KnowledgeView::new(1.into(), process_set([2, 3, 4]));
+    view.record_pd(3.into(), process_set([1, 2, 4]));
+    view.record_pd(4.into(), process_set([1, 2, 3]));
+    let detection = CandidateSearch::default()
+        .sink_with_threshold(&view, 1)
+        .expect("worked example must identify the sink");
+    assert_eq!(detection.members(), process_set([1, 2, 3, 4]));
+}

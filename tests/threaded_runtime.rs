@@ -1,0 +1,78 @@
+//! The protocol stack on real OS threads: agreement must survive real
+//! scheduling nondeterminism.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use bft_cupft::committee::Value;
+use bft_cupft::core::{Node, NodeConfig, NodeMsg, ProtocolMode};
+use bft_cupft::detector::SystemSetup;
+use bft_cupft::graph::{fig1b, fig4b};
+use bft_cupft::net::threaded::{run_threaded, Board, ThreadedConfig};
+use bft_cupft::net::Actor;
+
+fn run_graph(graph: &bft_cupft::graph::DiGraph, mode: ProtocolMode, skip: &[u64]) -> Vec<Vec<u8>> {
+    let setup = SystemSetup::new(graph);
+    let board: Board<Vec<u8>> = Board::new();
+    let mut actors: Vec<Box<dyn Actor<NodeMsg>>> = Vec::new();
+    for v in graph.vertices() {
+        if skip.contains(&v.raw()) {
+            continue; // silent Byzantine: simply not scheduled
+        }
+        let config = NodeConfig {
+            mode,
+            discovery_period: 10,
+            replica: bft_cupft::committee::ReplicaConfig { timeout_base: 400 },
+            crash_at: None,
+        };
+        let value = Value::from(format!("v{}", v.raw()).into_bytes());
+        let node = Node::from_setup(&setup, v, value, config)
+            .unwrap()
+            .with_board(board.clone());
+        actors.push(Box::new(node));
+    }
+    let expected = actors.len();
+    // Supervisor: stop the runtime as soon as every node has published.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let watcher_board = board.clone();
+    let watcher_stop = stop.clone();
+    let watcher = std::thread::spawn(move || {
+        for _ in 0..600 {
+            if watcher_board.len() >= expected {
+                watcher_stop.store(true, std::sync::atomic::Ordering::SeqCst);
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    });
+    let _report = run_threaded(
+        actors,
+        ThreadedConfig {
+            min_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(6),
+            wall_timeout: Duration::from_secs(60),
+            seed: 5,
+            stop: Some(stop),
+        },
+    );
+    watcher.join().unwrap();
+    let decisions = board.snapshot();
+    assert_eq!(decisions.len(), expected, "every live node must decide");
+    decisions.into_values().collect()
+}
+
+#[test]
+fn bft_cup_agreement_on_threads() {
+    let fig = fig1b();
+    let decisions = run_graph(fig.graph(), ProtocolMode::KnownThreshold(1), &[4]);
+    let distinct: BTreeSet<&Vec<u8>> = decisions.iter().collect();
+    assert_eq!(distinct.len(), 1, "agreement on threads");
+}
+
+#[test]
+fn bft_cupft_agreement_on_threads() {
+    let fig = fig4b();
+    let decisions = run_graph(fig.graph(), ProtocolMode::UnknownThreshold, &[]);
+    let distinct: BTreeSet<&Vec<u8>> = decisions.iter().collect();
+    assert_eq!(distinct.len(), 1, "agreement on threads");
+}
