@@ -69,16 +69,12 @@ fn run_lockstep(replicas: &mut [Replica], silent_leader: bool) -> u64 {
 fn bench_committee(c: &mut Criterion) {
     let mut group = c.benchmark_group("committee_decision");
     for (n, f) in [(4u64, 1usize), (7, 2), (13, 4), (25, 8)] {
-        group.bench_with_input(
-            BenchmarkId::new("happy_path", n),
-            &(n, f),
-            |b, &(n, f)| {
-                b.iter(|| {
-                    let mut replicas = make_replicas(n, f);
-                    black_box(run_lockstep(&mut replicas, false))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("happy_path", n), &(n, f), |b, &(n, f)| {
+            b.iter(|| {
+                let mut replicas = make_replicas(n, f);
+                black_box(run_lockstep(&mut replicas, false))
+            })
+        });
         group.bench_with_input(
             BenchmarkId::new("silent_leader", n),
             &(n, f),

@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cupft_graph::{
-    condensation, fig1b, fig4a, is_sink_gdi, process_set, CandidateSearch, DiGraph,
-    KnowledgeView,
+    condensation, fig1b, fig4a, is_sink_gdi, process_set, CandidateSearch, DiGraph, KnowledgeView,
 };
 use std::hint::black_box;
 

@@ -9,7 +9,7 @@
 
 use cupft_bench::header;
 use cupft_detector::SystemSetup;
-use cupft_discovery::{DiscoveryActor, DiscoveryState, DiscoveryMsg};
+use cupft_discovery::{DiscoveryActor, DiscoveryMsg, DiscoveryState};
 use cupft_graph::{GdiParams, Generator, ProcessSet};
 use cupft_net::sim::Simulation;
 use cupft_net::{DelayPolicy, SimConfig};
@@ -46,10 +46,8 @@ fn run_authenticated(sys: &cupft_graph::GeneratedSystem, seed: u64) -> Measureme
     let sink: Vec<_> = sys.sink.iter().copied().collect();
     let goal = |s: &Simulation<DiscoveryMsg>| {
         sink.iter().all(|&member| {
-            s.actor_as::<DiscoveryActor>(member).is_some_and(|a| {
-                sink.iter()
-                    .all(|&other| a.state().view().has_pd_of(other))
-            })
+            s.actor_as::<DiscoveryActor>(member)
+                .is_some_and(|a| sink.iter().all(|&other| a.state().view().has_pd_of(other)))
         })
     };
     let reached = sim.run_until(goal);
@@ -83,9 +81,9 @@ fn run_rrb(sys: &cupft_graph::GeneratedSystem, seed: u64) -> Measurement {
     let goal = |s: &Simulation<RrbMsg>| {
         sink.iter().all(|&member| {
             s.actor_as::<RrbActor>(member).is_some_and(|a| {
-                sink.iter().filter(|&&o| o != member).all(|&other| {
-                    a.state().delivered().any(|p| p.origin == other)
-                })
+                sink.iter()
+                    .filter(|&&o| o != member)
+                    .all(|&other| a.state().delivered().any(|p| p.origin == other))
             })
         })
     };

@@ -6,8 +6,8 @@
 //! * Fig. 1b satisfies them: consensus is solved with one Byzantine
 //!   process under every strategy in the playbook.
 
-use cupft_bench::{fmt_set, header, Row};
-use cupft_core::{ByzantineStrategy, ProtocolMode, Scenario};
+use cupft_bench::{fmt_set, header, print_suite, Row};
+use cupft_core::{ByzantineStrategy, ProtocolMode, RuntimeKind, Scenario, ScenarioSuite};
 use cupft_graph::{fig1a, fig1b, osr_report, process_set};
 
 fn main() {
@@ -65,13 +65,21 @@ fn main() {
             },
         ),
     ];
+    let mut suite = ScenarioSuite::new();
     for (name, strategy) in strategies {
-        let scenario = Scenario::new(fig.graph().clone(), ProtocolMode::KnownThreshold(1))
-            .with_byzantine(4, strategy);
-        let row = Row::run(format!("BFT-CUP, process 4 {name}"), &scenario);
-        row.print();
-        assert!(row.solved, "fig1b must solve consensus ({name})");
+        suite.push(
+            format!("BFT-CUP, process 4 {name}"),
+            Scenario::new(fig.graph().clone(), ProtocolMode::KnownThreshold(1))
+                .with_byzantine(4, strategy),
+        );
     }
+    let report = suite.run(RuntimeKind::Sim);
+    print_suite(&report);
+    assert!(
+        report.all_solved(),
+        "fig1b must solve consensus under every strategy: {:?}",
+        report.failures()
+    );
 
     println!();
     println!("Figure 1 reproduced: 1a impossible (✗), 1b solved under 3 Byzantine strategies (✓).");

@@ -56,9 +56,7 @@ fn main() {
 
     header("System AB (Fig. 2c): all correct, cross-group delay > max(Δ_A, Δ_B)");
     let cross_delay = (decision_time_a.max(decision_time_b) + 1) * 10;
-    println!(
-        "  Δ_A = {decision_time_a}, Δ_B = {decision_time_b}, cross delay = {cross_delay}"
-    );
+    println!("  Δ_A = {decision_time_a}, Δ_B = {decision_time_b}, cross delay = {cross_delay}");
     let ab = Scenario::new(fig2c().graph().clone(), NAIVE)
         .with_policy(DelayPolicy::Partitioned {
             delta: 10,

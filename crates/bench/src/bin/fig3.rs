@@ -71,7 +71,10 @@ fn main() {
         .with_value(6, b"x");
     let row = Row::run("fig3b, 5/7 silent", &b);
     row.print();
-    assert!(row.solved, "fig3b must solve consensus — the same behavior that fails on 3a");
+    assert!(
+        row.solved,
+        "fig3b must solve consensus — the same behavior that fails on 3a"
+    );
 
     println!();
     println!("Figure 3 reproduced: identical local decisions are wrong on 3a and right on 3b —");

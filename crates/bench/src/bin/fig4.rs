@@ -2,8 +2,8 @@
 //! identifies a unique core and consensus is solved with no process
 //! knowing the fault threshold.
 
-use cupft_bench::{fmt_set, header, Row};
-use cupft_core::{ByzantineStrategy, ProtocolMode, Scenario};
+use cupft_bench::{fmt_set, header, print_suite, Row};
+use cupft_core::{ByzantineStrategy, ProtocolMode, RuntimeKind, Scenario, ScenarioSuite};
 use cupft_graph::{fig4a, fig4b, is_extended_k_osr, process_set};
 
 fn main() {
@@ -26,12 +26,18 @@ fn main() {
     );
     assert!(report.holds());
 
+    let mut seed_suite = ScenarioSuite::new();
     for seed in [0u64, 1, 2] {
-        let scenario = Scenario::new(fig.graph().clone(), ProtocolMode::UnknownThreshold)
-            .with_seed(seed);
-        let row = Row::run(format!("fig4a, all correct, seed {seed}"), &scenario);
+        seed_suite.push(
+            format!("fig4a, all correct, seed {seed}"),
+            Scenario::new(fig.graph().clone(), ProtocolMode::UnknownThreshold).with_seed(seed),
+        );
+    }
+    let seed_report = seed_suite.run(RuntimeKind::Sim);
+    for verdict in &seed_report.verdicts {
+        let row = Row::from_outcome(&verdict.label, &verdict.outcome);
         row.print();
-        assert!(row.solved);
+        assert!(verdict.solved());
         assert_eq!(row.detections, vec![process_set([1, 2, 3, 4, 5])]);
     }
 
@@ -74,13 +80,21 @@ fn main() {
             },
         ),
     ];
+    let mut strategy_suite = ScenarioSuite::new();
     for (name, byz, strategy) in strategies {
-        let scenario = Scenario::new(fig.graph().clone(), ProtocolMode::UnknownThreshold)
-            .with_byzantine(byz, strategy);
-        let row = Row::run(format!("fig4b, {name}"), &scenario);
-        row.print();
-        assert!(row.solved, "fig4b must solve consensus ({name})");
+        strategy_suite.push(
+            format!("fig4b, {name}"),
+            Scenario::new(fig.graph().clone(), ProtocolMode::UnknownThreshold)
+                .with_byzantine(byz, strategy),
+        );
     }
+    let strategy_report = strategy_suite.run(RuntimeKind::Sim);
+    print_suite(&strategy_report);
+    assert!(
+        strategy_report.all_solved(),
+        "fig4b must solve consensus under every strategy: {:?}",
+        strategy_report.failures()
+    );
 
     println!();
     println!("Figure 4 reproduced: unique core identified and consensus solved with unknown f,");

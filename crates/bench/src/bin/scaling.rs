@@ -4,78 +4,107 @@
 //!
 //! The paper gives no scalability evaluation (theory paper); this series
 //! characterizes the reproduction and the relative cost of withholding
-//! the fault threshold.
+//! the fault threshold. All points are batched into one [`ScenarioSuite`]
+//! and executed in parallel — the series prints in order regardless of
+//! which point finished first.
 
 use cupft_bench::header;
-use cupft_core::{run_scenario, ByzantineStrategy, ProtocolMode, Scenario};
+use cupft_core::{ByzantineStrategy, ProtocolMode, RuntimeKind, Scenario, ScenarioSuite};
 use cupft_graph::{GdiParams, Generator};
 
-struct Point {
-    n: usize,
-    detect: u64,
-    decide: u64,
-    msgs: u64,
+const PERIPHERY_STEPS: [usize; 5] = [2, 6, 12, 24, 48];
+
+struct Series {
+    label: &'static str,
+    extended: bool,
+    byz: usize,
 }
 
-fn run_point(extended: bool, sink: usize, periphery: usize, byz: usize) -> Point {
+const SERIES: [Series; 2] = [
+    Series {
+        label: "BFT-CUP (known f), 1 silent Byzantine",
+        extended: false,
+        byz: 1,
+    },
+    Series {
+        label: "BFT-CUPFT (unknown f), all correct",
+        extended: true,
+        byz: 0,
+    },
+];
+
+fn point_scenario(series: &Series, periphery: usize) -> Scenario {
     let mut params = GdiParams::new(1);
-    params.extended = extended;
-    params.sink_size = sink;
+    params.extended = series.extended;
+    params.sink_size = 3;
     params.non_sink_size = periphery;
-    params.byzantine_count = byz;
+    params.byzantine_count = series.byz;
     let sys = Generator::from_seed(7 + periphery as u64)
         .generate(&params)
         .expect("generation succeeds");
-    let mode = if extended {
-        ProtocolMode::UnknownThreshold
-    } else {
-        ProtocolMode::KnownThreshold(1)
-    };
-    let mut scenario = Scenario::new(sys.graph.clone(), mode).with_horizon(400_000);
+    let mut scenario = Scenario::new(
+        sys.graph.clone(),
+        if series.extended {
+            ProtocolMode::UnknownThreshold
+        } else {
+            ProtocolMode::KnownThreshold(1)
+        },
+    )
+    .with_horizon(400_000);
     for b in &sys.byzantine {
         scenario = scenario.with_byzantine(b.raw(), ByzantineStrategy::Silent);
     }
-    let outcome = run_scenario(&scenario);
-    assert!(
-        outcome.check().consensus_solved(),
-        "scaling point must solve consensus (n={})",
-        sys.graph.vertex_count()
-    );
-    let detect = outcome
-        .detection_times
-        .values()
-        .flatten()
-        .copied()
-        .max()
-        .unwrap_or_default();
-    Point {
-        n: sys.graph.vertex_count(),
-        detect,
-        decide: outcome.last_decision_time().unwrap_or_default(),
-        msgs: outcome.stats.messages_sent,
-    }
-}
-
-fn print_series(label: &str, extended: bool, byz: usize) {
-    header(label);
-    println!(
-        "  {:>4} {:>12} {:>12} {:>10}",
-        "n", "t_identify", "t_decide", "messages"
-    );
-    for periphery in [2usize, 6, 12, 24, 48] {
-        let p = run_point(extended, 3, periphery, byz);
-        println!(
-            "  {:>4} {:>12} {:>12} {:>10}",
-            p.n, p.detect, p.decide, p.msgs
-        );
-    }
+    scenario
 }
 
 fn main() {
     println!("Scaling series — identification + decision latency vs. system size (f = 1)");
-    print_series("BFT-CUP (known f), 1 silent Byzantine", false, 1);
-    print_series("BFT-CUPFT (unknown f), all correct", true, 0);
+
+    let mut suite = ScenarioSuite::new();
+    for series in &SERIES {
+        for periphery in PERIPHERY_STEPS {
+            suite.push(
+                format!("{}/p{periphery}", series.label),
+                point_scenario(series, periphery),
+            );
+        }
+    }
+    let report = suite.run(RuntimeKind::Sim);
+
+    let mut points = report.verdicts.iter().zip(suite.entries());
+    for series in &SERIES {
+        header(series.label);
+        println!(
+            "  {:>4} {:>12} {:>12} {:>10}",
+            "n", "t_identify", "t_decide", "messages"
+        );
+        for _ in PERIPHERY_STEPS {
+            let (verdict, entry) = points.next().expect("one verdict per point");
+            assert!(
+                verdict.solved(),
+                "scaling point must solve consensus ({})",
+                verdict.label
+            );
+            let outcome = &verdict.outcome;
+            let detect = outcome
+                .detection_times
+                .values()
+                .flatten()
+                .copied()
+                .max()
+                .unwrap_or_default();
+            println!(
+                "  {:>4} {:>12} {:>12} {:>10}",
+                entry.scenario.graph.vertex_count(),
+                detect,
+                outcome.last_decision_time().unwrap_or_default(),
+                outcome.stats.messages_sent
+            );
+        }
+    }
+
     println!();
     println!("Expected shape: t_identify is flat-ish (bounded by GST + O(diameter·δ));");
     println!("messages grow ~quadratically (all-to-known discovery rounds).");
+    println!("({})", report.summary());
 }

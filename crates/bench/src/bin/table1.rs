@@ -6,9 +6,14 @@
 //! must solve consensus on a witness system with one Byzantine process;
 //! impossibility cells must show no decision within the horizon under the
 //! adversarial (never-stabilizing) schedule.
+//!
+//! The nine cells are expressed as one [`ScenarioGrid`] per column (each
+//! column's witness graph carries its own Byzantine process ID) merged
+//! into a single [`ScenarioSuite`] and executed in parallel on the
+//! deterministic simulator.
 
 use cupft_bench::{header, Row};
-use cupft_core::{ByzantineStrategy, ProtocolMode, Scenario};
+use cupft_core::{FaultCase, ProtocolMode, RuntimeKind, ScenarioGrid, ScenarioSuite, SuiteVerdict};
 use cupft_graph::{fig1b, fig4a, process_set, DiGraph};
 use cupft_net::DelayPolicy;
 
@@ -39,125 +44,94 @@ fn known_membership_graph() -> DiGraph {
     DiGraph::complete(&process_set(1..=4))
 }
 
-fn cell(
-    label: &str,
-    graph: DiGraph,
-    mode: ProtocolMode,
-    byzantine: u64,
-    policy: DelayPolicy,
-    horizon: u64,
-) -> Row {
-    let scenario = Scenario::new(graph, mode)
-        .with_byzantine(byzantine, ByzantineStrategy::Silent)
-        .with_policy(policy)
-        .with_horizon(horizon);
-    Row::run(label, &scenario)
+/// One grid column: a witness graph, its identification mode, and its
+/// silent Byzantine process, swept over the three timing models.
+fn column(label: &str, graph: DiGraph, mode: ProtocolMode, byzantine: u64) -> ScenarioSuite {
+    ScenarioGrid::new()
+        .graph(label, graph, mode)
+        .fault(FaultCase::silent(byzantine))
+        .policy("sync", sync_policy(), 100_000)
+        .policy("psync", psync_policy(), 200_000)
+        .policy("async", async_policy(), 100_000)
+        .build()
+}
+
+fn print_cells<'a>(cells: impl Iterator<Item = &'a SuiteVerdict>) {
+    for verdict in cells {
+        Row::from_outcome(&verdict.label, &verdict.outcome).print();
+    }
 }
 
 fn main() {
     println!("Table I — deterministic Byzantine consensus per system model");
     println!("(paper: ✓ ✓ ✓ / ✓ ✓ ✓(this work) / ✗ ✗ ✗)");
 
+    let mut suite = column(
+        "known n, known f",
+        known_membership_graph(),
+        ProtocolMode::KnownThreshold(1),
+        4,
+    );
+    suite.extend(column(
+        "unknown n, known f (BFT-CUP)",
+        fig1b().graph().clone(),
+        ProtocolMode::KnownThreshold(1),
+        4,
+    ));
+    suite.extend(column(
+        "unknown n, unknown f (BFT-CUPFT)",
+        fig4a().graph().clone(),
+        ProtocolMode::UnknownThreshold,
+        9,
+    ));
+    let report = suite.run(RuntimeKind::Sim);
+
+    let row = |policy: &str| {
+        let needle = format!("/{policy}/");
+        report
+            .verdicts
+            .iter()
+            .filter(move |v| v.label.contains(&needle))
+    };
+
     header("Synchronous");
-    for row in [
-        cell(
-            "known n, known f        (e.g. [20])",
-            known_membership_graph(),
-            ProtocolMode::KnownThreshold(1),
-            4,
-            sync_policy(),
-            100_000,
-        ),
-        cell(
-            "unknown n, known f      (BFT-CUP [9,10])",
-            fig1b().graph().clone(),
-            ProtocolMode::KnownThreshold(1),
-            4,
-            sync_policy(),
-            100_000,
-        ),
-        cell(
-            "unknown n, unknown f    (BFT-CUPFT)",
-            fig4a().graph().clone(),
-            ProtocolMode::UnknownThreshold,
-            9,
-            sync_policy(),
-            100_000,
-        ),
-    ] {
-        row.print();
-        assert!(row.solved, "synchronous cells must solve consensus");
+    print_cells(row("sync"));
+    for verdict in row("sync") {
+        assert!(
+            verdict.solved(),
+            "synchronous cells must solve consensus: {}",
+            verdict.label
+        );
     }
 
     header("Partially synchronous");
-    for row in [
-        cell(
-            "known n, known f        (e.g. [22,23])",
-            known_membership_graph(),
-            ProtocolMode::KnownThreshold(1),
-            4,
-            psync_policy(),
-            200_000,
-        ),
-        cell(
-            "unknown n, known f      (BFT-CUP [9,10])",
-            fig1b().graph().clone(),
-            ProtocolMode::KnownThreshold(1),
-            4,
-            psync_policy(),
-            200_000,
-        ),
-        cell(
-            "unknown n, unknown f    (BFT-CUPFT, this work)",
-            fig4a().graph().clone(),
-            ProtocolMode::UnknownThreshold,
-            9,
-            psync_policy(),
-            200_000,
-        ),
-    ] {
-        row.print();
-        assert!(row.solved, "partially synchronous cells must solve consensus");
+    print_cells(row("psync"));
+    for verdict in row("psync") {
+        assert!(
+            verdict.solved(),
+            "partially synchronous cells must solve consensus: {}",
+            verdict.label
+        );
     }
 
     header("Asynchronous (adversarial schedule, horizon 10^5)");
-    for row in [
-        cell(
-            "known n, known f        (FLP [24])",
-            known_membership_graph(),
-            ProtocolMode::KnownThreshold(1),
-            4,
-            async_policy(),
-            100_000,
-        ),
-        cell(
-            "unknown n, known f      (FLP [24])",
-            fig1b().graph().clone(),
-            ProtocolMode::KnownThreshold(1),
-            4,
-            async_policy(),
-            100_000,
-        ),
-        cell(
-            "unknown n, unknown f    (FLP [24])",
-            fig4a().graph().clone(),
-            ProtocolMode::UnknownThreshold,
-            9,
-            async_policy(),
-            100_000,
-        ),
-    ] {
-        row.print();
+    print_cells(row("async"));
+    for verdict in row("async") {
         assert!(
-            !row.check.termination,
-            "async cells must not terminate within the horizon"
+            !verdict.check.termination,
+            "async cells must not terminate within the horizon: {}",
+            verdict.label
         );
         assert!(
-            row.check.agreement,
-            "async cells may stall but never disagree"
+            verdict.check.agreement,
+            "async cells may stall but never disagree: {}",
+            verdict.label
         );
     }
 
     println!();
-    println!("Table I reproduced: 6/6 possibility cells solved, 3/3 async cells stalled safely.");
+    println!(
+        "Table I reproduced: 6/6 possibility cells solved, 3/3 async cells stalled safely ({})",
+        report.summary()
+    );
 }

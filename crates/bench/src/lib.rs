@@ -14,7 +14,7 @@
 
 #![forbid(unsafe_code)]
 
-use cupft_core::{run_scenario, ConsensusCheck, Scenario, ScenarioOutcome};
+use cupft_core::{run_scenario, ConsensusCheck, Scenario, ScenarioOutcome, SuiteReport};
 use cupft_graph::ProcessSet;
 
 /// One printed experiment row.
@@ -84,6 +84,15 @@ impl Row {
 pub fn header(title: &str) {
     println!();
     println!("== {title} ==");
+}
+
+/// Prints every verdict of a parallel suite run as a [`Row`], followed by
+/// the aggregate summary line.
+pub fn print_suite(report: &SuiteReport) {
+    for verdict in &report.verdicts {
+        Row::from_outcome(&verdict.label, &verdict.outcome).print();
+    }
+    println!("  -- {}", report.summary());
 }
 
 /// Formats a process set compactly.

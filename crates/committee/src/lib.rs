@@ -30,4 +30,6 @@ mod replica;
 
 pub use msgs::{CommitteeMsg, PreparedCert, Value};
 pub use quorum::Committee;
-pub use replica::{view_of_timer, view_timer_kind, Effects, Replica, ReplicaConfig, VIEW_TIMER_BASE};
+pub use replica::{
+    view_of_timer, view_timer_kind, Effects, Replica, ReplicaConfig, VIEW_TIMER_BASE,
+};

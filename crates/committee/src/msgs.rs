@@ -93,9 +93,7 @@ pub struct ViewChangeRecord {
 impl ViewChangeRecord {
     /// Signs a view-change vote.
     pub fn sign(key: &SigningKey, new_view: u64, prepared: Option<PreparedCert>) -> Self {
-        let summary = prepared
-            .as_ref()
-            .map(|c| (c.view, digest(&c.value)));
+        let summary = prepared.as_ref().map(|c| (c.view, digest(&c.value)));
         let payload = encode_view_change(new_view, summary.as_ref().map(|(v, d)| (*v, d)));
         ViewChangeRecord {
             new_view,
@@ -216,14 +214,24 @@ impl CommitteeMsg {
                 committee.contains(signer)
                     && signed.payload() == &encode_view_value(*view, value)
                     && signed.verify(registry, D_PREPREPARE)
-                    && justification.iter().all(|vc| vc.verify(registry, committee))
+                    && justification
+                        .iter()
+                        .all(|vc| vc.verify(registry, committee))
             }
-            CommitteeMsg::Prepare { view, digest, signed } => {
+            CommitteeMsg::Prepare {
+                view,
+                digest,
+                signed,
+            } => {
                 committee.contains(ProcessId::new(signed.signer()))
                     && signed.payload() == &encode_view_digest(*view, digest)
                     && signed.verify(registry, D_PREPARE)
             }
-            CommitteeMsg::Commit { view, digest, signed } => {
+            CommitteeMsg::Commit {
+                view,
+                digest,
+                signed,
+            } => {
                 committee.contains(ProcessId::new(signed.signer()))
                     && signed.payload() == &encode_view_digest(*view, digest)
                     && signed.verify(registry, D_COMMIT)
@@ -315,8 +323,17 @@ mod tests {
         let (registry, keys, committee) = setup();
         let d = digest(b"v");
         let prep = CommitteeMsg::prepare(&keys[1], 3, d);
-        if let CommitteeMsg::Prepare { view, digest, signed } = prep {
-            let fake_commit = CommitteeMsg::Commit { view, digest, signed };
+        if let CommitteeMsg::Prepare {
+            view,
+            digest,
+            signed,
+        } = prep
+        {
+            let fake_commit = CommitteeMsg::Commit {
+                view,
+                digest,
+                signed,
+            };
             assert!(!fake_commit.verify(&registry, &committee));
         } else {
             unreachable!();
@@ -337,11 +354,9 @@ mod tests {
         let (registry, keys, committee) = setup();
         let value = Bytes::from_static(b"v");
         let d = digest(&value);
-        let make_prepare = |k: &SigningKey| {
-            match CommitteeMsg::prepare(k, 2, d) {
-                CommitteeMsg::Prepare { signed, .. } => signed,
-                _ => unreachable!(),
-            }
+        let make_prepare = |k: &SigningKey| match CommitteeMsg::prepare(k, 2, d) {
+            CommitteeMsg::Prepare { signed, .. } => signed,
+            _ => unreachable!(),
         };
         // quorum = 3
         let good = PreparedCert {

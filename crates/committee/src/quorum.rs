@@ -110,10 +110,7 @@ mod tests {
                 let n = 2 * f + 1 + extra; // correct sink + some Byzantine
                 let c = Committee::new(process_set(1..=(n as u64)), f);
                 let q = c.quorum_size();
-                assert!(
-                    2 * q > n + f,
-                    "f={f} n={n}: quorums must intersect in f+1"
-                );
+                assert!(2 * q > n + f, "f={f} n={n}: quorums must intersect in f+1");
             }
         }
     }

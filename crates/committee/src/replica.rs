@@ -302,10 +302,7 @@ impl Replica {
         if count >= self.committee.quorum_size() {
             // We are "prepared" for (view, d) if we know the value.
             if let Some(value) = self.values.get(&(view, d)).cloned() {
-                let better = self
-                    .prepared_cert
-                    .as_ref()
-                    .is_none_or(|c| view > c.view);
+                let better = self.prepared_cert.as_ref().is_none_or(|c| view > c.view);
                 if better {
                     let prepares = self.prepares[&(view, d)]
                         .values()

@@ -91,8 +91,7 @@ impl ByzantineActor {
             ByzantineStrategy::FakePd { claimed } => {
                 Some(DiscoveryState::new(&key, registry.clone(), claimed.clone()))
             }
-            ByzantineStrategy::EquivocateValue { .. }
-            | ByzantineStrategy::LieDecidedVal { .. } => {
+            ByzantineStrategy::EquivocateValue { .. } | ByzantineStrategy::LieDecidedVal { .. } => {
                 Some(DiscoveryState::new(&key, registry.clone(), true_pd.clone()))
             }
         };
@@ -170,13 +169,17 @@ impl Actor<NodeMsg> for ByzantineActor {
     fn on_message(&mut self, from: ProcessId, msg: NodeMsg, ctx: &mut Context<NodeMsg>) {
         match (&self.strategy, msg) {
             (ByzantineStrategy::Silent, _) => {}
-            (ByzantineStrategy::EquivocatePd { even, odd }, NodeMsg::Discovery(DiscoveryMsg::GetPds)) => {
-                let pd = if from.raw().is_multiple_of(2) { even } else { odd };
+            (
+                ByzantineStrategy::EquivocatePd { even, odd },
+                NodeMsg::Discovery(DiscoveryMsg::GetPds),
+            ) => {
+                let pd = if from.raw().is_multiple_of(2) {
+                    even
+                } else {
+                    odd
+                };
                 let cert = PdCertificate::sign(&self.key, pd);
-                ctx.send(
-                    from,
-                    NodeMsg::Discovery(DiscoveryMsg::SetPds(vec![cert])),
-                );
+                ctx.send(from, NodeMsg::Discovery(DiscoveryMsg::SetPds(vec![cert])));
             }
             (ByzantineStrategy::EquivocatePd { .. }, _) => {}
             (ByzantineStrategy::LieDecidedVal { value }, NodeMsg::GetDecidedVal) => {
@@ -217,13 +220,8 @@ mod tests {
     fn make(strategy: ByzantineStrategy) -> (ByzantineActor, KeyRegistry) {
         let mut registry = KeyRegistry::new();
         let key = registry.register(4);
-        let actor = ByzantineActor::new(
-            key,
-            registry.clone(),
-            process_set([1, 2, 3]),
-            strategy,
-            20,
-        );
+        let actor =
+            ByzantineActor::new(key, registry.clone(), process_set([1, 2, 3]), strategy, 20);
         (actor, registry)
     }
 

@@ -15,9 +15,11 @@
 //!   exists to *fail*: it reproduces the Theorem 7 agreement violation.
 //!
 //! The [`scenario`] module runs whole systems (graph + Byzantine strategy
-//! assignment + delay policy) through the deterministic simulator and
-//! checks the four consensus properties, powering every experiment binary
-//! and most integration tests.
+//! assignment + delay policy) through either runtime behind the
+//! `cupft_net::Runtime` trait and checks the four consensus properties;
+//! the [`suite`] module fans whole scenario families across worker
+//! threads. Together they power every experiment binary and most
+//! integration tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,9 +29,17 @@ pub mod detect;
 pub mod msgs;
 pub mod node;
 pub mod scenario;
+pub mod suite;
 
 pub use byzantine::{ByzantineActor, ByzantineStrategy};
 pub use detect::{CoreDetector, Detection, NaiveSinkGuesser, SinkDetector};
 pub use msgs::NodeMsg;
 pub use node::{Node, NodeConfig, Phase, ProtocolMode};
-pub use scenario::{run_scenario, run_scenario_traced, ConsensusCheck, Scenario, ScenarioOutcome};
+pub use scenario::{
+    run_scenario, run_scenario_on, run_scenario_traced, ConsensusCheck, RuntimeKind, Scenario,
+    ScenarioOutcome,
+};
+pub use suite::{
+    FaultCase, GraphCase, PolicyCase, ScenarioGrid, ScenarioSuite, SuiteEntry, SuiteReport,
+    SuiteVerdict,
+};

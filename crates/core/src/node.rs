@@ -292,11 +292,7 @@ impl Node {
         }
     }
 
-    fn apply_replica_effects(
-        &mut self,
-        fx: cupft_committee::Effects,
-        ctx: &mut Context<NodeMsg>,
-    ) {
+    fn apply_replica_effects(&mut self, fx: cupft_committee::Effects, ctx: &mut Context<NodeMsg>) {
         for (to, msg) in fx.msgs {
             ctx.send(to, NodeMsg::Committee(msg));
         }

@@ -6,12 +6,14 @@
 //! simulator.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
 
 use cupft_committee::Value;
 use cupft_detector::SystemSetup;
 use cupft_graph::{DiGraph, ProcessId, ProcessSet};
 use cupft_net::sim::Simulation;
-use cupft_net::{DelayPolicy, NetStats, SimConfig, Time};
+use cupft_net::threaded::{Board, ThreadedConfig, ThreadedRuntime};
+use cupft_net::{DelayPolicy, NetStats, Runtime, SimConfig, Time};
 
 use crate::byzantine::{ByzantineActor, ByzantineStrategy};
 use crate::msgs::NodeMsg;
@@ -192,12 +194,8 @@ impl ConsensusCheck {
 impl ScenarioOutcome {
     /// Evaluates the consensus properties over the recorded decisions.
     pub fn check(&self) -> ConsensusCheck {
-        let decided_values: BTreeSet<Vec<u8>> = self
-            .decisions
-            .values()
-            .flatten()
-            .cloned()
-            .collect();
+        let decided_values: BTreeSet<Vec<u8>> =
+            self.decisions.values().flatten().cloned().collect();
         ConsensusCheck {
             agreement: decided_values.len() <= 1,
             termination: self.decisions.values().all(|d| d.is_some()),
@@ -219,26 +217,101 @@ impl ScenarioOutcome {
     }
 }
 
-/// Runs a scenario to completion (all correct decided) or to the horizon.
-pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
-    run_scenario_traced(scenario).0
+/// Which execution substrate a scenario (or suite) runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeKind {
+    /// The deterministic discrete-event simulator ([`Simulation`]).
+    Sim,
+    /// The OS-thread runtime ([`ThreadedRuntime`]) — nondeterministic
+    /// real-time interleavings, for wall-clock validation.
+    Threaded,
 }
 
-/// Like [`run_scenario`], additionally returning the full delivery trace —
-/// used by the indistinguishability tests that compare whole executions
-/// event-for-event (Theorem 7).
-pub fn run_scenario_traced(
-    scenario: &Scenario,
-) -> (ScenarioOutcome, Vec<cupft_net::TraceEntry>) {
-    let setup = SystemSetup::new(&scenario.graph);
-    let mut sim: Simulation<NodeMsg> = Simulation::new(scenario.sim.clone());
-    sim.enable_trace();
-    let correct = scenario.correct();
+impl RuntimeKind {
+    /// A short display label (`"sim"` / `"threaded"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            RuntimeKind::Sim => "sim",
+            RuntimeKind::Threaded => "threaded",
+        }
+    }
+}
 
+impl Scenario {
+    /// The [`ThreadedConfig`] equivalent of this scenario's simulator
+    /// configuration: the seed carries over, the delay spread maps the
+    /// policy's post-GST bound `δ` onto milliseconds (capped so sim-scale
+    /// tick values stay in wall-clock-test range), and the horizon becomes
+    /// a generous wall timeout — the scenario runner stops the run as soon
+    /// as every correct node has decided, so the timeout only bounds
+    /// failing runs.
+    ///
+    /// The mapping is *lossy*: the threaded router only applies a uniform
+    /// random delay, so the pre-GST adversarial phase of
+    /// [`DelayPolicy::PartialSynchrony`] is dropped (the threaded network
+    /// behaves as if GST were 0). That weakens the adversary but cannot
+    /// invert a possibility verdict.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`DelayPolicy::Asynchronous`] and
+    /// [`DelayPolicy::Partitioned`]: those are scripted simulator
+    /// adversaries (impossibility horizons, the Theorem 7 construction)
+    /// with no threaded equivalent — running them under a benign uniform
+    /// delay would silently invert impossibility results. Run such
+    /// scenarios on [`RuntimeKind::Sim`].
+    pub fn threaded_config(&self) -> ThreadedConfig {
+        match self.sim.policy {
+            DelayPolicy::Synchronous { .. } | DelayPolicy::PartialSynchrony { .. } => {}
+            DelayPolicy::Asynchronous { .. } | DelayPolicy::Partitioned { .. } => panic!(
+                "delay policy {:?} is a scripted simulator adversary with no \
+                 threaded-runtime equivalent; run this scenario on RuntimeKind::Sim",
+                self.sim.policy
+            ),
+        }
+        ThreadedConfig {
+            min_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(self.sim.policy.delta().clamp(1, 20)),
+            wall_timeout: Duration::from_secs(60),
+            seed: self.sim.seed,
+            stop: None,
+        }
+    }
+
+    /// Runs this scenario on a fresh runtime of the given kind.
+    ///
+    /// # Panics
+    ///
+    /// For [`RuntimeKind::Threaded`], panics if the scenario's delay
+    /// policy has no threaded equivalent — see [`Self::threaded_config`].
+    pub fn run_on(&self, kind: RuntimeKind) -> ScenarioOutcome {
+        match kind {
+            RuntimeKind::Sim => {
+                let mut sim: Simulation<NodeMsg> = Simulation::new(self.sim.clone());
+                run_scenario_on(self, &mut sim)
+            }
+            RuntimeKind::Threaded => {
+                let mut runtime: ThreadedRuntime<NodeMsg> =
+                    ThreadedRuntime::new(self.threaded_config());
+                run_scenario_on(self, &mut runtime)
+            }
+        }
+    }
+}
+
+/// Registers the scenario's actors on `runtime`: correct (and
+/// crash-faulty) processes as [`Node`]s wired to `board`, Byzantine
+/// processes as [`ByzantineActor`]s. Returns the correct process set.
+fn populate<R: Runtime<NodeMsg>>(
+    scenario: &Scenario,
+    setup: &SystemSetup,
+    board: &Board<Vec<u8>>,
+    runtime: &mut R,
+) -> ProcessSet {
     for v in scenario.graph.vertices() {
         if let Some(strategy) = scenario.byzantine.get(&v) {
             let key = setup.key_of(v).expect("registered").clone();
-            sim.add_actor(Box::new(ByzantineActor::new(
+            runtime.add_actor(Box::new(ByzantineActor::new(
                 key,
                 setup.registry().clone(),
                 setup.oracle().pd_of(v),
@@ -254,52 +327,85 @@ pub fn run_scenario_traced(
                 },
                 crash_at: scenario.crashes.get(&v).copied(),
             };
-            let node = Node::from_setup(&setup, v, scenario.value_of(v), config)
+            let mut node = Node::from_setup(setup, v, scenario.value_of(v), config)
                 .expect("vertex registered");
-            sim.add_actor(Box::new(node));
+            if !scenario.crashes.contains_key(&v) {
+                // Only *correct* nodes report to the board: the stop
+                // condition counts board entries against the correct set,
+                // and a crash-faulty node may decide before its crash tick.
+                node = node.with_board(board.clone());
+            }
+            runtime.add_actor(Box::new(node));
         }
     }
+    scenario.correct()
+}
 
-    let correct_list: Vec<ProcessId> = correct.iter().copied().collect();
-    sim.run_until(|s| {
-        correct_list
-            .iter()
-            .all(|&id| s.actor_as::<Node>(id).is_some_and(|n| n.decision().is_some()))
-    });
-
-    let end_time = sim.now();
-    let stats = sim.stats().clone();
-    let trace = sim.trace().to_vec();
+/// Reads the per-node observations back out of a finished runtime.
+fn collect<R: Runtime<NodeMsg>>(
+    scenario: &Scenario,
+    correct: &ProcessSet,
+    end_time: Time,
+    runtime: &R,
+) -> ScenarioOutcome {
     let mut decisions = BTreeMap::new();
     let mut detections = BTreeMap::new();
     let mut detection_times = BTreeMap::new();
     let mut decided_times = BTreeMap::new();
-    for (id, actor) in sim.into_actors() {
-        if !correct.contains(&id) {
-            continue;
-        }
-        let node = actor
-            .as_any()
-            .downcast_ref::<Node>()
-            .expect("correct actors are Nodes");
+    for &id in correct {
+        let node: &Node = runtime.actor_as(id).expect("correct actors are Nodes");
         decisions.insert(id, node.decision().map(|v| v.to_vec()));
         detections.insert(id, node.detection().map(|d| d.members.clone()));
         detection_times.insert(id, node.detection_time);
         decided_times.insert(id, node.decided_time);
     }
+    ScenarioOutcome {
+        decisions,
+        detections,
+        detection_times,
+        decided_times,
+        end_time,
+        stats: runtime.stats().clone(),
+        allowed_values: scenario.allowed_values(),
+    }
+}
 
-    (
-        ScenarioOutcome {
-            decisions,
-            detections,
-            detection_times,
-            decided_times,
-            end_time,
-            stats,
-            allowed_values: scenario.allowed_values(),
-        },
-        trace,
-    )
+/// Runs `scenario` on any [`Runtime`] until every correct process has
+/// decided (observed through a shared decision [`Board`]) or the runtime's
+/// bound — simulated horizon or wall timeout — is reached.
+///
+/// This is the runtime-agnostic core: [`run_scenario`] instantiates it
+/// with the deterministic simulator, [`Scenario::run_on`] with either
+/// substrate, and the [`crate::suite::ScenarioSuite`] batch engine fans it
+/// across worker threads.
+pub fn run_scenario_on<R: Runtime<NodeMsg>>(
+    scenario: &Scenario,
+    runtime: &mut R,
+) -> ScenarioOutcome {
+    let setup = SystemSetup::new(&scenario.graph);
+    let board: Board<Vec<u8>> = Board::new();
+    let correct = populate(scenario, &setup, &board, runtime);
+    let expected = correct.len();
+    let report = runtime.run_until_stopped(&mut || board.len() >= expected);
+    collect(scenario, &correct, report.end_time, runtime)
+}
+
+/// Runs a scenario to completion (all correct decided) or to the horizon
+/// on the deterministic simulator.
+pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
+    scenario.run_on(RuntimeKind::Sim)
+}
+
+/// Like [`run_scenario`], additionally returning the full delivery trace —
+/// used by the indistinguishability tests that compare whole executions
+/// event-for-event (Theorem 7). Simulator-only: tracing is a determinism
+/// feature.
+pub fn run_scenario_traced(scenario: &Scenario) -> (ScenarioOutcome, Vec<cupft_net::TraceEntry>) {
+    let mut sim: Simulation<NodeMsg> = Simulation::new(scenario.sim.clone());
+    sim.enable_trace();
+    let outcome = run_scenario_on(scenario, &mut sim);
+    let trace = sim.trace().to_vec();
+    (outcome, trace)
 }
 
 #[cfg(test)]
@@ -347,6 +453,34 @@ mod tests {
             outcome.distinct_detections(),
             [process_set([5, 6, 7, 8, 9])].into_iter().collect()
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "no threaded-runtime equivalent")]
+    fn scripted_adversary_rejected_on_threaded_runtime() {
+        let scenario = Scenario::new(fig1b().graph().clone(), ProtocolMode::KnownThreshold(1))
+            .with_policy(DelayPolicy::Asynchronous {
+                delta: 10,
+                unbounded_max: 1_000_000,
+            });
+        let _ = scenario.threaded_config();
+    }
+
+    #[test]
+    fn crash_faulty_decider_does_not_end_run_early() {
+        // Process 4 decides long before its (late) crash tick and would
+        // inflate a naive decided-count; the run must still continue until
+        // every *correct* process has decided (regression test: the board
+        // stop condition only counts correct nodes).
+        let fig = fig1b();
+        let scenario = Scenario::new(fig.graph().clone(), ProtocolMode::KnownThreshold(1))
+            .with_crash(4, 50_000);
+        let outcome = run_scenario(&scenario);
+        assert!(!outcome
+            .decisions
+            .contains_key(&cupft_graph::ProcessId::new(4)));
+        let check = outcome.check();
+        assert!(check.consensus_solved(), "{outcome:?}");
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl PdOracle {
     /// out-neighborhood of `i`.
     pub fn from_graph(graph: &DiGraph) -> Self {
         PdOracle {
-            pds: graph.vertices().map(|v| (v, graph.out_neighbors(v))).collect(),
+            pds: graph
+                .vertices()
+                .map(|v| (v, graph.out_neighbors(v)))
+                .collect(),
         }
     }
 

@@ -203,5 +203,4 @@ mod tests {
             assert_eq!(discovery.state().view().received_count(), 6);
         }
     }
-
 }

@@ -311,12 +311,7 @@ fn cut_split(graph: &DiGraph, set: &ProcessSet, depth: usize, out: &mut Vec<Proc
 
 /// Whether candidate set `s1` (with any feasible `g ≥ g_star`) forms a sink
 /// whose members are a strict subset of `limit`.
-fn disqualifies(
-    view: &KnowledgeView,
-    s1: &ProcessSet,
-    g_star: usize,
-    limit: &ProcessSet,
-) -> bool {
+fn disqualifies(view: &KnowledgeView, s1: &ProcessSet, g_star: usize, limit: &ProcessSet) -> bool {
     let size_bound = (s1.len() - 1) / 2;
     for g in g_star..=size_bound {
         let s2 = derive_s2(view, s1, g);

@@ -3,8 +3,6 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::id::{ProcessId, ProcessSet};
 
 /// A directed graph whose vertices are [`ProcessId`]s.
@@ -28,7 +26,7 @@ use crate::id::{ProcessId, ProcessSet};
 /// assert!(g.has_edge(p(1), p(2)));
 /// assert!(!g.has_edge(p(2), p(1)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct DiGraph {
     adj: BTreeMap<ProcessId, ProcessSet>,
 }

@@ -108,10 +108,8 @@ pub fn is_extended_k_osr(
     let c2_paths = match &core {
         Some(core) => {
             let dp = DisjointPaths::new(g);
-            let outsiders: Vec<ProcessId> = g
-                .vertices()
-                .filter(|v| !core.members.contains(v))
-                .collect();
+            let outsiders: Vec<ProcessId> =
+                g.vertices().filter(|v| !core.members.contains(v)).collect();
             outsiders.iter().all(|&o| {
                 core.members
                     .iter()
@@ -168,13 +166,7 @@ mod tests {
         assert!(!report.holds(), "{report:?}");
         assert!(!report.c1_unique_maximum);
         // Both K4s appear among the sinks with connectivity 2.
-        let find = |s: &ProcessSet| {
-            report
-                .sinks
-                .iter()
-                .find(|(m, _)| m == s)
-                .map(|(_, c)| *c)
-        };
+        let find = |s: &ProcessSet| report.sinks.iter().find(|(m, _)| m == s).map(|(_, c)| *c);
         assert_eq!(find(&process_set([1, 2, 3, 4])), Some(2));
         assert_eq!(find(&process_set([5, 6, 7, 8])), Some(2));
     }

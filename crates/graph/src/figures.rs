@@ -205,7 +205,16 @@ pub fn fig3a() -> FigureGraph {
     // cross edges giving each correct non-sink member 2 disjoint paths to
     // every sink member, while leaving 8 with only 2 pointers from
     // {1,2,3,4,6} (so 8 stays outside the false S2 at g = 2).
-    for (a, b) in [(2, 5), (3, 5), (4, 5), (2, 7), (4, 7), (6, 7), (3, 8), (6, 8)] {
+    for (a, b) in [
+        (2, 5),
+        (3, 5),
+        (4, 5),
+        (2, 7),
+        (4, 7),
+        (6, 7),
+        (3, 8),
+        (6, 8),
+    ] {
         graph.add_edge(a.into(), b.into());
     }
     FigureGraph {
@@ -294,7 +303,16 @@ pub fn fig4a() -> FigureGraph {
 pub fn fig4b() -> FigureGraph {
     let mut graph = DiGraph::complete(&process_set([1, 2, 3, 4]));
     graph.merge(&DiGraph::complete(&process_set([5, 6, 7, 8, 9])));
-    for (a, b) in [(1, 5), (1, 6), (2, 6), (2, 7), (3, 7), (3, 8), (4, 8), (4, 5)] {
+    for (a, b) in [
+        (1, 5),
+        (1, 6),
+        (2, 6),
+        (2, 7),
+        (3, 7),
+        (3, 8),
+        (4, 8),
+        (4, 5),
+    ] {
         graph.add_edge(a.into(), b.into());
     }
     FigureGraph {

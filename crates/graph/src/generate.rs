@@ -153,18 +153,13 @@ impl Generator {
             if sys.sink.len() == params.sink_size
                 && sys.sink.len() > 2 * params.fault_threshold
                 && report.is_k_osr()
-                && report
-                    .sink_members()
-                    .is_some_and(|s| *s == sys.sink)
+                && report.sink_members().is_some_and(|s| *s == sys.sink)
             {
                 return Ok(sys);
             }
         }
         Err(GraphError::GenerationFailed {
-            property: format!(
-                "{}-OSR safe subgraph",
-                params.fault_threshold + 1
-            ),
+            property: format!("{}-OSR safe subgraph", params.fault_threshold + 1),
             attempts: ATTEMPTS,
         })
     }
@@ -452,6 +447,9 @@ mod layered_tests {
                 let to_periphery = outs.len() - to_sink;
                 to_periphery >= 2 && to_sink < sys.sink.len()
             });
-        assert!(layered_member, "depth-3 periphery must chain through layers");
+        assert!(
+            layered_member,
+            "depth-3 periphery must chain through layers"
+        );
     }
 }

@@ -3,8 +3,6 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A unique process identifier.
 ///
 /// The system model (Section II-A of the paper) assumes each process has a
@@ -24,9 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(a.raw(), 7);
 /// assert_eq!(format!("{a}"), "p7");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ProcessId(u64);
 
 impl ProcessId {

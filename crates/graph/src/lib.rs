@@ -60,15 +60,11 @@ pub use digraph::DiGraph;
 pub use dot::{to_dot, DotStyle};
 pub use error::GraphError;
 pub use extended::{is_extended_k_osr, CoreWitness, ExtendedOsrReport};
-pub use figures::{
-    fig1a, fig1b, fig2a, fig2b, fig2c, fig3a, fig3b, fig4a, fig4b, FigureGraph,
-};
+pub use figures::{fig1a, fig1b, fig2a, fig2b, fig2c, fig3a, fig3b, fig4a, fig4b, FigureGraph};
 pub use generate::{GdiParams, GeneratedSystem, Generator};
 pub use id::{process_set, ProcessId, ProcessSet};
 pub use maxflow::UnitFlowNetwork;
 pub use osr::{osr_report, sink_members, OsrReport};
-pub use predicates::{
-    derive_s2, is_sink_gdi, is_sink_star, max_threshold, SinkDecomposition,
-};
+pub use predicates::{derive_s2, is_sink_gdi, is_sink_star, max_threshold, SinkDecomposition};
 pub use scc::{condensation, strongly_connected_components, Condensation};
 pub use view::KnowledgeView;

@@ -77,10 +77,7 @@ pub fn osr_report(g: &DiGraph, k: usize) -> OsrReport {
         Some(sink_set) => {
             let sub = g.induced(sink_set);
             let kappa = sub.strong_connectivity();
-            let non_sink: ProcessSet = g
-                .vertices()
-                .filter(|v| !sink_set.contains(v))
-                .collect();
+            let non_sink: ProcessSet = g.vertices().filter(|v| !sink_set.contains(v)).collect();
             let min_paths = if non_sink.is_empty() {
                 usize::MAX
             } else {

@@ -119,12 +119,7 @@ fn boundary_count(view: &KnowledgeView, s1: &ProcessSet, s2: &ProcessSet) -> usi
 /// let view = KnowledgeView::omniscient(fig1b().graph());
 /// assert!(is_sink_gdi(&view, 1, &process_set([1, 3, 4]), &process_set([2])));
 /// ```
-pub fn is_sink_gdi(
-    view: &KnowledgeView,
-    g: usize,
-    s1: &ProcessSet,
-    s2: &ProcessSet,
-) -> bool {
+pub fn is_sink_gdi(view: &KnowledgeView, g: usize, s1: &ProcessSet, s2: &ProcessSet) -> bool {
     if s1.is_empty() {
         return false;
     }
@@ -196,11 +191,7 @@ pub fn is_sink_star(
     s: &ProcessSet,
     cutoff: usize,
 ) -> Result<Option<SinkDecomposition>, GraphError> {
-    let eligible: Vec<ProcessId> = s
-        .iter()
-        .copied()
-        .filter(|&p| view.has_pd_of(p))
-        .collect();
+    let eligible: Vec<ProcessId> = s.iter().copied().filter(|&p| view.has_pd_of(p)).collect();
     if eligible.len() > cutoff {
         return Err(GraphError::TooLargeForExactCheck {
             size: eligible.len(),
@@ -365,7 +356,12 @@ mod tests {
     #[test]
     fn empty_s1_rejected() {
         let view = fig1b_partial_view();
-        assert!(!is_sink_gdi(&view, 0, &ProcessSet::new(), &ProcessSet::new()));
+        assert!(!is_sink_gdi(
+            &view,
+            0,
+            &ProcessSet::new(),
+            &ProcessSet::new()
+        ));
         assert!(max_threshold(&view, &ProcessSet::new()).is_none());
     }
 }

@@ -7,14 +7,20 @@
 //! between correct processes sent after GST are delivered within `δ`;
 //! before GST, delays are arbitrary (but finite: channels are reliable).
 //!
-//! Two interchangeable runtimes execute the same [`Actor`] code:
+//! Two interchangeable runtimes execute the same [`Actor`] code behind the
+//! shared [`Runtime`] trait:
 //!
 //! * [`sim::Simulation`] — a deterministic discrete-event simulator with an
 //!   explicit GST, seeded adversarial pre-GST delays, and scripted delay
 //!   policies (needed to reproduce the indistinguishability executions of
 //!   Theorem 7 exactly);
-//! * [`threaded::run_threaded`] — an OS-thread runtime using crossbeam
-//!   channels with randomized real-time delays, for wall-clock validation.
+//! * [`threaded::ThreadedRuntime`] — an OS-thread runtime using channel
+//!   inboxes with randomized real-time delays, for wall-clock validation
+//!   ([`threaded::run_threaded`] remains as a by-value convenience).
+//!
+//! Experiment code written against `Runtime` — like
+//! `cupft_core::run_scenario_on` and the `ScenarioSuite` batch engine —
+//! runs unchanged on either substrate.
 //!
 //! # Example
 //!
@@ -58,14 +64,17 @@
 
 mod actor;
 mod delay;
+pub mod runtime;
 pub mod sim;
 mod stats;
 pub mod threaded;
 
 pub use actor::{Actor, Context, Labeled, TimerKind};
 pub use delay::DelayPolicy;
+pub use runtime::{Runtime, RuntimeReport};
 pub use sim::{RunReport, SimConfig, Simulation, TraceEntry};
 pub use stats::NetStats;
+pub use threaded::{ThreadedConfig, ThreadedRuntime};
 
 /// Simulated time, in abstract ticks.
 pub type Time = u64;

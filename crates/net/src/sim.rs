@@ -9,6 +9,7 @@ use rand::SeedableRng;
 
 use crate::actor::{Actor, Context, Labeled, TimerKind};
 use crate::delay::DelayPolicy;
+use crate::runtime::{Runtime, RuntimeReport};
 use crate::stats::NetStats;
 use crate::Time;
 
@@ -273,7 +274,10 @@ impl<M: Clone + Labeled + 'static> Simulation<M> {
         } = ctx;
         for (to, msg) in sends {
             self.stats.record_send(msg.label());
-            let delay = self.config.policy.delay(source, to, self.now, &mut self.rng);
+            let delay = self
+                .config
+                .policy
+                .delay(source, to, self.now, &mut self.rng);
             let seq = self.next_seq();
             self.queue.push(Reverse(OrderedEvent(Event {
                 time: self.now + delay,
@@ -327,6 +331,39 @@ impl<M: Clone + Labeled + 'static> Simulation<M> {
     /// Consumes the simulation, returning the actors for inspection.
     pub fn into_actors(self) -> BTreeMap<ProcessId, Box<dyn Actor<M>>> {
         self.actors
+    }
+}
+
+impl<M: Clone + Labeled + 'static> Runtime<M> for Simulation<M> {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn add_actor(&mut self, actor: Box<dyn Actor<M>>) {
+        Simulation::add_actor(self, actor);
+    }
+
+    fn run_until_stopped(&mut self, stop: &mut dyn FnMut() -> bool) -> RuntimeReport {
+        let stopped = self.run_until(|_| stop());
+        RuntimeReport {
+            all_halted: self.halted.values().all(|&h| h),
+            stopped,
+            end_time: self.now,
+            events: self.events_processed,
+            stats: self.stats.clone(),
+        }
+    }
+
+    fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    fn actor_ids(&self) -> Vec<ProcessId> {
+        self.actors.keys().copied().collect()
+    }
+
+    fn actor_dyn(&self, id: ProcessId) -> Option<&dyn Actor<M>> {
+        self.actors.get(&id).map(|b| b.as_ref())
     }
 }
 

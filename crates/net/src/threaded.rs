@@ -12,13 +12,14 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use cupft_graph::ProcessId;
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::actor::{Actor, Context, Labeled, TimerKind};
+use crate::runtime::{Runtime, RuntimeReport};
 use crate::stats::NetStats;
 use crate::Time;
 
@@ -111,8 +112,143 @@ impl<M> Ord for Pending<M> {
     }
 }
 
+/// The OS-thread [`Runtime`]: each actor on its own thread, a router on
+/// the driving thread applying randomized delivery delays.
+///
+/// Lifecycle mirrors the trait contract: [`Runtime::add_actor`] before the
+/// run, one [`Runtime::run_until_stopped`] (actors are consumed by their
+/// threads and collected back at shutdown), then post-run inspection via
+/// [`Runtime::actor_as`]. A second run request returns the recorded report
+/// unchanged.
+pub struct ThreadedRuntime<M> {
+    config: ThreadedConfig,
+    pending: Vec<Box<dyn Actor<M>>>,
+    finished: BTreeMap<ProcessId, Box<dyn Actor<M>>>,
+    stats: NetStats,
+    last_report: Option<RuntimeReport>,
+    elapsed: Duration,
+}
+
+impl<M> ThreadedRuntime<M> {
+    /// Creates a runtime with no actors.
+    pub fn new(config: ThreadedConfig) -> Self {
+        ThreadedRuntime {
+            config,
+            pending: Vec::new(),
+            finished: BTreeMap::new(),
+            stats: NetStats::default(),
+            last_report: None,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Wall-clock duration of the completed run.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// Consumes the runtime, returning the actors in their final states.
+    pub fn into_actors(self) -> BTreeMap<ProcessId, Box<dyn Actor<M>>> {
+        self.finished
+    }
+}
+
+impl<M> Runtime<M> for ThreadedRuntime<M>
+where
+    M: Clone + Send + Labeled + 'static,
+{
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn add_actor(&mut self, actor: Box<dyn Actor<M>>) {
+        assert!(
+            self.last_report.is_none(),
+            "ThreadedRuntime actors must be registered before the run"
+        );
+        let id = actor.id();
+        assert!(
+            self.pending.iter().all(|a| a.id() != id),
+            "duplicate actor {id}"
+        );
+        self.pending.push(actor);
+    }
+
+    fn run_until_stopped(&mut self, stop: &mut dyn FnMut() -> bool) -> RuntimeReport {
+        // Already ran: report the recorded outcome unchanged.
+        if let Some(report) = &self.last_report {
+            return report.clone();
+        }
+        let actors = std::mem::take(&mut self.pending);
+        let run = run_router(actors, &self.config, stop);
+        self.finished.extend(run.actors);
+        self.stats = run.stats.clone();
+        self.elapsed = run.elapsed;
+        let report = RuntimeReport {
+            all_halted: run.all_halted,
+            stopped: run.stopped,
+            end_time: run.elapsed.as_millis() as Time,
+            events: run.stats.messages_delivered,
+            stats: run.stats,
+        };
+        self.last_report = Some(report.clone());
+        report
+    }
+
+    fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    fn actor_ids(&self) -> Vec<ProcessId> {
+        let mut ids: Vec<ProcessId> = self.finished.keys().copied().collect();
+        ids.extend(self.pending.iter().map(|a| a.id()));
+        ids.sort_unstable();
+        ids
+    }
+
+    fn actor_dyn(&self, id: ProcessId) -> Option<&dyn Actor<M>> {
+        self.finished.get(&id).map(|b| b.as_ref())
+    }
+}
+
 /// Runs `actors` on OS threads until all halt or the wall timeout expires.
+///
+/// Thin wrapper over [`ThreadedRuntime`] retained for callers that want
+/// the actors back by value.
 pub fn run_threaded<M>(actors: Vec<Box<dyn Actor<M>>>, config: ThreadedConfig) -> ThreadedReport<M>
+where
+    M: Clone + Send + Labeled + 'static,
+{
+    let mut runtime = ThreadedRuntime::new(config);
+    for actor in actors {
+        runtime.add_actor(actor);
+    }
+    let report = runtime.run_to_completion();
+    let elapsed = runtime.elapsed();
+    ThreadedReport {
+        actors: runtime.into_actors(),
+        stats: report.stats,
+        all_halted: report.all_halted,
+        elapsed,
+    }
+}
+
+struct RouterRun<M> {
+    actors: BTreeMap<ProcessId, Box<dyn Actor<M>>>,
+    stats: NetStats,
+    all_halted: bool,
+    stopped: bool,
+    elapsed: Duration,
+}
+
+/// Spawns actor threads and drives the delay router until all actors halt,
+/// `stop` (or the config's external stop flag) fires, or the wall timeout
+/// expires.
+fn run_router<M>(
+    actors: Vec<Box<dyn Actor<M>>>,
+    config: &ThreadedConfig,
+    stop: &mut dyn FnMut() -> bool,
+) -> RouterRun<M>
 where
     M: Clone + Send + Labeled + 'static,
 {
@@ -144,16 +280,19 @@ where
     let mut halted: BTreeMap<ProcessId, bool> = ids.iter().map(|&i| (i, false)).collect();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let deadline = start + config.wall_timeout;
+    let mut stopped = false;
 
     loop {
         if halted.values().all(|&h| h) {
             break;
         }
-        if config
-            .stop
-            .as_ref()
-            .is_some_and(|s| s.load(Ordering::SeqCst))
+        if stop()
+            || config
+                .stop
+                .as_ref()
+                .is_some_and(|s| s.load(Ordering::SeqCst))
         {
+            stopped = true;
             break;
         }
         let now = Instant::now();
@@ -164,8 +303,25 @@ where
         while heap.peek().is_some_and(|p| p.due <= now) {
             let p = heap.pop().expect("peeked");
             if let Some(tx) = inboxes.get(&p.to) {
-                if tx.try_send((p.from, p.msg)).is_ok() {
-                    stats.messages_delivered += 1;
+                match tx.try_send((p.from, p.msg)) {
+                    Ok(()) => stats.messages_delivered += 1,
+                    Err(TrySendError::Full((from, msg))) => {
+                        // Channels are reliable (Section II-A): a full inbox
+                        // defers delivery, never drops. Retry strictly later
+                        // than `now` so this loop terminates; the wall
+                        // timeout bounds total retrying.
+                        seq += 1;
+                        heap.push(Pending {
+                            due: now + config.min_delay.max(Duration::from_millis(1)),
+                            seq,
+                            from,
+                            to: p.to,
+                            msg,
+                        });
+                    }
+                    // Receiver gone: the actor halted — dropping mirrors the
+                    // simulator discarding events for halted actors.
+                    Err(TrySendError::Disconnected(_)) => {}
                 }
             }
         }
@@ -218,10 +374,11 @@ where
         let actor = handle.join().expect("actor thread panicked");
         out.insert(actor.id(), actor);
     }
-    ThreadedReport {
+    RouterRun {
         actors: out,
         stats,
         all_halted,
+        stopped,
         elapsed: start.elapsed(),
     }
 }
@@ -251,7 +408,10 @@ where
         let now = now_ms(start);
         // Fire due timers first.
         let mut fired = false;
-        while timers.peek().is_some_and(|&(std::cmp::Reverse(at), _)| at <= now) {
+        while timers
+            .peek()
+            .is_some_and(|&(std::cmp::Reverse(at), _)| at <= now)
+        {
             let (_, kind) = timers.pop().expect("peeked");
             let mut ctx = Context::new(now, id);
             actor.on_timer(kind, &mut ctx);
@@ -502,6 +662,53 @@ mod tests {
             },
         );
         assert!(report.all_halted);
+    }
+
+    #[test]
+    fn runtime_second_run_returns_recorded_report() {
+        use crate::runtime::Runtime;
+        let mut rt: ThreadedRuntime<Msg> = ThreadedRuntime::new(ThreadedConfig {
+            wall_timeout: Duration::from_secs(5),
+            ..ThreadedConfig::default()
+        });
+        rt.add_actor(Box::new(Node {
+            id: ProcessId::new(1),
+            peer: ProcessId::new(2),
+            initiator: true,
+            board: Board::new(),
+        }));
+        rt.add_actor(Box::new(Node {
+            id: ProcessId::new(2),
+            peer: ProcessId::new(1),
+            initiator: false,
+            board: Board::new(),
+        }));
+        let first = rt.run_to_completion();
+        let second = rt.run_to_completion();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the run")]
+    fn runtime_rejects_actor_registration_after_run() {
+        use crate::runtime::Runtime;
+        let mut rt: ThreadedRuntime<Msg> = ThreadedRuntime::new(ThreadedConfig {
+            wall_timeout: Duration::from_millis(50),
+            ..ThreadedConfig::default()
+        });
+        rt.add_actor(Box::new(Node {
+            id: ProcessId::new(1),
+            peer: ProcessId::new(2),
+            initiator: false,
+            board: Board::new(),
+        }));
+        rt.run_to_completion();
+        rt.add_actor(Box::new(Node {
+            id: ProcessId::new(2),
+            peer: ProcessId::new(1),
+            initiator: false,
+            board: Board::new(),
+        }));
     }
 
     #[test]

@@ -206,7 +206,12 @@ pub struct RrbActor {
 
 impl RrbActor {
     /// Creates an actor that will broadcast `content` under tag 0.
-    pub fn new(id: ProcessId, fault_threshold: usize, neighbors: ProcessSet, content: Vec<u64>) -> Self {
+    pub fn new(
+        id: ProcessId,
+        fault_threshold: usize,
+        neighbors: ProcessSet,
+        content: Vec<u64>,
+    ) -> Self {
         RrbActor {
             state: RrbState::new(id, fault_threshold, neighbors),
             own_payload: RrbPayload {
@@ -428,10 +433,7 @@ mod tests {
                         continue;
                     }
                     assert!(
-                        actor
-                            .state()
-                            .delivered()
-                            .any(|pl| pl.origin == origin),
+                        actor.state().delivered().any(|pl| pl.origin == origin),
                         "seed {seed}: {receiver} missing {origin}'s broadcast"
                     );
                 }
@@ -525,7 +527,8 @@ impl Actor<RrbMsg> for UnauthDiscoveryActor {
             let pd: ProcessSet = payload.content.iter().map(|&r| ProcessId::new(r)).collect();
             self.view.record_pd(payload.origin, pd.clone());
             self.rrb.add_neighbors(&pd);
-            self.rrb.add_neighbors(&[payload.origin].into_iter().collect());
+            self.rrb
+                .add_neighbors(&[payload.origin].into_iter().collect());
         }
         for (to, out) in forwards {
             ctx.send(to, out);

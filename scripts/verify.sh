@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Repo verification: formatting, lints, and the tier-1 build+test gate.
+#
+#   scripts/verify.sh          # everything (what CI should run)
+#   scripts/verify.sh --quick  # skip the release build (fast local loop)
+#
+# Tier-1 (from ROADMAP.md): cargo build --release && cargo test -q
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+if [[ "$quick" -eq 0 ]]; then
+    echo "==> cargo build --release"
+    cargo build --release
+fi
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "verify.sh: all green"

@@ -1,0 +1,277 @@
+//! Offline shim for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the API subset the workspace's benches use — benchmark
+//! groups, `bench_function` / `bench_with_input`, `BenchmarkId`, the
+//! `criterion_group!` / `criterion_main!` macros — with a plain
+//! median-of-samples wall-clock measurement instead of criterion's
+//! statistical machinery. Good enough to rank kernels and spot
+//! regressions by eye; not a statistics engine.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle passed to every benchmark function.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Caps the total measurement time per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &format!("{id}"),
+            self.sample_size,
+            self.measurement_time,
+            &mut f,
+        );
+        self
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark inside this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &format!("{}/{id}", self.name),
+            self.criterion.sample_size,
+            self.criterion.measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut g = |b: &mut Bencher| f(b, input);
+        run_one(
+            &format!("{}/{id}", self.name),
+            self.criterion.sample_size,
+            self.criterion.measurement_time,
+            &mut g,
+        );
+        self
+    }
+
+    /// Ends the group (no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An ID of the form `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An ID that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Collects timing samples for one benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting one sample per call up to the harness's
+    /// sample budget.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up call, untimed.
+        std::hint::black_box(routine());
+        for _ in 0..self.budget {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    f: &mut F,
+) {
+    // Calibrate: one throwaway call bounds per-sample cost so slow bodies
+    // get fewer samples within the time budget.
+    let start = Instant::now();
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        budget: 1,
+    };
+    f(&mut bencher);
+    let per_call = start.elapsed().max(Duration::from_nanos(1)) / 2;
+    let affordable = (measurement_time.as_nanos() / per_call.as_nanos().max(1)) as usize;
+    let budget = sample_size.min(affordable.max(2));
+
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        budget,
+    };
+    f(&mut bencher);
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("  {label:<50} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    println!(
+        "  {label:<50} median {} (min {}, max {}, {} samples)",
+        fmt_duration(median),
+        fmt_duration(min),
+        fmt_duration(max),
+        samples.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group entry point, in either criterion form:
+/// `criterion_group!(benches, f1, f2)` or
+/// `criterion_group! { name = benches; config = ...; targets = f1, f2 }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+);
+    };
+}
+
+/// Generates `main` from one or more `criterion_group!` names.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| 2 * 2));
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = tiny_bench,
+    }
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(12).to_string(), "12");
+    }
+}

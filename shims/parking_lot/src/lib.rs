@@ -1,0 +1,72 @@
+//! Offline shim for [`parking_lot`](https://crates.io/crates/parking_lot):
+//! `Mutex` and `RwLock` with parking_lot's non-`Result` locking API, backed
+//! by `std::sync`. Poisoned locks panic — parking_lot has no poisoning, and
+//! a poisoned lock here means a worker already panicked anyway.
+
+#![forbid(unsafe_code)]
+
+use std::sync;
+
+pub use sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// A mutual-exclusion lock whose `lock` returns the guard directly.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, blocking the current thread.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().expect("mutex poisoned")
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().expect("mutex poisoned")
+    }
+}
+
+/// A reader-writer lock whose `read`/`write` return guards directly.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().expect("rwlock poisoned")
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().expect("rwlock poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_roundtrip() {
+        let l = RwLock::new(vec![1]);
+        l.write().push(2);
+        assert_eq!(l.read().len(), 2);
+    }
+}

@@ -79,7 +79,10 @@ fn run_with_order(replicas: &mut [Replica], silent: &[u64], picks: &[u8]) -> Vec
                 progressed = true;
             }
         }
-        assert!(progressed, "stuck with {undecided} undecided and no timeouts");
+        assert!(
+            progressed,
+            "stuck with {undecided} undecided and no timeouts"
+        );
     }
     replicas.iter().map(|r| r.decision().cloned()).collect()
 }
@@ -123,7 +126,10 @@ fn view_change_cannot_revert_possible_decision() {
         .iter()
         .filter_map(|r| r.decision().cloned())
         .collect();
-    assert!(!decided_v0.is_empty(), "view 0 should decide among {{1,2,3}}");
+    assert!(
+        !decided_v0.is_empty(),
+        "view 0 should decide among {{1,2,3}}"
+    );
     assert!(decided_v0.iter().all(|v| v.as_ref() == b"value-1"));
 
     // Phase 2: replica 4 timed out and forces a view change; remaining

@@ -28,10 +28,9 @@ fn strategies() -> Vec<(&'static str, ByzantineStrategy)> {
 fn bft_cup_fig1b_all_strategies_all_seeds() {
     for (name, strategy) in strategies() {
         for seed in 0..5 {
-            let scenario =
-                Scenario::new(fig1b().graph().clone(), ProtocolMode::KnownThreshold(1))
-                    .with_byzantine(4, strategy.clone())
-                    .with_seed(seed);
+            let scenario = Scenario::new(fig1b().graph().clone(), ProtocolMode::KnownThreshold(1))
+                .with_byzantine(4, strategy.clone())
+                .with_seed(seed);
             let outcome = run_scenario(&scenario);
             let check = outcome.check();
             assert!(
@@ -46,8 +45,7 @@ fn bft_cup_fig1b_all_strategies_all_seeds() {
 fn bft_cupft_fig4a_seed_sweep() {
     for seed in 0..8 {
         let scenario =
-            Scenario::new(fig4a().graph().clone(), ProtocolMode::UnknownThreshold)
-                .with_seed(seed);
+            Scenario::new(fig4a().graph().clone(), ProtocolMode::UnknownThreshold).with_seed(seed);
         let outcome = run_scenario(&scenario);
         let check = outcome.check();
         assert!(check.consensus_solved(), "fig4a/seed{seed}: {check:?}");
@@ -63,10 +61,9 @@ fn bft_cupft_fig4a_seed_sweep() {
 fn bft_cupft_fig4b_byzantine_sweep() {
     for (name, strategy) in strategies() {
         for seed in 0..3 {
-            let scenario =
-                Scenario::new(fig4b().graph().clone(), ProtocolMode::UnknownThreshold)
-                    .with_byzantine(4, strategy.clone())
-                    .with_seed(seed);
+            let scenario = Scenario::new(fig4b().graph().clone(), ProtocolMode::UnknownThreshold)
+                .with_byzantine(4, strategy.clone())
+                .with_seed(seed);
             let outcome = run_scenario(&scenario);
             let check = outcome.check();
             assert!(
@@ -121,8 +118,8 @@ fn bft_cup_generated_f2() {
         let sys = Generator::from_seed(100 + seed)
             .generate(&params)
             .expect("generation succeeds");
-        let mut scenario = Scenario::new(sys.graph.clone(), ProtocolMode::KnownThreshold(2))
-            .with_seed(seed);
+        let mut scenario =
+            Scenario::new(sys.graph.clone(), ProtocolMode::KnownThreshold(2)).with_seed(seed);
         for b in &sys.byzantine {
             scenario = scenario.with_byzantine(b.raw(), ByzantineStrategy::Silent);
         }
@@ -204,7 +201,7 @@ fn lying_decided_val_cannot_poison_learners() {
         let check = outcome.check();
         assert!(check.consensus_solved(), "seed{seed}: {check:?}");
         assert!(
-            !check.decided_values.contains(&b"poison".to_vec()),
+            !check.decided_values.contains(b"poison".as_slice()),
             "seed{seed}: the fabricated value must never be decided"
         );
     }
@@ -224,7 +221,7 @@ fn lying_decided_val_on_cupft_core_member() {
         let outcome = run_scenario(&scenario);
         let check = outcome.check();
         assert!(check.consensus_solved(), "seed{seed}: {check:?}");
-        assert!(!check.decided_values.contains(&b"poison".to_vec()));
+        assert!(!check.decided_values.contains(b"poison".as_slice()));
     }
 }
 
@@ -263,6 +260,6 @@ fn combined_byzantine_attack_f2_extended() {
         let outcome = run_scenario(&scenario);
         let check = outcome.check();
         assert!(check.consensus_solved(), "seed{seed}: {check:?}");
-        assert!(!check.decided_values.contains(&b"poison".to_vec()));
+        assert!(!check.decided_values.contains(b"poison".as_slice()));
     }
 }

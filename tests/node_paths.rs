@@ -34,12 +34,13 @@ fn learning_node() -> Node {
         .map(|v| setup.certificate_for(v).unwrap())
         .collect();
     let mut ctx = Context::new(10, p(7));
-    node.on_message(p(5), NodeMsg::Discovery(DiscoveryMsg::SetPds(certs)), &mut ctx);
-    assert_eq!(node.phase(), Phase::Learning, "{:?}", node.detection());
-    assert_eq!(
-        node.detection().unwrap().members,
-        process_set([1, 2, 3, 4])
+    node.on_message(
+        p(5),
+        NodeMsg::Discovery(DiscoveryMsg::SetPds(certs)),
+        &mut ctx,
     );
+    assert_eq!(node.phase(), Phase::Learning, "{:?}", node.detection());
+    assert_eq!(node.detection().unwrap().members, process_set([1, 2, 3, 4]));
     node
 }
 
@@ -63,7 +64,11 @@ fn learner_requests_decided_value_from_all_members() {
         .map(|v| setup.certificate_for(v).unwrap())
         .collect();
     let mut ctx = Context::new(10, p(7));
-    node.on_message(p(5), NodeMsg::Discovery(DiscoveryMsg::SetPds(certs)), &mut ctx);
+    node.on_message(
+        p(5),
+        NodeMsg::Discovery(DiscoveryMsg::SetPds(certs)),
+        &mut ctx,
+    );
     let targets: Vec<u64> = ctx
         .queued_sends()
         .iter()
@@ -78,17 +83,37 @@ fn learner_decides_on_majority_of_matching_answers() {
     let mut node = learning_node();
     let mut ctx = Context::new(20, p(7));
     // |S| = 4: learning threshold = ceil(5/2) = 3 distinct members.
-    node.on_message(p(1), NodeMsg::DecidedVal(Value::from_static(b"X")), &mut ctx);
+    node.on_message(
+        p(1),
+        NodeMsg::DecidedVal(Value::from_static(b"X")),
+        &mut ctx,
+    );
     assert!(node.decision().is_none());
     // duplicate from the same member does not advance the tally
-    node.on_message(p(1), NodeMsg::DecidedVal(Value::from_static(b"X")), &mut ctx);
+    node.on_message(
+        p(1),
+        NodeMsg::DecidedVal(Value::from_static(b"X")),
+        &mut ctx,
+    );
     assert!(node.decision().is_none());
     // a conflicting answer opens its own tally
-    node.on_message(p(4), NodeMsg::DecidedVal(Value::from_static(b"Y")), &mut ctx);
+    node.on_message(
+        p(4),
+        NodeMsg::DecidedVal(Value::from_static(b"Y")),
+        &mut ctx,
+    );
     assert!(node.decision().is_none());
-    node.on_message(p(2), NodeMsg::DecidedVal(Value::from_static(b"X")), &mut ctx);
+    node.on_message(
+        p(2),
+        NodeMsg::DecidedVal(Value::from_static(b"X")),
+        &mut ctx,
+    );
     assert!(node.decision().is_none());
-    node.on_message(p(3), NodeMsg::DecidedVal(Value::from_static(b"X")), &mut ctx);
+    node.on_message(
+        p(3),
+        NodeMsg::DecidedVal(Value::from_static(b"X")),
+        &mut ctx,
+    );
     assert_eq!(node.decision().map(|v| v.as_ref()), Some(&b"X"[..]));
 }
 
@@ -189,7 +214,11 @@ fn member_node_starts_replica_and_proposes() {
         .map(|v| setup.certificate_for(v).unwrap())
         .collect();
     let mut ctx = Context::new(10, p(1));
-    node.on_message(p(2), NodeMsg::Discovery(DiscoveryMsg::SetPds(certs)), &mut ctx);
+    node.on_message(
+        p(2),
+        NodeMsg::Discovery(DiscoveryMsg::SetPds(certs)),
+        &mut ctx,
+    );
     assert_eq!(node.phase(), Phase::Member);
     assert_eq!(node.replica_view(), Some(0));
     let proposals = ctx

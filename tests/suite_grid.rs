@@ -1,0 +1,107 @@
+//! The ScenarioSuite acceptance grid: a 32-scenario cross product (graph
+//! family × fault assignment × delay policy × seed) fanned across worker
+//! threads, through *both* substrates behind the shared `Runtime` trait.
+
+use bft_cupft::core::{FaultCase, ProtocolMode, RuntimeKind, ScenarioGrid, ScenarioSuite};
+use bft_cupft::graph::{fig1b, fig4a};
+use bft_cupft::net::DelayPolicy;
+
+/// graph {fig1b, fig4a} × fault {correct, silent} × policy {sync, psync}
+/// × seed {0..4} = 32 scenarios. Faults are per-graph (each witness graph
+/// has its own Byzantine process), so the grid is built per graph and
+/// merged.
+fn acceptance_grid() -> ScenarioSuite {
+    let policies = |grid: ScenarioGrid| {
+        grid.policy("sync", DelayPolicy::Synchronous { delta: 10 }, 200_000)
+            .policy(
+                "psync",
+                DelayPolicy::PartialSynchrony {
+                    gst: 200,
+                    delta: 10,
+                    pre_gst_max: 120,
+                },
+                200_000,
+            )
+            .seeds(0..4)
+    };
+    let mut suite = policies(
+        ScenarioGrid::new()
+            .graph(
+                "fig1b",
+                fig1b().graph().clone(),
+                ProtocolMode::KnownThreshold(1),
+            )
+            .fault(FaultCase::none())
+            .fault(FaultCase::silent(4)),
+    )
+    .build();
+    suite.extend(
+        policies(
+            ScenarioGrid::new()
+                .graph(
+                    "fig4a",
+                    fig4a().graph().clone(),
+                    ProtocolMode::UnknownThreshold,
+                )
+                .fault(FaultCase::none())
+                .fault(FaultCase::silent(9)),
+        )
+        .build(),
+    );
+    assert_eq!(suite.len(), 32);
+    suite
+}
+
+#[test]
+fn grid_of_32_solves_consensus_on_simulation() {
+    let report = acceptance_grid().run(RuntimeKind::Sim);
+    assert_eq!(report.verdicts.len(), 32);
+    assert!(
+        report.all_solved(),
+        "failures on sim: {:?}",
+        report.failures()
+    );
+    assert!(report.workers >= 1);
+}
+
+#[test]
+fn grid_runs_are_deterministic_on_simulation() {
+    let suite = acceptance_grid();
+    let a = suite.run(RuntimeKind::Sim);
+    let b = suite.run(RuntimeKind::Sim);
+    for (va, vb) in a.verdicts.iter().zip(&b.verdicts) {
+        assert_eq!(va.label, vb.label);
+        assert_eq!(va.outcome.decisions, vb.outcome.decisions);
+        assert_eq!(va.outcome.end_time, vb.outcome.end_time);
+        assert_eq!(va.outcome.stats, vb.outcome.stats);
+    }
+}
+
+#[test]
+fn grid_of_32_solves_consensus_on_threads() {
+    let mut suite = acceptance_grid();
+    // Tick-denominated knobs are read as milliseconds on the threaded
+    // substrate: shorten discovery, lengthen the view timeout so real
+    // scheduling jitter cannot trigger spurious view changes.
+    for entry in suite.entries_mut() {
+        entry.scenario.discovery_period = 10;
+        entry.scenario.view_timeout_base = 2_000;
+    }
+    let report = suite.run(RuntimeKind::Threaded);
+    assert_eq!(report.verdicts.len(), 32);
+    assert!(
+        report.all_solved(),
+        "failures on threads: {:?}",
+        report.failures()
+    );
+    // Every scenario must have reached agreement on a single value.
+    for verdict in &report.verdicts {
+        assert_eq!(
+            verdict.check.decided_values.len(),
+            1,
+            "{}: {:?}",
+            verdict.label,
+            verdict.check
+        );
+    }
+}

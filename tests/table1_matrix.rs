@@ -2,24 +2,17 @@
 //! (im)possibility table must hold on every `cargo test` run.
 //! (The printable version with timings is `cargo run -p cupft-bench --bin
 //! table1`.)
+//!
+//! The nine cells are expressed as one [`ScenarioGrid`] per column (each
+//! column's witness graph carries its own Byzantine process) merged into a
+//! single [`ScenarioSuite`] and executed in parallel on the deterministic
+//! simulator.
 
-use bft_cupft::core::{run_scenario, ByzantineStrategy, ProtocolMode, Scenario};
+use bft_cupft::core::{
+    FaultCase, ProtocolMode, RuntimeKind, ScenarioGrid, ScenarioSuite, SuiteReport,
+};
 use bft_cupft::graph::{fig1b, fig4a, process_set, DiGraph};
 use bft_cupft::net::DelayPolicy;
-
-fn cell(
-    graph: DiGraph,
-    mode: ProtocolMode,
-    byzantine: u64,
-    policy: DelayPolicy,
-    horizon: u64,
-) -> bft_cupft::core::ConsensusCheck {
-    let scenario = Scenario::new(graph, mode)
-        .with_byzantine(byzantine, ByzantineStrategy::Silent)
-        .with_policy(policy)
-        .with_horizon(horizon);
-    run_scenario(&scenario).check()
-}
 
 fn sync() -> DelayPolicy {
     DelayPolicy::Synchronous { delta: 10 }
@@ -44,39 +37,63 @@ fn known_membership() -> DiGraph {
     DiGraph::complete(&process_set(1..=4))
 }
 
-#[test]
-fn row_synchronous_all_possible() {
-    for (graph, mode, byz) in [
-        (known_membership(), ProtocolMode::KnownThreshold(1), 4),
-        (fig1b().graph().clone(), ProtocolMode::KnownThreshold(1), 4),
-        (fig4a().graph().clone(), ProtocolMode::UnknownThreshold, 9),
-    ] {
-        let check = cell(graph, mode, byz, sync(), 100_000);
-        assert!(check.consensus_solved(), "{mode:?}: {check:?}");
-    }
+/// The full nine-cell matrix as one parallel suite run.
+fn run_matrix() -> SuiteReport {
+    let column = |label: &str, graph: DiGraph, mode: ProtocolMode, byz: u64| {
+        ScenarioGrid::new()
+            .graph(label, graph, mode)
+            .fault(FaultCase::silent(byz))
+            .policy("sync", sync(), 100_000)
+            .policy("psync", psync(), 200_000)
+            .policy("async", adversarial(), 50_000)
+            .build()
+    };
+    let mut suite: ScenarioSuite = column(
+        "known",
+        known_membership(),
+        ProtocolMode::KnownThreshold(1),
+        4,
+    );
+    suite.extend(column(
+        "bft-cup",
+        fig1b().graph().clone(),
+        ProtocolMode::KnownThreshold(1),
+        4,
+    ));
+    suite.extend(column(
+        "bft-cupft",
+        fig4a().graph().clone(),
+        ProtocolMode::UnknownThreshold,
+        9,
+    ));
+    assert_eq!(suite.len(), 9);
+    suite.run(RuntimeKind::Sim)
 }
 
 #[test]
-fn row_partially_synchronous_all_possible() {
-    for (graph, mode, byz) in [
-        (known_membership(), ProtocolMode::KnownThreshold(1), 4),
-        (fig1b().graph().clone(), ProtocolMode::KnownThreshold(1), 4),
-        (fig4a().graph().clone(), ProtocolMode::UnknownThreshold, 9),
-    ] {
-        let check = cell(graph, mode, byz, psync(), 200_000);
-        assert!(check.consensus_solved(), "{mode:?}: {check:?}");
+fn table1_matrix_holds() {
+    let report = run_matrix();
+    assert_eq!(report.verdicts.len(), 9);
+    for verdict in &report.verdicts {
+        if verdict.label.contains("/async/") {
+            assert!(
+                !verdict.check.termination,
+                "{} must not decide: {:?}",
+                verdict.label, verdict.check
+            );
+            assert!(
+                verdict.check.agreement,
+                "{} must stay safe: {:?}",
+                verdict.label, verdict.check
+            );
+        } else {
+            assert!(
+                verdict.solved(),
+                "{} must solve consensus: {:?}",
+                verdict.label,
+                verdict.check
+            );
+        }
     }
-}
-
-#[test]
-fn row_asynchronous_stalls_safely() {
-    for (graph, mode, byz) in [
-        (known_membership(), ProtocolMode::KnownThreshold(1), 4),
-        (fig1b().graph().clone(), ProtocolMode::KnownThreshold(1), 4),
-        (fig4a().graph().clone(), ProtocolMode::UnknownThreshold, 9),
-    ] {
-        let check = cell(graph, mode, byz, adversarial(), 50_000);
-        assert!(!check.termination, "{mode:?} must not decide: {check:?}");
-        assert!(check.agreement, "{mode:?} must stay safe: {check:?}");
-    }
+    assert_eq!(report.solved_count(), 6, "six possibility cells");
 }

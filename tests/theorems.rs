@@ -51,9 +51,8 @@ fn theorem2_discovery_convergence_and_bound() {
     let correct: Vec<_> = fig.correct().into_iter().collect();
     let converged = sim.run_until(|s| {
         correct.iter().all(|&v| {
-            s.actor_as::<DiscoveryActor>(v).is_some_and(|a| {
-                correct_sink.iter().all(|&m| a.state().view().has_pd_of(m))
-            })
+            s.actor_as::<DiscoveryActor>(v)
+                .is_some_and(|a| correct_sink.iter().all(|&m| a.state().view().has_pd_of(m)))
         })
     });
     assert!(converged);

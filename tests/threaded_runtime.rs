@@ -1,78 +1,88 @@
 //! The protocol stack on real OS threads: agreement must survive real
 //! scheduling nondeterminism.
+//!
+//! Migrated onto the unified `Runtime` API: the same `Scenario` that
+//! drives the deterministic simulator runs here on
+//! `cupft_net::threaded::ThreadedRuntime` via `Scenario::run_on`, and the
+//! parity test checks both substrates decide the same value.
 
-use std::collections::BTreeSet;
-use std::time::Duration;
+use bft_cupft::core::{ByzantineStrategy, ProtocolMode, RuntimeKind, Scenario, ScenarioOutcome};
+use bft_cupft::graph::{fig1b, fig4b, DiGraph};
 
-use bft_cupft::committee::Value;
-use bft_cupft::core::{Node, NodeConfig, NodeMsg, ProtocolMode};
-use bft_cupft::detector::SystemSetup;
-use bft_cupft::graph::{fig1b, fig4b};
-use bft_cupft::net::threaded::{run_threaded, Board, ThreadedConfig};
-use bft_cupft::net::Actor;
+/// A scenario tuned for wall-clock execution: tick-denominated knobs
+/// become milliseconds on the threaded runtime, so keep the discovery
+/// period short and the view timeout generous. A premature view change is
+/// the only source of cross-runtime decision divergence, so the timeout
+/// must exceed any plausible CI scheduling stall — at 30 s a stall long
+/// enough to rotate the leader would hit the 60 s wall timeout (a
+/// reported non-termination, not a silently different value) first.
+fn wall_clock_scenario(graph: &DiGraph, mode: ProtocolMode) -> Scenario {
+    let mut scenario = Scenario::new(graph.clone(), mode);
+    scenario.discovery_period = 10;
+    scenario.view_timeout_base = 30_000;
+    scenario
+}
 
-fn run_graph(graph: &bft_cupft::graph::DiGraph, mode: ProtocolMode, skip: &[u64]) -> Vec<Vec<u8>> {
-    let setup = SystemSetup::new(graph);
-    let board: Board<Vec<u8>> = Board::new();
-    let mut actors: Vec<Box<dyn Actor<NodeMsg>>> = Vec::new();
-    for v in graph.vertices() {
-        if skip.contains(&v.raw()) {
-            continue; // silent Byzantine: simply not scheduled
-        }
-        let config = NodeConfig {
-            mode,
-            discovery_period: 10,
-            replica: bft_cupft::committee::ReplicaConfig { timeout_base: 400 },
-            crash_at: None,
-        };
-        let value = Value::from(format!("v{}", v.raw()).into_bytes());
-        let node = Node::from_setup(&setup, v, value, config)
-            .unwrap()
-            .with_board(board.clone());
-        actors.push(Box::new(node));
-    }
-    let expected = actors.len();
-    // Supervisor: stop the runtime as soon as every node has published.
-    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
-    let watcher_board = board.clone();
-    let watcher_stop = stop.clone();
-    let watcher = std::thread::spawn(move || {
-        for _ in 0..600 {
-            if watcher_board.len() >= expected {
-                watcher_stop.store(true, std::sync::atomic::Ordering::SeqCst);
-                return;
-            }
-            std::thread::sleep(Duration::from_millis(100));
-        }
-    });
-    let _report = run_threaded(
-        actors,
-        ThreadedConfig {
-            min_delay: Duration::from_millis(1),
-            max_delay: Duration::from_millis(6),
-            wall_timeout: Duration::from_secs(60),
-            seed: 5,
-            stop: Some(stop),
-        },
+fn run_threaded_scenario(scenario: &Scenario) -> ScenarioOutcome {
+    let outcome = scenario.run_on(RuntimeKind::Threaded);
+    let check = outcome.check();
+    assert!(
+        check.consensus_solved(),
+        "consensus on threads: {check:?} ({:?})",
+        outcome.decisions
     );
-    watcher.join().unwrap();
-    let decisions = board.snapshot();
-    assert_eq!(decisions.len(), expected, "every live node must decide");
-    decisions.into_values().collect()
+    outcome
 }
 
 #[test]
 fn bft_cup_agreement_on_threads() {
     let fig = fig1b();
-    let decisions = run_graph(fig.graph(), ProtocolMode::KnownThreshold(1), &[4]);
-    let distinct: BTreeSet<&Vec<u8>> = decisions.iter().collect();
-    assert_eq!(distinct.len(), 1, "agreement on threads");
+    let scenario = wall_clock_scenario(fig.graph(), ProtocolMode::KnownThreshold(1))
+        .with_byzantine(4, ByzantineStrategy::Silent)
+        .with_seed(5);
+    let outcome = run_threaded_scenario(&scenario);
+    assert_eq!(
+        outcome.check().decided_values.len(),
+        1,
+        "agreement on threads"
+    );
 }
 
 #[test]
 fn bft_cupft_agreement_on_threads() {
     let fig = fig4b();
-    let decisions = run_graph(fig.graph(), ProtocolMode::UnknownThreshold, &[]);
-    let distinct: BTreeSet<&Vec<u8>> = decisions.iter().collect();
-    assert_eq!(distinct.len(), 1, "agreement on threads");
+    let scenario = wall_clock_scenario(fig.graph(), ProtocolMode::UnknownThreshold).with_seed(5);
+    let outcome = run_threaded_scenario(&scenario);
+    assert_eq!(
+        outcome.check().decided_values.len(),
+        1,
+        "agreement on threads"
+    );
+}
+
+/// Sim/threaded parity: the same `Scenario`, run through the shared
+/// `Runtime` trait on both substrates, identifies the same sink/core and
+/// decides the same value.
+#[test]
+fn same_scenario_decides_same_value_on_both_runtimes() {
+    let fig = fig1b();
+    let scenario = wall_clock_scenario(fig.graph(), ProtocolMode::KnownThreshold(1))
+        .with_byzantine(4, ByzantineStrategy::Silent)
+        .with_seed(11);
+
+    let sim = scenario.run_on(RuntimeKind::Sim);
+    let threaded = run_threaded_scenario(&scenario);
+
+    let sim_check = sim.check();
+    assert!(sim_check.consensus_solved(), "{sim_check:?}");
+    assert_eq!(
+        sim_check.decided_values,
+        threaded.check().decided_values,
+        "both runtimes must decide the same value"
+    );
+    assert_eq!(
+        sim.distinct_detections(),
+        threaded.distinct_detections(),
+        "both runtimes must identify the same sink"
+    );
 }
