@@ -1,0 +1,265 @@
+//! Post-hoc consensus-invariant checking over execution traces.
+//!
+//! The paper's four properties (§II-B) rephrased as trace predicates:
+//!
+//! * **Agreement** — no two correct processes decide differently;
+//! * **Validity** — every decided value was proposed by some process (or
+//!   legitimately injected by an equivocating leader);
+//! * **Integrity** — no correct process decides twice;
+//! * **Termination-by-bound** — every correct process decides within the
+//!   experiment's bound (the checkable shadow of Termination: a finite
+//!   trace cannot certify "eventually", only "by the horizon").
+//!
+//! The checker is pure: it never re-runs anything, it reads the
+//! [`ExecutionTrace`] a recorder produced. That separation is what lets
+//! the shrinker re-judge candidate executions cheaply and deterministically.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cupft_graph::{ProcessId, ProcessSet};
+use cupft_net::Time;
+
+use crate::trace::ExecutionTrace;
+
+/// A consensus property checkable over a finite trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Invariant {
+    /// No two correct processes decided different values.
+    Agreement,
+    /// Every decided value is in the allowed set.
+    Validity,
+    /// No correct process decided more than once.
+    Integrity,
+    /// Every correct process decided at a time `<=` the bound.
+    TerminationBy(Time),
+}
+
+/// One invariant broken by a trace, with human-readable evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The broken invariant.
+    pub invariant: Invariant,
+    /// What the trace shows.
+    pub detail: String,
+}
+
+/// Checks a trace against the §II-B properties for a given correct set.
+#[derive(Debug, Clone)]
+pub struct TraceChecker {
+    correct: ProcessSet,
+    allowed: BTreeSet<Vec<u8>>,
+    termination_bound: Option<Time>,
+}
+
+impl TraceChecker {
+    /// A checker for the given correct processes and allowed value set.
+    /// Termination is unchecked until a bound is set.
+    pub fn new(correct: ProcessSet, allowed: BTreeSet<Vec<u8>>) -> Self {
+        TraceChecker {
+            correct,
+            allowed,
+            termination_bound: None,
+        }
+    }
+
+    /// Also require every correct process to decide by `bound`.
+    pub fn with_termination_bound(mut self, bound: Time) -> Self {
+        self.termination_bound = Some(bound);
+        self
+    }
+
+    /// The correct processes this checker judges.
+    pub fn correct(&self) -> &ProcessSet {
+        &self.correct
+    }
+
+    /// Every violation the trace exhibits, in deterministic order
+    /// (agreement, validity, integrity, termination).
+    pub fn check(&self, trace: &ExecutionTrace) -> Vec<Violation> {
+        let mut violations = Vec::new();
+
+        // Decisions of correct processes, in trace order.
+        let mut decided: BTreeMap<ProcessId, Vec<(Time, Vec<u8>)>> = BTreeMap::new();
+        for (time, process, value) in trace.decisions() {
+            if self.correct.contains(&process) {
+                decided
+                    .entry(process)
+                    .or_default()
+                    .push((time, value.to_vec()));
+            }
+        }
+
+        let distinct: BTreeSet<&[u8]> = decided
+            .values()
+            .flat_map(|d| d.iter().map(|(_, v)| v.as_slice()))
+            .collect();
+        if distinct.len() > 1 {
+            let values: Vec<String> = distinct
+                .iter()
+                .map(|v| String::from_utf8_lossy(v).into_owned())
+                .collect();
+            violations.push(Violation {
+                invariant: Invariant::Agreement,
+                detail: format!(
+                    "correct processes decided {} distinct values: {values:?}",
+                    distinct.len()
+                ),
+            });
+        }
+
+        for v in &distinct {
+            if !self.allowed.contains(*v) {
+                violations.push(Violation {
+                    invariant: Invariant::Validity,
+                    detail: format!(
+                        "decided value {:?} was never proposed",
+                        String::from_utf8_lossy(v)
+                    ),
+                });
+            }
+        }
+
+        for (process, decisions) in &decided {
+            if decisions.len() > 1 {
+                violations.push(Violation {
+                    invariant: Invariant::Integrity,
+                    detail: format!("process {process} decided {} times", decisions.len()),
+                });
+            }
+        }
+
+        if let Some(bound) = self.termination_bound {
+            for p in &self.correct {
+                let by_bound = decided
+                    .get(p)
+                    .is_some_and(|d| d.iter().any(|(t, _)| *t <= bound));
+                if !by_bound {
+                    violations.push(Violation {
+                        invariant: Invariant::TerminationBy(bound),
+                        detail: format!("process {p} undecided at the bound"),
+                    });
+                }
+            }
+        }
+
+        violations
+    }
+
+    /// Whether the trace breaks a specific invariant (ignoring the bound
+    /// parameter for [`Invariant::TerminationBy`]).
+    pub fn violates(&self, trace: &ExecutionTrace, invariant: Invariant) -> bool {
+        self.check(trace)
+            .iter()
+            .any(|v| match (v.invariant, invariant) {
+                (Invariant::TerminationBy(_), Invariant::TerminationBy(_)) => true,
+                (a, b) => a == b,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceEvent, TraceEventKind};
+    use cupft_graph::process_set;
+
+    fn decided(time: Time, process: u64, value: &[u8]) -> TraceEvent {
+        TraceEvent {
+            time,
+            kind: TraceEventKind::Decided {
+                process: ProcessId::new(process),
+                value: value.to_vec(),
+            },
+        }
+    }
+
+    fn checker() -> TraceChecker {
+        TraceChecker::new(
+            process_set([1, 2]),
+            [b"a".to_vec(), b"b".to_vec()].into_iter().collect(),
+        )
+    }
+
+    #[test]
+    fn clean_trace_passes() {
+        let trace = ExecutionTrace::assemble(
+            vec![],
+            vec![],
+            vec![decided(10, 1, b"a"), decided(12, 2, b"a")],
+        );
+        assert!(checker().check(&trace).is_empty());
+    }
+
+    #[test]
+    fn disagreement_is_flagged() {
+        let trace = ExecutionTrace::assemble(
+            vec![],
+            vec![],
+            vec![decided(10, 1, b"a"), decided(12, 2, b"b")],
+        );
+        let violations = checker().check(&trace);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].invariant, Invariant::Agreement);
+        assert!(checker().violates(&trace, Invariant::Agreement));
+        assert!(!checker().violates(&trace, Invariant::Validity));
+    }
+
+    #[test]
+    fn byzantine_decisions_do_not_count() {
+        // process 9 is not correct: its "decision" is ignored
+        let trace = ExecutionTrace::assemble(
+            vec![],
+            vec![],
+            vec![decided(10, 1, b"a"), decided(11, 9, b"evil")],
+        );
+        assert!(checker().check(&trace).is_empty());
+    }
+
+    #[test]
+    fn invalid_value_is_flagged() {
+        let trace = ExecutionTrace::assemble(
+            vec![],
+            vec![],
+            vec![decided(10, 1, b"zz"), decided(11, 2, b"zz")],
+        );
+        let violations = checker().check(&trace);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].invariant, Invariant::Validity);
+    }
+
+    #[test]
+    fn double_decide_is_flagged() {
+        let trace = ExecutionTrace::assemble(
+            vec![],
+            vec![],
+            vec![
+                decided(10, 1, b"a"),
+                decided(11, 1, b"a"),
+                decided(12, 2, b"a"),
+            ],
+        );
+        let violations = checker().check(&trace);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].invariant, Invariant::Integrity);
+    }
+
+    #[test]
+    fn termination_bound_is_checked_when_set() {
+        let trace = ExecutionTrace::assemble(vec![], vec![], vec![decided(10, 1, b"a")]);
+        // no bound: no termination verdict
+        assert!(checker().check(&trace).is_empty());
+        // bound: process 2 never decided, process 1 decided in time
+        let violations = checker().with_termination_bound(50).check(&trace);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].invariant, Invariant::TerminationBy(50));
+        assert!(violations[0].detail.contains('2'));
+        // decided but too late also violates
+        let late = ExecutionTrace::assemble(
+            vec![],
+            vec![],
+            vec![decided(10, 1, b"a"), decided(99, 2, b"a")],
+        );
+        let violations = checker().with_termination_bound(50).check(&late);
+        assert_eq!(violations.len(), 1);
+    }
+}

@@ -1,0 +1,60 @@
+//! Pluggable fault-injection engine for BFT-CUP / BFT-CUPFT experiments.
+//!
+//! The paper's results (Theorems 5–7, Table I) quantify over *arbitrary*
+//! Byzantine strategies and message schedules; this crate makes that
+//! adversary space a first-class, composable subsystem instead of a fixed
+//! enum of hard-coded actors. Five pieces:
+//!
+//! * **[`Strategy`]** ([`strategy`]) — what a faulty process does, as a
+//!   composable trait with combinators ([`TargetSubset`], [`DelayRelease`],
+//!   [`FlipAfter`], [`Mute`]); [`StrategyActor`] runs any strategy on
+//!   either [`cupft_net::Runtime`] substrate.
+//! * **[`StrategySpec`]** ([`spec`]) — the same strategies as *data*: a
+//!   cloneable expression tree used for grid axes, labels, and shrinking.
+//!   Protocol crates compile specs into boxed strategies for their message
+//!   type.
+//! * **[`TamperSpec`]** ([`sched`]) — network-side adversaries (reorder
+//!   windows, targeted slow-downs, within-model drops) described as data
+//!   and compiled onto the [`cupft_net::Tamper`] interception hook, so one
+//!   schedule runs on both the simulator and the threaded runtime.
+//! * **Traces** ([`trace`]) — every send / delivery / decision of a run as
+//!   a compact [`ExecutionTrace`] with a stable fingerprint;
+//!   [`RecordingTamper`] captures sends through the same interception
+//!   hook. **[`TraceChecker`]** ([`invariant`]) rules on the §II-B
+//!   consensus properties (agreement, validity, integrity,
+//!   termination-by-bound) post-hoc over traces.
+//! * **Shrinking** ([`shrink`]) — given a violating assignment,
+//!   deterministically search for a minimal failing variant by pruning
+//!   strategy combinators and fault sets.
+//!
+//! `cupft_core` wires these into the `Scenario` runner (recorded runs, a
+//! strategy grid axis, and a shrink driver); see `tests/adversary_catch.rs`
+//! at the workspace root for the end-to-end loop: inject → trace → flag →
+//! shrink.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod invariant;
+pub mod sched;
+pub mod shrink;
+pub mod spec;
+pub mod strategy;
+pub mod trace;
+
+pub use invariant::{Invariant, TraceChecker, Violation};
+pub use sched::TamperSpec;
+pub use shrink::{assignment_size, shrink, Assignment, ShrinkOutcome};
+pub use spec::StrategySpec;
+pub use strategy::{
+    DelayRelease, FlipAfter, Mute, Strategy, StrategyActor, TargetSubset, FLIP_TICK, RELEASE_TICK,
+};
+pub use trace::{ExecutionTrace, RecordingTamper, SendLog, TraceEvent, TraceEventKind};
+
+/// Formats a process set compactly (`{1,2,3}`) — the shared formatter
+/// behind every spec/strategy/tamper label, so display names cannot
+/// drift apart.
+pub fn fmt_process_set(s: &cupft_graph::ProcessSet) -> String {
+    let ids: Vec<String> = s.iter().map(|p| p.raw().to_string()).collect();
+    format!("{{{}}}", ids.join(","))
+}

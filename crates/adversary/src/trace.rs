@@ -1,0 +1,328 @@
+//! Execution traces: compact send/deliver/decide event logs.
+//!
+//! An [`ExecutionTrace`] is the post-hoc evidence of one run: every send
+//! (captured through a [`RecordingTamper`] installed on the substrate),
+//! every delivery (the simulator's built-in delivery trace), and every
+//! decision (read back from the actors). The [`crate::invariant`] checker
+//! rules on consensus properties over traces; determinism tests compare
+//! [`ExecutionTrace::fingerprint`]s between record and replay runs.
+//!
+//! Recording works on either substrate (the tamper hook is portable), but
+//! byte-identical replay is a *simulator* guarantee — threaded runs trace
+//! real nondeterministic interleavings.
+
+use std::sync::{Arc, Mutex};
+
+use cupft_graph::ProcessId;
+use cupft_net::{Fate, Tamper, Time};
+
+/// What happened at one point of an execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A process handed a message to the network (recorded at send time;
+    /// `dropped` marks messages a tamper discarded).
+    Sent {
+        /// Sender.
+        from: ProcessId,
+        /// Addressee.
+        to: ProcessId,
+        /// Message label.
+        label: &'static str,
+        /// Whether the tamper layer dropped it.
+        dropped: bool,
+    },
+    /// The substrate delivered a message to an actor.
+    Delivered {
+        /// Sender.
+        from: ProcessId,
+        /// Receiver.
+        to: ProcessId,
+        /// Message label.
+        label: &'static str,
+    },
+    /// A process fixed its decision value.
+    Decided {
+        /// The deciding process.
+        process: ProcessId,
+        /// The decided value bytes.
+        value: Vec<u8>,
+    },
+}
+
+impl TraceEventKind {
+    fn rank(&self) -> u8 {
+        match self {
+            TraceEventKind::Sent { .. } => 0,
+            TraceEventKind::Delivered { .. } => 1,
+            TraceEventKind::Decided { .. } => 2,
+        }
+    }
+}
+
+/// One timestamped trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Substrate time (simulated ticks / elapsed milliseconds).
+    pub time: Time,
+    /// The event.
+    pub kind: TraceEventKind,
+}
+
+/// A whole execution as an ordered event log.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExecutionTrace {
+    /// Events in `(time, Sent<Delivered<Decided, stream order)` order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl ExecutionTrace {
+    /// Merges the three per-kind streams into one trace. Each stream must
+    /// already be in its own recording order; the merge is a stable sort
+    /// on `(time, kind rank)`, so equal-time events keep stream order and
+    /// the result is deterministic whenever the streams are.
+    pub fn assemble(
+        sends: Vec<TraceEvent>,
+        deliveries: Vec<TraceEvent>,
+        decisions: Vec<TraceEvent>,
+    ) -> Self {
+        let mut events = sends;
+        events.extend(deliveries);
+        events.extend(decisions);
+        events.sort_by_key(|e| (e.time, e.kind.rank()));
+        ExecutionTrace { events }
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The decision events, in trace order.
+    pub fn decisions(&self) -> impl Iterator<Item = (Time, ProcessId, &[u8])> {
+        self.events.iter().filter_map(|e| match &e.kind {
+            TraceEventKind::Decided { process, value } => {
+                Some((e.time, *process, value.as_slice()))
+            }
+            _ => None,
+        })
+    }
+
+    /// A stable FNV-1a fingerprint of the full event log. Two runs of the
+    /// same (scenario, seed, strategy) triple on the simulator must agree
+    /// on it byte for byte.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf29ce484222325;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x100000001b3);
+            }
+        };
+        for e in &self.events {
+            mix(&e.time.to_be_bytes());
+            match &e.kind {
+                TraceEventKind::Sent {
+                    from,
+                    to,
+                    label,
+                    dropped,
+                } => {
+                    mix(b"S");
+                    mix(&from.raw().to_be_bytes());
+                    mix(&to.raw().to_be_bytes());
+                    mix(label.as_bytes());
+                    mix(&[*dropped as u8]);
+                }
+                TraceEventKind::Delivered { from, to, label } => {
+                    mix(b"D");
+                    mix(&from.raw().to_be_bytes());
+                    mix(&to.raw().to_be_bytes());
+                    mix(label.as_bytes());
+                }
+                TraceEventKind::Decided { process, value } => {
+                    mix(b"V");
+                    mix(&process.raw().to_be_bytes());
+                    mix(value);
+                }
+            }
+        }
+        hash
+    }
+}
+
+/// A cloneable handle to a send log filled in by a [`RecordingTamper`].
+#[derive(Debug, Clone, Default)]
+pub struct SendLog {
+    inner: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl SendLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        SendLog::default()
+    }
+
+    /// Drains the recorded events.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.inner.lock().expect("send log poisoned"))
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("send log poisoned").len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A [`Tamper`] that records every send into a [`SendLog`], delegating the
+/// actual fate decision to an optional inner tamper (identity when absent).
+/// Install it with `Runtime::set_tamper` to turn any run into a traced run.
+pub struct RecordingTamper<M> {
+    log: SendLog,
+    inner: Option<Box<dyn Tamper<M>>>,
+}
+
+impl<M> RecordingTamper<M> {
+    /// Records into `log`; `inner` (if any) still rules on message fates.
+    pub fn new(log: SendLog, inner: Option<Box<dyn Tamper<M>>>) -> Self {
+        RecordingTamper { log, inner }
+    }
+}
+
+impl<M: Send> Tamper<M> for RecordingTamper<M> {
+    fn disposition(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        label: &'static str,
+        now: Time,
+    ) -> Fate {
+        let fate = match &mut self.inner {
+            Some(t) => t.disposition(from, to, label, now),
+            None => Fate::Deliver,
+        };
+        self.log
+            .inner
+            .lock()
+            .expect("send log poisoned")
+            .push(TraceEvent {
+                time: now,
+                kind: TraceEventKind::Sent {
+                    from,
+                    to,
+                    label,
+                    dropped: fate == Fate::Drop,
+                },
+            });
+        fate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::TamperSpec;
+    use cupft_graph::process_set;
+
+    fn p(n: u64) -> ProcessId {
+        ProcessId::new(n)
+    }
+
+    fn sent(time: Time, from: u64, to: u64) -> TraceEvent {
+        TraceEvent {
+            time,
+            kind: TraceEventKind::Sent {
+                from: p(from),
+                to: p(to),
+                label: "X",
+                dropped: false,
+            },
+        }
+    }
+
+    fn delivered(time: Time, from: u64, to: u64) -> TraceEvent {
+        TraceEvent {
+            time,
+            kind: TraceEventKind::Delivered {
+                from: p(from),
+                to: p(to),
+                label: "X",
+            },
+        }
+    }
+
+    fn decided(time: Time, process: u64, value: &[u8]) -> TraceEvent {
+        TraceEvent {
+            time,
+            kind: TraceEventKind::Decided {
+                process: p(process),
+                value: value.to_vec(),
+            },
+        }
+    }
+
+    #[test]
+    fn assemble_orders_by_time_then_kind() {
+        let trace = ExecutionTrace::assemble(
+            vec![sent(0, 1, 2), sent(5, 2, 1)],
+            vec![delivered(5, 1, 2)],
+            vec![decided(5, 1, b"v")],
+        );
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.events[0], sent(0, 1, 2));
+        // at t=5: Sent before Delivered before Decided
+        assert_eq!(trace.events[1], sent(5, 2, 1));
+        assert_eq!(trace.events[2], delivered(5, 1, 2));
+        assert_eq!(trace.events[3], decided(5, 1, b"v"));
+    }
+
+    #[test]
+    fn fingerprint_is_content_sensitive() {
+        let a = ExecutionTrace::assemble(vec![sent(0, 1, 2)], vec![], vec![]);
+        let b = ExecutionTrace::assemble(vec![sent(0, 1, 2)], vec![], vec![]);
+        let c = ExecutionTrace::assemble(vec![sent(0, 1, 3)], vec![], vec![]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_ne!(ExecutionTrace::default().fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn decisions_iterator_filters() {
+        let trace = ExecutionTrace::assemble(
+            vec![sent(0, 1, 2)],
+            vec![delivered(3, 1, 2)],
+            vec![decided(9, 1, b"v"), decided(9, 2, b"v")],
+        );
+        let d: Vec<_> = trace.decisions().collect();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0], (9, p(1), b"v".as_slice()));
+    }
+
+    #[test]
+    fn recording_tamper_logs_and_delegates() {
+        let log = SendLog::new();
+        let inner: Box<dyn Tamper<u32>> = TamperSpec::DropFrom {
+            senders: process_set([4]),
+        }
+        .build();
+        let mut rec = RecordingTamper::new(log.clone(), Some(inner));
+        assert_eq!(rec.disposition(p(1), p(2), "X", 10), Fate::Deliver);
+        assert_eq!(rec.disposition(p(4), p(2), "X", 11), Fate::Drop);
+        let events = log.take();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            events[1].kind,
+            TraceEventKind::Sent { dropped: true, .. }
+        ));
+        assert!(log.is_empty());
+    }
+}

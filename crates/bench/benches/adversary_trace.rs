@@ -1,0 +1,63 @@
+//! A5 — overhead of execution-trace recording.
+//!
+//! The same scenario run three ways: plain (no trace), with the
+//! simulator's delivery trace only, and fully recorded through the
+//! fault-injection engine (send log via the tamper hook, delivery trace,
+//! decision events, merge). The spread between the first and the last is
+//! the price of a post-hoc-checkable execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cupft_core::{
+    run_scenario, run_scenario_recorded, run_scenario_traced, ByzantineStrategy, ProtocolMode,
+    Scenario,
+};
+use cupft_graph::fig1b;
+use std::hint::black_box;
+
+fn scenario() -> Scenario {
+    Scenario::new(fig1b().graph().clone(), ProtocolMode::KnownThreshold(1))
+        .with_byzantine(4, ByzantineStrategy::Silent)
+        .with_seed(7)
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversary_trace");
+
+    group.bench_function("run_plain", |b| {
+        b.iter(|| {
+            let outcome = run_scenario(&scenario());
+            assert!(outcome.check().consensus_solved());
+            black_box(outcome.end_time)
+        })
+    });
+
+    group.bench_function("run_delivery_traced", |b| {
+        b.iter(|| {
+            let (outcome, trace) = run_scenario_traced(&scenario());
+            assert!(outcome.check().consensus_solved());
+            black_box(trace.len())
+        })
+    });
+
+    group.bench_function("run_recorded", |b| {
+        b.iter(|| {
+            let (outcome, trace) = run_scenario_recorded(&scenario());
+            assert!(outcome.check().consensus_solved());
+            black_box(trace.fingerprint())
+        })
+    });
+
+    group.bench_function("fingerprint_only", |b| {
+        let (_, trace) = run_scenario_recorded(&scenario());
+        b.iter(|| black_box(trace.fingerprint()))
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_trace_overhead
+}
+criterion_main!(benches);

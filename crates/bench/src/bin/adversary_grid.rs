@@ -1,0 +1,132 @@
+//! The fault-injection engine's own sweep: composite Byzantine strategy
+//! specs (combinators included) and a network tamper, crossed over the
+//! paper's witness graphs on the strategy axis of [`ScenarioGrid`].
+//!
+//! Every cell must solve consensus: the swept graphs satisfy their
+//! respective knowledge-connectivity requirements, so *no* single-process
+//! strategy — however composed — and no within-model tamper may break
+//! them. Emits a `--json <path>` artifact for trajectory tracking
+//! (`scripts/bench.sh`).
+
+use cupft_bench::{header, json_path_from_args, print_suite, suite_json, write_json, Json};
+use cupft_core::{ByzantineStrategy, ScenarioOutcome};
+use cupft_core::{
+    ProtocolMode, RuntimeKind, Scenario, ScenarioGrid, ScenarioSuite, StrategyCase, TamperSpec,
+};
+use cupft_graph::{fig1b, fig4b, process_set};
+
+/// The strategy playbook swept at process 4 (outside both witness cores).
+fn playbook() -> Vec<StrategyCase> {
+    vec![
+        StrategyCase::single(4, ByzantineStrategy::Silent),
+        StrategyCase::single(
+            4,
+            ByzantineStrategy::FakePd {
+                claimed: process_set([1, 2, 3]),
+            },
+        ),
+        StrategyCase::single(
+            4,
+            ByzantineStrategy::ForgeUnsignedPd {
+                victim: cupft_graph::ProcessId::new(1),
+                claimed: process_set([4]),
+            },
+        ),
+        StrategyCase::single(
+            4,
+            ByzantineStrategy::DelayRelease {
+                until: 300,
+                inner: Box::new(ByzantineStrategy::FakePd {
+                    claimed: process_set([1, 2, 3]),
+                }),
+            },
+        ),
+        StrategyCase::single(
+            4,
+            ByzantineStrategy::FlipAfter {
+                at: 400,
+                before: Box::new(ByzantineStrategy::FakePd {
+                    claimed: process_set([1, 2, 3]),
+                }),
+                after: Box::new(ByzantineStrategy::Silent),
+            },
+        ),
+        StrategyCase::single(
+            4,
+            ByzantineStrategy::TargetSubset {
+                targets: process_set([1, 2]),
+                inner: Box::new(ByzantineStrategy::EquivocatePd {
+                    even: process_set([1, 2]),
+                    odd: process_set([2, 3]),
+                }),
+            },
+        ),
+    ]
+}
+
+fn grid_for(label: &str, graph: cupft_graph::DiGraph, mode: ProtocolMode) -> ScenarioSuite {
+    let mut grid = ScenarioGrid::new().graph(label, graph, mode).seeds(0..3);
+    for case in playbook() {
+        grid = grid.strategy(case);
+    }
+    grid.build()
+}
+
+fn main() {
+    println!("Adversary grid — composite strategy specs on the witness graphs");
+
+    header("strategy axis sweep (2 graphs x 6 strategies x 3 seeds)");
+    let mut suite = grid_for(
+        "fig1b",
+        fig1b().graph().clone(),
+        ProtocolMode::KnownThreshold(1),
+    );
+    suite.extend(grid_for(
+        "fig4b",
+        fig4b().graph().clone(),
+        ProtocolMode::UnknownThreshold,
+    ));
+    let report = suite.run(RuntimeKind::Sim);
+    print_suite(&report);
+    assert!(
+        report.all_solved(),
+        "sufficient graphs must survive every strategy: {:?}",
+        report.failures()
+    );
+
+    header("network tamper (drop all Byzantine output — within-model)");
+    let tampered = Scenario::new(fig1b().graph().clone(), ProtocolMode::KnownThreshold(1))
+        .with_byzantine(
+            4,
+            ByzantineStrategy::FakePd {
+                claimed: process_set([1, 2, 3]),
+            },
+        )
+        .with_tamper(TamperSpec::DropFrom {
+            senders: process_set([4]),
+        });
+    let outcome: ScenarioOutcome = cupft_core::run_scenario(&tampered);
+    let check = outcome.check();
+    println!(
+        "  ✓ fig1b, fakepd4 behind drop{{4}}: solved={} dropped={} msgs",
+        check.consensus_solved(),
+        outcome.stats.messages_dropped
+    );
+    assert!(check.consensus_solved());
+    assert!(outcome.stats.messages_dropped > 0);
+
+    println!();
+    println!("Adversary grid: {}", report.summary());
+
+    if let Some(path) = json_path_from_args() {
+        let doc = Json::obj([
+            ("bin", Json::str("adversary_grid")),
+            ("suite", suite_json(&report)),
+            (
+                "tampered_dropped_messages",
+                Json::U64(outcome.stats.messages_dropped),
+            ),
+        ]);
+        write_json(&path, &doc);
+    }
+}

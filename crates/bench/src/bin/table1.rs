@@ -12,7 +12,7 @@
 //! into a single [`ScenarioSuite`] and executed in parallel on the
 //! deterministic simulator.
 
-use cupft_bench::{header, Row};
+use cupft_bench::{header, json_path_from_args, suite_json, write_json, Json, Row};
 use cupft_core::{FaultCase, ProtocolMode, RuntimeKind, ScenarioGrid, ScenarioSuite, SuiteVerdict};
 use cupft_graph::{fig1b, fig4a, process_set, DiGraph};
 use cupft_net::DelayPolicy;
@@ -134,4 +134,9 @@ fn main() {
         "Table I reproduced: 6/6 possibility cells solved, 3/3 async cells stalled safely ({})",
         report.summary()
     );
+
+    if let Some(path) = json_path_from_args() {
+        let doc = Json::obj([("bin", Json::str("table1")), ("suite", suite_json(&report))]);
+        write_json(&path, &doc);
+    }
 }

@@ -1,0 +1,204 @@
+//! Minimal JSON emission for the experiment binaries.
+//!
+//! The container has no network (and the workspace no serde), so this is
+//! a tiny hand-rolled value tree + serializer: exactly what the `--json
+//! <path>` flag of the table/figure binaries needs to leave a
+//! machine-readable artifact beside their text output, so successive PRs
+//! can track a bench trajectory (see `scripts/bench.sh`).
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::Row;
+use cupft_core::{SuiteReport, SuiteVerdict};
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (all our counters).
+    U64(u64),
+    /// A float (wall-clock seconds).
+    F64(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience: an object from `(key, value)` pairs.
+    pub fn obj<const N: usize>(pairs: [(&str, Json); N]) -> Json {
+        Json::Obj(pairs.map(|(k, v)| (k.to_string(), v)).to_vec())
+    }
+
+    /// Convenience: a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+}
+
+fn escape(s: &str, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+    out.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => write!(out, "{c}")?,
+        }
+    }
+    out.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::U64(n) => write!(f, "{n}"),
+            Json::F64(x) => {
+                if x.is_finite() {
+                    write!(f, "{x}")
+                } else {
+                    write!(f, "null")
+                }
+            }
+            Json::Str(s) => escape(s, f),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    escape(k, f)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// One experiment row as JSON (the machine-readable twin of
+/// [`Row::print`]).
+pub fn row_json(row: &Row) -> Json {
+    let decided: Vec<Json> = row
+        .check
+        .decided_values
+        .iter()
+        .map(|v| Json::Str(String::from_utf8_lossy(v).into_owned()))
+        .collect();
+    let detections: Vec<Json> = row
+        .detections
+        .iter()
+        .map(|s| Json::str(crate::fmt_set(s)))
+        .collect();
+    Json::obj([
+        ("label", Json::str(row.label.clone())),
+        ("solved", Json::Bool(row.solved)),
+        ("agreement", Json::Bool(row.check.agreement)),
+        ("termination", Json::Bool(row.check.termination)),
+        ("validity", Json::Bool(row.check.validity)),
+        ("end_time", Json::U64(row.end_time)),
+        ("messages", Json::U64(row.messages)),
+        ("decided", Json::Arr(decided)),
+        ("detections", Json::Arr(detections)),
+    ])
+}
+
+/// One suite verdict as a JSON row.
+pub fn verdict_json(verdict: &SuiteVerdict) -> Json {
+    row_json(&Row::from_outcome(&verdict.label, &verdict.outcome))
+}
+
+/// A whole suite report: per-cell rows plus aggregates.
+pub fn suite_json(report: &SuiteReport) -> Json {
+    Json::obj([
+        ("runtime", Json::str(report.kind.label())),
+        ("workers", Json::U64(report.workers as u64)),
+        ("solved", Json::U64(report.solved_count() as u64)),
+        ("cells", Json::U64(report.verdicts.len() as u64)),
+        ("total_messages", Json::U64(report.total_messages())),
+        ("wall_seconds", Json::F64(report.wall.as_secs_f64())),
+        (
+            "rows",
+            Json::Arr(report.verdicts.iter().map(verdict_json).collect()),
+        ),
+    ])
+}
+
+/// Parses a `--json <path>` argument pair from the binary's argv. Returns
+/// `None` when the flag is absent.
+///
+/// # Panics
+///
+/// Panics (with a usage message) if `--json` is present without a path —
+/// better than silently not writing the artifact a script expects.
+pub fn json_path_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            let path = args
+                .next()
+                .unwrap_or_else(|| panic!("--json requires a path argument"));
+            return Some(path.into());
+        }
+    }
+    None
+}
+
+/// Writes `value` to `path` (single line, trailing newline) and prints a
+/// confirmation to stdout.
+pub fn write_json(path: &Path, value: &Json) {
+    let mut file = std::fs::File::create(path)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+    writeln!(file, "{value}").unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("json artifact written to {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_nested_values() {
+        let v = Json::obj([
+            ("name", Json::str("tab\"le")),
+            ("n", Json::U64(3)),
+            ("ok", Json::Bool(true)),
+            ("xs", Json::Arr(vec![Json::U64(1), Json::F64(0.5)])),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            r#"{"name":"tab\"le","n":3,"ok":true,"xs":[1,0.5]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        assert_eq!(Json::str("a\nb\u{1}").to_string(), "\"a\\nb\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::F64(f64::NAN).to_string(), "null");
+    }
+}

@@ -11,11 +11,20 @@
 //! | `fig3`   | Fig. 3 — false-sink self-declaration |
 //! | `fig4`   | Fig. 4 — BFT-CUPFT core identification and consensus |
 //! | `ablation_auth` | Section III claim — signatures vs. RRB baseline |
+//! | `adversary_grid` | Fault-injection engine sweep: composite strategy specs + tamper |
+//!
+//! `table1`, `fig1`, `fig4`, and `adversary_grid` accept `--json <path>`
+//! to leave a machine-readable artifact beside the text tables (see
+//! [`json`] and `scripts/bench.sh`).
 
 #![forbid(unsafe_code)]
 
+pub mod json;
+
 use cupft_core::{run_scenario, ConsensusCheck, Scenario, ScenarioOutcome, SuiteReport};
 use cupft_graph::ProcessSet;
+
+pub use json::{json_path_from_args, row_json, suite_json, verdict_json, write_json, Json};
 
 /// One printed experiment row.
 #[derive(Debug, Clone)]
@@ -95,8 +104,9 @@ pub fn print_suite(report: &SuiteReport) {
     println!("  -- {}", report.summary());
 }
 
-/// Formats a process set compactly.
+/// Formats a process set compactly (delegates to the fault-injection
+/// engine's shared formatter so bench output and suite/shrink labels
+/// cannot drift apart).
 pub fn fmt_set(s: &ProcessSet) -> String {
-    let ids: Vec<String> = s.iter().map(|p| p.raw().to_string()).collect();
-    format!("{{{}}}", ids.join(","))
+    cupft_adversary::fmt_process_set(s)
 }

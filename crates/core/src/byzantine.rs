@@ -1,13 +1,25 @@
-//! Byzantine process strategies.
+//! Byzantine process strategies over [`NodeMsg`], built on the
+//! [`cupft_adversary`] strategy engine.
 //!
 //! The adversary is *static* (Section II-A): the strategy of each faulty
 //! process is fixed before the run. Signatures bound what a Byzantine
 //! process can do in the discovery plane — it may fabricate *its own* PD
 //! freely (even equivocate between several self-signed PDs), but cannot
-//! alter or invent records for correct processes. In the committee plane a
-//! Byzantine leader may equivocate proposals, and any Byzantine member may
-//! stay silent.
+//! alter or invent records for correct processes (a forgery attempt is
+//! [`ByzantineStrategy::ForgeUnsignedPd`], and receivers reject it). In
+//! the committee plane a Byzantine leader may equivocate proposals, and
+//! any Byzantine member may stay silent.
+//!
+//! Strategies are *described* by [`ByzantineStrategy`] (=
+//! [`cupft_adversary::StrategySpec`], re-exported for compatibility — a
+//! cloneable, shrinkable expression tree) and *executed* by per-strategy
+//! [`Strategy`] implementations compiled via [`build_strategy`]. The old
+//! enum-dispatch actor is gone; [`ByzantineActor`] is now a thin adapter
+//! binding a compiled strategy to a process identity, so combinator specs
+//! (delay-release, target-subset, flip-after) compose with every protocol
+//! strategy for free.
 
+use cupft_adversary::{DelayRelease, FlipAfter, Mute, Strategy, TargetSubset};
 use cupft_committee::{CommitteeMsg, Value};
 use cupft_crypto::{KeyRegistry, SigningKey};
 use cupft_detector::PdCertificate;
@@ -17,60 +29,313 @@ use cupft_net::{Actor, Context};
 
 use crate::msgs::NodeMsg;
 
-/// What a faulty process does.
-#[derive(Debug, Clone)]
-pub enum ByzantineStrategy {
-    /// Sends nothing, ever. (The adversary's strongest play against
-    /// knowledge connectivity: Figs. 1a, 2a, 2b.)
-    Silent,
-    /// Participates in discovery but advertises a fabricated own PD —
-    /// the Section III worked example (process 4 claiming `PD = {1,2,3}`).
-    /// Stays silent in the committee plane.
-    FakePd {
-        /// The claimed PD.
-        claimed: ProcessSet,
-    },
-    /// Advertises different self-signed PDs to different requesters
-    /// (split-brain attempt in the discovery plane).
-    EquivocatePd {
-        /// PD served to requesters with even raw ID.
-        even: ProcessSet,
-        /// PD served to requesters with odd raw ID.
-        odd: ProcessSet,
-    },
-    /// Runs discovery honestly and answers every `GETDECIDEDVAL` with a
-    /// fabricated value — the direct attack on Algorithm 3's learning path
-    /// (line 7's `⌈(|S|+1)/2⌉` matching-answers threshold is what defeats
-    /// it: at most `f` members lie, and `⌈(|S|+1)/2⌉ ≥ f+1`).
-    LieDecidedVal {
-        /// The fabricated decision served to learners.
-        value: Value,
-    },
-    /// Runs discovery honestly, then — as the view-0 leader of the given
-    /// committee — sends conflicting proposals to the two halves of the
-    /// committee and goes silent (the classic safety attack the prepare
-    /// quorum must absorb).
-    EquivocateValue {
-        /// The committee it expects to lead (test scaffolding: the
-        /// adversary knows the graph, per Section II-A).
-        committee: ProcessSet,
-        /// Proposal sent to the lower-ID half.
-        value_a: Value,
-        /// Proposal sent to the upper-ID half.
-        value_b: Value,
-    },
+/// What a faulty process does (compatibility re-export of
+/// [`cupft_adversary::StrategySpec`]; see that type for the variants).
+pub use cupft_adversary::StrategySpec as ByzantineStrategy;
+
+/// Shared behavior of strategies that participate in the discovery plane:
+/// run Algorithm 1 ticks on the configured period and answer discovery
+/// traffic from a [`DiscoveryState`].
+#[derive(Debug)]
+struct DiscoveryLoop {
+    discovery: DiscoveryState,
+    period: u64,
 }
 
-/// A faulty process executing a [`ByzantineStrategy`].
+impl DiscoveryLoop {
+    fn new(key: &SigningKey, registry: KeyRegistry, pd: ProcessSet, period: u64) -> Self {
+        DiscoveryLoop {
+            discovery: DiscoveryState::new(key, registry, pd),
+            period,
+        }
+    }
+
+    fn start(&mut self, ctx: &mut Context<NodeMsg>) {
+        self.tick(ctx);
+        ctx.set_timer(DISCOVERY_TICK, self.period);
+    }
+
+    fn tick(&mut self, ctx: &mut Context<NodeMsg>) {
+        for (to, msg) in self.discovery.tick() {
+            ctx.send(to, NodeMsg::Discovery(msg));
+        }
+    }
+
+    fn handle(&mut self, from: ProcessId, msg: DiscoveryMsg, ctx: &mut Context<NodeMsg>) {
+        for (to, out) in self.discovery.handle(from, msg) {
+            ctx.send(to, NodeMsg::Discovery(out));
+        }
+    }
+
+    /// Returns whether the timer was the discovery tick (and re-arms it).
+    fn on_timer(&mut self, kind: u64, ctx: &mut Context<NodeMsg>) -> bool {
+        if kind != DISCOVERY_TICK {
+            return false;
+        }
+        self.tick(ctx);
+        ctx.set_timer(DISCOVERY_TICK, self.period);
+        true
+    }
+}
+
+/// Participates in discovery but advertises a fabricated own PD — the
+/// Section III worked example (process 4 claiming `PD = {1,2,3}`). Silent
+/// in the committee plane.
+#[derive(Debug)]
+struct FakePdStrategy {
+    disc: DiscoveryLoop,
+    claimed: ProcessSet,
+}
+
+impl Strategy<NodeMsg> for FakePdStrategy {
+    fn name(&self) -> String {
+        format!("fakepd{}", cupft_adversary::fmt_process_set(&self.claimed))
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<NodeMsg>) {
+        self.disc.start(ctx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: NodeMsg, ctx: &mut Context<NodeMsg>) {
+        if let NodeMsg::Discovery(m) = msg {
+            self.disc.handle(from, m, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, kind: u64, ctx: &mut Context<NodeMsg>) {
+        self.disc.on_timer(kind, ctx);
+    }
+}
+
+/// Advertises different self-signed PDs to different requesters
+/// (split-brain attempt in the discovery plane). Does not run discovery
+/// rounds of its own.
+#[derive(Debug)]
+struct EquivocatePdStrategy {
+    key: SigningKey,
+    even: ProcessSet,
+    odd: ProcessSet,
+}
+
+impl Strategy<NodeMsg> for EquivocatePdStrategy {
+    fn name(&self) -> String {
+        "equivpd".into()
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: NodeMsg, ctx: &mut Context<NodeMsg>) {
+        if let NodeMsg::Discovery(DiscoveryMsg::GetPds) = msg {
+            let pd = if from.raw().is_multiple_of(2) {
+                &self.even
+            } else {
+                &self.odd
+            };
+            let cert = PdCertificate::sign(&self.key, pd);
+            ctx.send(from, NodeMsg::Discovery(DiscoveryMsg::SetPds(vec![cert])));
+        }
+    }
+}
+
+/// Runs discovery honestly and *additionally* pushes a forged (unsigned)
+/// PD record claiming to be `victim`'s — the attack Algorithm 1's
+/// signatures exist to reject: correct receivers verify and discard it,
+/// so consensus on a sufficient graph is unaffected.
+#[derive(Debug)]
+struct ForgeUnsignedPdStrategy {
+    disc: DiscoveryLoop,
+    victim: ProcessId,
+    claimed: ProcessSet,
+}
+
+impl Strategy<NodeMsg> for ForgeUnsignedPdStrategy {
+    fn name(&self) -> String {
+        format!("forge<{}>", self.victim.raw())
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<NodeMsg>) {
+        self.disc.start(ctx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: NodeMsg, ctx: &mut Context<NodeMsg>) {
+        if let NodeMsg::Discovery(m) = msg {
+            let requested = matches!(m, DiscoveryMsg::GetPds);
+            self.disc.handle(from, m, ctx);
+            if requested {
+                let forged = PdCertificate::forge(self.victim, &self.claimed);
+                ctx.send(from, NodeMsg::Discovery(DiscoveryMsg::SetPds(vec![forged])));
+            }
+        }
+    }
+
+    fn on_timer(&mut self, kind: u64, ctx: &mut Context<NodeMsg>) {
+        self.disc.on_timer(kind, ctx);
+    }
+}
+
+/// Runs discovery honestly and answers every `GETDECIDEDVAL` with a
+/// fabricated value — the direct attack on Algorithm 3's learning path
+/// (line 7's `⌈(|S|+1)/2⌉` matching-answers threshold is what defeats it:
+/// at most `f` members lie, and `⌈(|S|+1)/2⌉ ≥ f+1`).
+#[derive(Debug)]
+struct LieDecidedValStrategy {
+    disc: DiscoveryLoop,
+    value: Value,
+}
+
+impl Strategy<NodeMsg> for LieDecidedValStrategy {
+    fn name(&self) -> String {
+        "lieval".into()
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<NodeMsg>) {
+        self.disc.start(ctx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: NodeMsg, ctx: &mut Context<NodeMsg>) {
+        match msg {
+            NodeMsg::GetDecidedVal => {
+                ctx.send(from, NodeMsg::DecidedVal(self.value.clone()));
+            }
+            NodeMsg::Discovery(m) => self.disc.handle(from, m, ctx),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, kind: u64, ctx: &mut Context<NodeMsg>) {
+        self.disc.on_timer(kind, ctx);
+    }
+}
+
+/// Runs discovery honestly, then — as the view-0 leader of the given
+/// committee — sends conflicting proposals to the two halves of the
+/// committee and goes silent (the classic safety attack the prepare
+/// quorum must absorb).
+#[derive(Debug)]
+struct EquivocateValueStrategy {
+    key: SigningKey,
+    disc: DiscoveryLoop,
+    committee: ProcessSet,
+    value_a: Value,
+    value_b: Value,
+    equivocation_sent: bool,
+}
+
+impl EquivocateValueStrategy {
+    fn maybe_equivocate(&mut self, ctx: &mut Context<NodeMsg>) {
+        if self.equivocation_sent {
+            return;
+        }
+        let id = ProcessId::new(self.key.id());
+        // Only meaningful while it would be the view-0 leader (lowest ID).
+        if self.committee.iter().next() != Some(&id) {
+            return;
+        }
+        let members: Vec<ProcessId> = self.committee.iter().copied().collect();
+        let half = members.len() / 2;
+        let a = CommitteeMsg::pre_prepare(&self.key, 0, self.value_a.clone(), vec![]);
+        let b = CommitteeMsg::pre_prepare(&self.key, 0, self.value_b.clone(), vec![]);
+        for (i, &m) in members.iter().enumerate() {
+            if m == id {
+                continue;
+            }
+            let msg = if i < half { a.clone() } else { b.clone() };
+            ctx.send(m, NodeMsg::Committee(msg));
+        }
+        self.equivocation_sent = true;
+    }
+}
+
+impl Strategy<NodeMsg> for EquivocateValueStrategy {
+    fn name(&self) -> String {
+        "equivval".into()
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<NodeMsg>) {
+        self.disc.start(ctx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: NodeMsg, ctx: &mut Context<NodeMsg>) {
+        if let NodeMsg::Discovery(m) = msg {
+            self.disc.handle(from, m, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, kind: u64, ctx: &mut Context<NodeMsg>) {
+        if self.disc.on_timer(kind, ctx) {
+            self.maybe_equivocate(ctx);
+        }
+    }
+}
+
+/// Compiles a [`ByzantineStrategy`] spec into an executable strategy for
+/// the faulty process holding `key`.
+///
+/// `true_pd` is what the participant detector actually returned; some
+/// strategies ignore it and substitute their own claim. Combinator specs
+/// recurse — the generic wrappers from [`cupft_adversary`] compose with
+/// every protocol strategy.
+pub fn build_strategy(
+    spec: &ByzantineStrategy,
+    key: &SigningKey,
+    registry: &KeyRegistry,
+    true_pd: &ProcessSet,
+    period: u64,
+) -> Box<dyn Strategy<NodeMsg>> {
+    match spec {
+        ByzantineStrategy::Silent => Box::new(Mute),
+        ByzantineStrategy::FakePd { claimed } => Box::new(FakePdStrategy {
+            disc: DiscoveryLoop::new(key, registry.clone(), claimed.clone(), period),
+            claimed: claimed.clone(),
+        }),
+        ByzantineStrategy::EquivocatePd { even, odd } => Box::new(EquivocatePdStrategy {
+            key: key.clone(),
+            even: even.clone(),
+            odd: odd.clone(),
+        }),
+        ByzantineStrategy::ForgeUnsignedPd { victim, claimed } => {
+            Box::new(ForgeUnsignedPdStrategy {
+                disc: DiscoveryLoop::new(key, registry.clone(), true_pd.clone(), period),
+                victim: *victim,
+                claimed: claimed.clone(),
+            })
+        }
+        ByzantineStrategy::LieDecidedVal { value } => Box::new(LieDecidedValStrategy {
+            disc: DiscoveryLoop::new(key, registry.clone(), true_pd.clone(), period),
+            value: value.clone(),
+        }),
+        ByzantineStrategy::EquivocateValue {
+            committee,
+            value_a,
+            value_b,
+        } => Box::new(EquivocateValueStrategy {
+            key: key.clone(),
+            disc: DiscoveryLoop::new(key, registry.clone(), true_pd.clone(), period),
+            committee: committee.clone(),
+            value_a: value_a.clone(),
+            value_b: value_b.clone(),
+            equivocation_sent: false,
+        }),
+        ByzantineStrategy::DelayRelease { until, inner } => Box::new(DelayRelease::new(
+            *until,
+            build_strategy(inner, key, registry, true_pd, period),
+        )),
+        ByzantineStrategy::TargetSubset { targets, inner } => Box::new(TargetSubset::new(
+            targets.clone(),
+            build_strategy(inner, key, registry, true_pd, period),
+        )),
+        ByzantineStrategy::FlipAfter { at, before, after } => Box::new(FlipAfter::new(
+            *at,
+            build_strategy(before, key, registry, true_pd, period),
+            build_strategy(after, key, registry, true_pd, period),
+        )),
+    }
+}
+
+/// A faulty process executing a compiled [`ByzantineStrategy`].
 #[derive(Debug)]
 pub struct ByzantineActor {
     id: ProcessId,
-    key: SigningKey,
-    strategy: ByzantineStrategy,
-    /// Discovery state for strategies that participate in discovery.
-    discovery: Option<DiscoveryState>,
-    period: u64,
-    equivocation_sent: bool,
+    spec: ByzantineStrategy,
+    strategy: Box<dyn Strategy<NodeMsg>>,
 }
 
 impl ByzantineActor {
@@ -86,58 +351,17 @@ impl ByzantineActor {
         period: u64,
     ) -> Self {
         let id = ProcessId::new(key.id());
-        let discovery = match &strategy {
-            ByzantineStrategy::Silent | ByzantineStrategy::EquivocatePd { .. } => None,
-            ByzantineStrategy::FakePd { claimed } => {
-                Some(DiscoveryState::new(&key, registry.clone(), claimed.clone()))
-            }
-            ByzantineStrategy::EquivocateValue { .. } | ByzantineStrategy::LieDecidedVal { .. } => {
-                Some(DiscoveryState::new(&key, registry.clone(), true_pd.clone()))
-            }
-        };
+        let compiled = build_strategy(&strategy, &key, &registry, &true_pd, period);
         ByzantineActor {
             id,
-            key,
-            strategy,
-            discovery,
-            period,
-            equivocation_sent: false,
+            spec: strategy,
+            strategy: compiled,
         }
     }
 
-    /// The strategy in play.
+    /// The strategy spec in play.
     pub fn strategy(&self) -> &ByzantineStrategy {
-        &self.strategy
-    }
-
-    fn maybe_equivocate(&mut self, ctx: &mut Context<NodeMsg>) {
-        if self.equivocation_sent {
-            return;
-        }
-        let ByzantineStrategy::EquivocateValue {
-            committee,
-            value_a,
-            value_b,
-        } = &self.strategy
-        else {
-            return;
-        };
-        // Only meaningful while it would be the view-0 leader (lowest ID).
-        if committee.iter().next() != Some(&self.id) {
-            return;
-        }
-        let members: Vec<ProcessId> = committee.iter().copied().collect();
-        let half = members.len() / 2;
-        let a = CommitteeMsg::pre_prepare(&self.key, 0, value_a.clone(), vec![]);
-        let b = CommitteeMsg::pre_prepare(&self.key, 0, value_b.clone(), vec![]);
-        for (i, &m) in members.iter().enumerate() {
-            if m == self.id {
-                continue;
-            }
-            let msg = if i < half { a.clone() } else { b.clone() };
-            ctx.send(m, NodeMsg::Committee(msg));
-        }
-        self.equivocation_sent = true;
+        &self.spec
     }
 }
 
@@ -151,64 +375,15 @@ impl Actor<NodeMsg> for ByzantineActor {
     }
 
     fn on_start(&mut self, ctx: &mut Context<NodeMsg>) {
-        match &self.strategy {
-            ByzantineStrategy::Silent | ByzantineStrategy::EquivocatePd { .. } => {}
-            ByzantineStrategy::FakePd { .. }
-            | ByzantineStrategy::EquivocateValue { .. }
-            | ByzantineStrategy::LieDecidedVal { .. } => {
-                if let Some(d) = &self.discovery {
-                    for (to, msg) in d.tick() {
-                        ctx.send(to, NodeMsg::Discovery(msg));
-                    }
-                }
-                ctx.set_timer(DISCOVERY_TICK, self.period);
-            }
-        }
+        self.strategy.on_start(ctx);
     }
 
     fn on_message(&mut self, from: ProcessId, msg: NodeMsg, ctx: &mut Context<NodeMsg>) {
-        match (&self.strategy, msg) {
-            (ByzantineStrategy::Silent, _) => {}
-            (
-                ByzantineStrategy::EquivocatePd { even, odd },
-                NodeMsg::Discovery(DiscoveryMsg::GetPds),
-            ) => {
-                let pd = if from.raw().is_multiple_of(2) {
-                    even
-                } else {
-                    odd
-                };
-                let cert = PdCertificate::sign(&self.key, pd);
-                ctx.send(from, NodeMsg::Discovery(DiscoveryMsg::SetPds(vec![cert])));
-            }
-            (ByzantineStrategy::EquivocatePd { .. }, _) => {}
-            (ByzantineStrategy::LieDecidedVal { value }, NodeMsg::GetDecidedVal) => {
-                ctx.send(from, NodeMsg::DecidedVal(value.clone()));
-            }
-            (_, NodeMsg::Discovery(m)) => {
-                if let Some(d) = &mut self.discovery {
-                    for (to, out) in d.handle(from, m) {
-                        ctx.send(to, NodeMsg::Discovery(out));
-                    }
-                }
-            }
-            // FakePd / EquivocateValue stay silent on committee traffic and
-            // never answer GETDECIDEDVAL.
-            (_, _) => {}
-        }
+        self.strategy.on_message(from, msg, ctx);
     }
 
     fn on_timer(&mut self, timer: u64, ctx: &mut Context<NodeMsg>) {
-        if timer != DISCOVERY_TICK {
-            return;
-        }
-        if let Some(d) = &self.discovery {
-            for (to, msg) in d.tick() {
-                ctx.send(to, NodeMsg::Discovery(msg));
-            }
-        }
-        self.maybe_equivocate(ctx);
-        ctx.set_timer(DISCOVERY_TICK, self.period);
+        self.strategy.on_timer(timer, ctx);
     }
 }
 
@@ -291,6 +466,32 @@ mod tests {
     }
 
     #[test]
+    fn forged_pd_fails_verification() {
+        let (mut actor, registry) = make(ByzantineStrategy::ForgeUnsignedPd {
+            victim: ProcessId::new(1),
+            claimed: process_set([4]),
+        });
+        let mut ctx = Context::new(0, actor.id());
+        actor.on_message(
+            ProcessId::new(2),
+            NodeMsg::Discovery(DiscoveryMsg::GetPds),
+            &mut ctx,
+        );
+        let forged: Vec<&PdCertificate> = ctx
+            .queued_sends()
+            .iter()
+            .filter_map(|(_, m)| match m {
+                NodeMsg::Discovery(DiscoveryMsg::SetPds(certs)) => {
+                    certs.iter().find(|c| c.author() == ProcessId::new(1))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(forged.len(), 1, "the forged record is pushed");
+        assert!(!forged[0].verify(&registry), "and fails verification");
+    }
+
+    #[test]
     fn equivocate_value_sends_conflicting_proposals() {
         let mut registry = KeyRegistry::new();
         let key = registry.register(1); // lowest ID => view-0 leader
@@ -321,5 +522,102 @@ mod tests {
             .queued_sends()
             .iter()
             .all(|(_, m)| !matches!(m, NodeMsg::Committee(_))));
+    }
+
+    #[test]
+    fn combinator_specs_compile_and_compose() {
+        // delay-release around fake-PD: nothing escapes before the release
+        let (mut actor, _) = make(ByzantineStrategy::DelayRelease {
+            until: 500,
+            inner: Box::new(ByzantineStrategy::FakePd {
+                claimed: process_set([1, 2, 3]),
+            }),
+        });
+        let mut ctx = Context::new(0, actor.id());
+        actor.on_start(&mut ctx);
+        assert!(ctx.queued_sends().is_empty(), "sends are held back");
+        // ... but the discovery tick and the release timer are both armed
+        assert_eq!(ctx.queued_timers().len(), 2);
+
+        // target-subset around equivocate-PD: replies to 9 are swallowed
+        let (mut actor, _) = make(ByzantineStrategy::TargetSubset {
+            targets: process_set([1]),
+            inner: Box::new(ByzantineStrategy::EquivocatePd {
+                even: process_set([1]),
+                odd: process_set([2]),
+            }),
+        });
+        let mut ctx = Context::new(0, actor.id());
+        actor.on_message(
+            ProcessId::new(9),
+            NodeMsg::Discovery(DiscoveryMsg::GetPds),
+            &mut ctx,
+        );
+        assert!(ctx.queued_sends().is_empty());
+        let mut ctx = Context::new(0, actor.id());
+        actor.on_message(
+            ProcessId::new(1),
+            NodeMsg::Discovery(DiscoveryMsg::GetPds),
+            &mut ctx,
+        );
+        assert_eq!(ctx.queued_sends().len(), 1);
+    }
+
+    #[test]
+    fn spec_is_retained_for_inspection() {
+        let (actor, _) = make(ByzantineStrategy::Silent);
+        assert!(actor.strategy().is_silent());
+    }
+
+    /// Compiled `Strategy::name()`s must match their spec's `label()` for
+    /// every variant, or suite labels and shrink reports silently drift
+    /// apart (the two are maintained in different crates).
+    #[test]
+    fn compiled_names_match_spec_labels() {
+        let specs = vec![
+            ByzantineStrategy::Silent,
+            ByzantineStrategy::FakePd {
+                claimed: process_set([1, 2, 3]),
+            },
+            ByzantineStrategy::EquivocatePd {
+                even: process_set([1]),
+                odd: process_set([2]),
+            },
+            ByzantineStrategy::ForgeUnsignedPd {
+                victim: ProcessId::new(1),
+                claimed: process_set([4]),
+            },
+            ByzantineStrategy::LieDecidedVal {
+                value: Value::from_static(b"evil"),
+            },
+            ByzantineStrategy::EquivocateValue {
+                committee: process_set([1, 2, 3]),
+                value_a: Value::from_static(b"A"),
+                value_b: Value::from_static(b"B"),
+            },
+            ByzantineStrategy::DelayRelease {
+                until: 100,
+                inner: Box::new(ByzantineStrategy::FakePd {
+                    claimed: process_set([1, 2]),
+                }),
+            },
+            ByzantineStrategy::TargetSubset {
+                targets: process_set([1, 2]),
+                inner: Box::new(ByzantineStrategy::Silent),
+            },
+            ByzantineStrategy::FlipAfter {
+                at: 400,
+                before: Box::new(ByzantineStrategy::FakePd {
+                    claimed: process_set([1]),
+                }),
+                after: Box::new(ByzantineStrategy::Silent),
+            },
+        ];
+        let mut registry = KeyRegistry::new();
+        let key = registry.register(4);
+        for spec in specs {
+            let compiled = build_strategy(&spec, &key, &registry, &process_set([1, 2, 3]), 20);
+            assert_eq!(compiled.name(), spec.label(), "{spec:?}");
+        }
     }
 }

@@ -31,15 +31,16 @@ pub mod node;
 pub mod scenario;
 pub mod suite;
 
-pub use byzantine::{ByzantineActor, ByzantineStrategy};
+pub use byzantine::{build_strategy, ByzantineActor, ByzantineStrategy};
+pub use cupft_adversary::TamperSpec;
 pub use detect::{CoreDetector, Detection, NaiveSinkGuesser, SinkDetector};
 pub use msgs::NodeMsg;
 pub use node::{Node, NodeConfig, Phase, ProtocolMode};
 pub use scenario::{
-    run_scenario, run_scenario_on, run_scenario_traced, ConsensusCheck, RuntimeKind, Scenario,
-    ScenarioOutcome,
+    run_scenario, run_scenario_on, run_scenario_recorded, run_scenario_traced, ConsensusCheck,
+    RuntimeKind, Scenario, ScenarioOutcome,
 };
 pub use suite::{
-    FaultCase, GraphCase, PolicyCase, ScenarioGrid, ScenarioSuite, SuiteEntry, SuiteReport,
-    SuiteVerdict,
+    FaultCase, GraphCase, PolicyCase, ScenarioGrid, ScenarioSuite, StrategyCase, SuiteEntry,
+    SuiteReport, SuiteVerdict,
 };

@@ -8,6 +8,9 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
+use cupft_adversary::{
+    ExecutionTrace, RecordingTamper, SendLog, TamperSpec, TraceChecker, TraceEvent, TraceEventKind,
+};
 use cupft_committee::Value;
 use cupft_detector::SystemSetup;
 use cupft_graph::{DiGraph, ProcessId, ProcessSet};
@@ -46,6 +49,9 @@ pub struct Scenario {
     pub crashes: BTreeMap<ProcessId, Time>,
     /// Proposal per process (defaults to `v<id>`).
     pub values: BTreeMap<ProcessId, Value>,
+    /// Optional network-level adversary (installed on either substrate via
+    /// the [`cupft_net::Tamper`] hook).
+    pub tamper: Option<TamperSpec>,
     /// Simulator configuration (seed, horizon, delay policy).
     pub sim: SimConfig,
     /// Discovery tick period.
@@ -64,6 +70,7 @@ impl Scenario {
             byzantine: BTreeMap::new(),
             crashes: BTreeMap::new(),
             values: BTreeMap::new(),
+            tamper: None,
             sim: SimConfig {
                 seed: 0,
                 max_time: 200_000,
@@ -100,6 +107,13 @@ impl Scenario {
     /// Sets the delay policy.
     pub fn with_policy(mut self, policy: DelayPolicy) -> Self {
         self.sim.policy = policy;
+        self
+    }
+
+    /// Installs a network-level adversary (see [`TamperSpec`] for the
+    /// within-model discipline).
+    pub fn with_tamper(mut self, tamper: TamperSpec) -> Self {
+        self.tamper = Some(tamper);
         self
     }
 
@@ -140,15 +154,19 @@ impl Scenario {
             .map(|v| self.value_of(v).to_vec())
             .collect();
         for strategy in self.byzantine.values() {
-            if let ByzantineStrategy::EquivocateValue {
-                value_a, value_b, ..
-            } = strategy
-            {
-                allowed.insert(value_a.to_vec());
-                allowed.insert(value_b.to_vec());
+            for value in strategy.injected_values() {
+                allowed.insert(value.to_vec());
             }
         }
         allowed
+    }
+
+    /// A [`TraceChecker`] judging this scenario's correct set and allowed
+    /// values (no termination bound; add one with
+    /// [`TraceChecker::with_termination_bound`] — `sim.max_time` is the
+    /// natural choice for simulator runs).
+    pub fn trace_checker(&self) -> TraceChecker {
+        TraceChecker::new(self.correct(), self.allowed_values())
     }
 }
 
@@ -385,6 +403,9 @@ pub fn run_scenario_on<R: Runtime<NodeMsg>>(
     let setup = SystemSetup::new(&scenario.graph);
     let board: Board<Vec<u8>> = Board::new();
     let correct = populate(scenario, &setup, &board, runtime);
+    if let Some(spec) = &scenario.tamper {
+        runtime.set_tamper(spec.build());
+    }
     let expected = correct.len();
     let report = runtime.run_until_stopped(&mut || board.len() >= expected);
     collect(scenario, &correct, report.end_time, runtime)
@@ -405,6 +426,62 @@ pub fn run_scenario_traced(scenario: &Scenario) -> (ScenarioOutcome, Vec<cupft_n
     sim.enable_trace();
     let outcome = run_scenario_on(scenario, &mut sim);
     let trace = sim.trace().to_vec();
+    (outcome, trace)
+}
+
+/// Runs a scenario on the deterministic simulator with full execution
+/// recording: every send (captured through a [`RecordingTamper`] chained
+/// in front of the scenario's own tamper, if any), every delivery (the
+/// simulator's delivery trace), and every decision of a correct process,
+/// merged into one [`ExecutionTrace`].
+///
+/// The trace is a pure function of the scenario (including its seed):
+/// recording the same scenario twice yields byte-identical traces — the
+/// replay guarantee the invariant checker and the shrinker build on.
+/// Simulator-only; fault *injection* itself runs on either substrate.
+pub fn run_scenario_recorded(scenario: &Scenario) -> (ScenarioOutcome, ExecutionTrace) {
+    let mut sim: Simulation<NodeMsg> = Simulation::new(scenario.sim.clone());
+    sim.enable_trace();
+    let log = SendLog::new();
+    let inner = scenario.tamper.as_ref().map(|t| t.build());
+    sim.set_tamper(Box::new(RecordingTamper::new(log.clone(), inner)));
+    // The recorder *wraps* the scenario tamper, so strip it from the copy
+    // the runner sees — run_scenario_on would otherwise re-install it over
+    // the recorder.
+    let mut stripped = scenario.clone();
+    stripped.tamper = None;
+    let outcome = run_scenario_on(&stripped, &mut sim);
+
+    let deliveries: Vec<TraceEvent> = sim
+        .trace()
+        .iter()
+        .map(|e| TraceEvent {
+            time: e.time,
+            kind: TraceEventKind::Delivered {
+                from: e.from,
+                to: e.to,
+                label: e.label,
+            },
+        })
+        .collect();
+    let mut decisions: Vec<(Time, ProcessId, Vec<u8>)> = outcome
+        .decisions
+        .iter()
+        .filter_map(|(&id, decision)| {
+            let value = decision.clone()?;
+            let time = outcome.decided_times.get(&id).copied().flatten()?;
+            Some((time, id, value))
+        })
+        .collect();
+    decisions.sort();
+    let decisions = decisions
+        .into_iter()
+        .map(|(time, process, value)| TraceEvent {
+            time,
+            kind: TraceEventKind::Decided { process, value },
+        })
+        .collect();
+    let trace = ExecutionTrace::assemble(log.take(), deliveries, decisions);
     (outcome, trace)
 }
 
@@ -481,6 +558,65 @@ mod tests {
             .contains_key(&cupft_graph::ProcessId::new(4)));
         let check = outcome.check();
         assert!(check.consensus_solved(), "{outcome:?}");
+    }
+
+    #[test]
+    fn recorded_run_traces_and_passes_invariants() {
+        let fig = fig1b();
+        let scenario = Scenario::new(fig.graph().clone(), ProtocolMode::KnownThreshold(1))
+            .with_byzantine(4, ByzantineStrategy::Silent)
+            .with_seed(7);
+        let (outcome, trace) = run_scenario_recorded(&scenario);
+        assert!(outcome.check().consensus_solved());
+        // every correct decision shows up as a trace event
+        assert_eq!(trace.decisions().count(), scenario.correct().len());
+        // sends and deliveries were captured
+        use cupft_adversary::TraceEventKind;
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::Sent { .. })));
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::Delivered { .. })));
+        // the checker agrees with the outcome-level verdicts
+        let violations = scenario
+            .trace_checker()
+            .with_termination_bound(scenario.sim.max_time)
+            .check(&trace);
+        assert!(violations.is_empty(), "{violations:?}");
+        // record → replay is byte-identical
+        let (_, replay) = run_scenario_recorded(&scenario);
+        assert_eq!(trace.fingerprint(), replay.fingerprint());
+        assert_eq!(trace, replay);
+    }
+
+    #[test]
+    fn tamper_runs_on_scenario_and_is_recorded() {
+        use cupft_adversary::{TamperSpec, TraceEventKind};
+        let fig = fig1b();
+        // Dropping everything the (already Byzantine) process 4 sends is
+        // within-model: equivalent to process 4 staying silent.
+        let scenario = Scenario::new(fig.graph().clone(), ProtocolMode::KnownThreshold(1))
+            .with_byzantine(
+                4,
+                ByzantineStrategy::FakePd {
+                    claimed: process_set([1, 2, 3]),
+                },
+            )
+            .with_tamper(TamperSpec::DropFrom {
+                senders: process_set([4]),
+            });
+        let (outcome, trace) = run_scenario_recorded(&scenario);
+        assert!(outcome.check().consensus_solved(), "{outcome:?}");
+        assert!(outcome.stats.messages_dropped > 0);
+        let dropped = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::Sent { dropped: true, .. }))
+            .count() as u64;
+        assert_eq!(dropped, outcome.stats.messages_dropped);
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //! sequential run.
 //!
 //! [`ScenarioGrid`] builds the standard cross product the experiment
-//! binaries sweep: graph family × fault assignment × delay policy × seed.
+//! binaries sweep: graph family × fault assignment × Byzantine strategy ×
+//! delay policy × seed (the strategy axis — [`StrategyCase`] — carries
+//! [`ByzantineStrategy`] spec trees from the fault-injection engine and is
+//! skipped in labels when unset).
 //!
 //! # Example
 //!
@@ -279,6 +282,44 @@ impl FaultCase {
     }
 }
 
+/// A strategy-assignment axis entry of a [`ScenarioGrid`] — the
+/// fault-injection engine's own axis, orthogonal to [`FaultCase`]
+/// (which keeps carrying crashes and legacy per-graph Byzantine IDs).
+/// When the axis is set, grid labels gain a strategy segment:
+/// `graph/fault/strategy/policy/seed`.
+#[derive(Debug, Clone, Default)]
+pub struct StrategyCase {
+    /// Display label (defaults to the specs' own compact labels).
+    pub label: String,
+    /// Strategy assignments (raw process ID → spec).
+    pub assign: Vec<(u64, ByzantineStrategy)>,
+}
+
+impl StrategyCase {
+    /// The no-extra-faults entry (useful as a baseline row on an
+    /// otherwise adversarial axis).
+    pub fn none() -> Self {
+        StrategyCase {
+            label: "honest".into(),
+            assign: Vec::new(),
+        }
+    }
+
+    /// A single process running `spec`, labeled `<spec-label><id>`.
+    pub fn single(id: u64, spec: ByzantineStrategy) -> Self {
+        StrategyCase {
+            label: format!("{}@{id}", spec.label()),
+            assign: vec![(id, spec)],
+        }
+    }
+
+    /// Overrides the display label.
+    pub fn labeled(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
 /// A delay-policy axis entry of a [`ScenarioGrid`].
 #[derive(Debug, Clone)]
 pub struct PolicyCase {
@@ -296,6 +337,7 @@ pub struct PolicyCase {
 pub struct ScenarioGrid {
     graphs: Vec<GraphCase>,
     faults: Vec<FaultCase>,
+    strategies: Vec<StrategyCase>,
     policies: Vec<PolicyCase>,
     seeds: Vec<u64>,
 }
@@ -319,6 +361,15 @@ impl ScenarioGrid {
     /// Adds a fault-assignment axis entry.
     pub fn fault(mut self, case: FaultCase) -> Self {
         self.faults.push(case);
+        self
+    }
+
+    /// Adds a strategy-assignment axis entry. Leaving the axis unset
+    /// keeps the classic `graph/fault/policy/seed` labels; setting it
+    /// crosses every [`StrategyCase`] into the product and inserts its
+    /// label segment.
+    pub fn strategy(mut self, case: StrategyCase) -> Self {
+        self.strategies.push(case);
         self
     }
 
@@ -354,36 +405,69 @@ impl ScenarioGrid {
         } else {
             &self.seeds
         };
+        let strategy_axis: Vec<Option<&StrategyCase>> = if self.strategies.is_empty() {
+            vec![None]
+        } else {
+            self.strategies.iter().map(Some).collect()
+        };
+        let policy_axis: Vec<Option<&PolicyCase>> = if self.policies.is_empty() {
+            vec![None]
+        } else {
+            self.policies.iter().map(Some).collect()
+        };
         let mut suite = ScenarioSuite::new();
         for g in &self.graphs {
             for f in faults {
-                let mut policy_iter: Vec<Option<&PolicyCase>> =
-                    self.policies.iter().map(Some).collect();
-                if policy_iter.is_empty() {
-                    policy_iter.push(None);
-                }
-                for p in policy_iter {
-                    for &seed in seeds {
-                        let mut scenario = Scenario::new(g.graph.clone(), g.mode).with_seed(seed);
-                        for (id, strategy) in &f.byzantine {
-                            scenario = scenario.with_byzantine(*id, strategy.clone());
-                        }
-                        for &(id, at) in &f.crashes {
-                            scenario = scenario.with_crash(id, at);
-                        }
-                        let policy_label = match p {
-                            Some(case) => {
-                                scenario = scenario
-                                    .with_policy(case.policy.clone())
-                                    .with_horizon(case.horizon);
-                                case.label.as_str()
+                for s in &strategy_axis {
+                    for p in &policy_axis {
+                        for &seed in seeds {
+                            let mut scenario =
+                                Scenario::new(g.graph.clone(), g.mode).with_seed(seed);
+                            for (id, strategy) in &f.byzantine {
+                                scenario = scenario.with_byzantine(*id, strategy.clone());
                             }
-                            None => "default",
-                        };
-                        suite.push(
-                            format!("{}/{}/{}/s{}", g.label, f.label, policy_label, seed),
-                            scenario,
-                        );
+                            for &(id, at) in &f.crashes {
+                                scenario = scenario.with_crash(id, at);
+                            }
+                            let strategy_segment = match s {
+                                Some(case) => {
+                                    for (id, spec) in &case.assign {
+                                        // A cell whose label promises both a
+                                        // FaultCase assignment and a strategy
+                                        // for the same process would silently
+                                        // run only the latter (map insert =
+                                        // last-wins) — reject the ambiguity.
+                                        assert!(
+                                            !f.byzantine.iter().any(|(fid, _)| fid == id),
+                                            "process {id} is assigned by both fault case \
+                                             {:?} and strategy case {:?}; give each axis \
+                                             disjoint process IDs",
+                                            f.label,
+                                            case.label,
+                                        );
+                                        scenario = scenario.with_byzantine(*id, spec.clone());
+                                    }
+                                    format!("/{}", case.label)
+                                }
+                                None => String::new(),
+                            };
+                            let policy_label = match *p {
+                                Some(case) => {
+                                    scenario = scenario
+                                        .with_policy(case.policy.clone())
+                                        .with_horizon(case.horizon);
+                                    case.label.as_str()
+                                }
+                                None => "default",
+                            };
+                            suite.push(
+                                format!(
+                                    "{}/{}{}/{}/s{}",
+                                    g.label, f.label, strategy_segment, policy_label, seed
+                                ),
+                                scenario,
+                            );
+                        }
                     }
                 }
             }
@@ -467,6 +551,51 @@ mod tests {
             assert_eq!(p.outcome.decisions, s.outcome.decisions);
             assert_eq!(p.outcome.end_time, s.outcome.end_time);
         }
+    }
+
+    #[test]
+    fn strategy_axis_crosses_and_labels() {
+        let suite = ScenarioGrid::new()
+            .graph(
+                "fig1b",
+                fig1b().graph().clone(),
+                ProtocolMode::KnownThreshold(1),
+            )
+            .strategy(StrategyCase::single(4, ByzantineStrategy::Silent))
+            .strategy(StrategyCase::single(
+                4,
+                ByzantineStrategy::TargetSubset {
+                    targets: cupft_graph::process_set([1, 2]),
+                    inner: Box::new(ByzantineStrategy::Silent),
+                },
+            ))
+            .seeds(0..2)
+            .build();
+        assert_eq!(suite.len(), 4); // 1 graph x 2 strategies x 2 seeds
+        assert_eq!(
+            suite.entries()[0].label,
+            "fig1b/correct/silent@4/default/s0"
+        );
+        assert_eq!(
+            suite.entries()[2].label,
+            "fig1b/correct/target{1,2}(silent)@4/default/s0"
+        );
+        let byz = &suite.entries()[2].scenario.byzantine;
+        assert!(byz.contains_key(&cupft_graph::ProcessId::new(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint process IDs")]
+    fn colliding_fault_and_strategy_axes_are_rejected() {
+        ScenarioGrid::new()
+            .graph(
+                "fig1b",
+                fig1b().graph().clone(),
+                ProtocolMode::KnownThreshold(1),
+            )
+            .fault(FaultCase::silent(4))
+            .strategy(StrategyCase::single(4, ByzantineStrategy::Silent))
+            .build();
     }
 
     #[test]

@@ -67,6 +67,7 @@ mod delay;
 pub mod runtime;
 pub mod sim;
 mod stats;
+pub mod tamper;
 pub mod threaded;
 
 pub use actor::{Actor, Context, Labeled, TimerKind};
@@ -74,6 +75,7 @@ pub use delay::DelayPolicy;
 pub use runtime::{Runtime, RuntimeReport};
 pub use sim::{RunReport, SimConfig, Simulation, TraceEntry};
 pub use stats::NetStats;
+pub use tamper::{Fate, NoTamper, Tamper};
 pub use threaded::{ThreadedConfig, ThreadedRuntime};
 
 /// Simulated time, in abstract ticks.

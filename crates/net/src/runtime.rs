@@ -27,6 +27,7 @@ use cupft_graph::ProcessId;
 
 use crate::actor::Actor;
 use crate::stats::NetStats;
+use crate::tamper::Tamper;
 use crate::Time;
 
 /// Outcome of one [`Runtime`] run.
@@ -63,6 +64,13 @@ pub trait Runtime<M: 'static> {
     /// Implementations panic if an actor with the same ID is already
     /// registered.
     fn add_actor(&mut self, actor: Box<dyn Actor<M>>);
+
+    /// Installs a message-interception layer consulted once per send (see
+    /// [`crate::tamper`]). Must be called before the run starts; installing
+    /// a second tamper replaces the first. Both substrates honor the same
+    /// trait, so an adversarial schedule is expressed once and runs on
+    /// either.
+    fn set_tamper(&mut self, tamper: Box<dyn Tamper<M>>);
 
     /// Drives the system until every actor halts, `stop` returns `true`,
     /// or the runtime's own bound (simulated horizon / wall timeout) is

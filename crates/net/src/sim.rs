@@ -11,6 +11,7 @@ use crate::actor::{Actor, Context, Labeled, TimerKind};
 use crate::delay::DelayPolicy;
 use crate::runtime::{Runtime, RuntimeReport};
 use crate::stats::NetStats;
+use crate::tamper::{Fate, Tamper};
 use crate::Time;
 
 /// Configuration for a simulation run.
@@ -91,6 +92,7 @@ pub struct Simulation<M> {
     config: SimConfig,
     stats: NetStats,
     trace: Option<Vec<TraceEntry>>,
+    tamper: Option<Box<dyn Tamper<M>>>,
 }
 
 struct OrderedEvent<M>(Event<M>);
@@ -126,7 +128,15 @@ impl<M: Clone + Labeled + 'static> Simulation<M> {
             config,
             stats: NetStats::default(),
             trace: None,
+            tamper: None,
         }
+    }
+
+    /// Installs a message-interception layer (see [`crate::tamper`]).
+    /// With no tamper installed the simulation behaves exactly as before —
+    /// the RNG stream and event order are untouched.
+    pub fn set_tamper(&mut self, tamper: Box<dyn Tamper<M>>) {
+        self.tamper = Some(tamper);
     }
 
     /// Enables delivery tracing: every delivered message is recorded as a
@@ -274,10 +284,20 @@ impl<M: Clone + Labeled + 'static> Simulation<M> {
         } = ctx;
         for (to, msg) in sends {
             self.stats.record_send(msg.label());
-            let delay = self
+            let mut delay = self
                 .config
                 .policy
                 .delay(source, to, self.now, &mut self.rng);
+            if let Some(tamper) = &mut self.tamper {
+                match tamper.disposition(source, to, msg.label(), self.now) {
+                    Fate::Deliver => {}
+                    Fate::Delay(extra) => delay += extra,
+                    Fate::Drop => {
+                        self.stats.messages_dropped += 1;
+                        continue;
+                    }
+                }
+            }
             let seq = self.next_seq();
             self.queue.push(Reverse(OrderedEvent(Event {
                 time: self.now + delay,
@@ -341,6 +361,10 @@ impl<M: Clone + Labeled + 'static> Runtime<M> for Simulation<M> {
 
     fn add_actor(&mut self, actor: Box<dyn Actor<M>>) {
         Simulation::add_actor(self, actor);
+    }
+
+    fn set_tamper(&mut self, tamper: Box<dyn Tamper<M>>) {
+        Simulation::set_tamper(self, tamper);
     }
 
     fn run_until_stopped(&mut self, stop: &mut dyn FnMut() -> bool) -> RuntimeReport {

@@ -10,6 +10,9 @@ pub struct NetStats {
     pub messages_sent: u64,
     /// Total messages delivered to actors.
     pub messages_delivered: u64,
+    /// Messages discarded by an installed [`crate::Tamper`] layer (always
+    /// 0 when no tamper is set). Dropped messages still count as sent.
+    pub messages_dropped: u64,
     /// Total timer events fired.
     pub timers_fired: u64,
     /// Per-label message counts (the label comes from

@@ -21,6 +21,7 @@ use rand::{Rng, SeedableRng};
 use crate::actor::{Actor, Context, Labeled, TimerKind};
 use crate::runtime::{Runtime, RuntimeReport};
 use crate::stats::NetStats;
+use crate::tamper::{Fate, Tamper};
 use crate::Time;
 
 /// Configuration for the threaded runtime.
@@ -127,6 +128,7 @@ pub struct ThreadedRuntime<M> {
     stats: NetStats,
     last_report: Option<RuntimeReport>,
     elapsed: Duration,
+    tamper: Option<Box<dyn Tamper<M>>>,
 }
 
 impl<M> ThreadedRuntime<M> {
@@ -139,7 +141,18 @@ impl<M> ThreadedRuntime<M> {
             stats: NetStats::default(),
             last_report: None,
             elapsed: Duration::ZERO,
+            tamper: None,
         }
+    }
+
+    /// Installs a message-interception layer (see [`crate::tamper`]). The
+    /// tamper runs on the router thread; `now` is elapsed milliseconds.
+    pub fn set_tamper(&mut self, tamper: Box<dyn Tamper<M>>) {
+        assert!(
+            self.last_report.is_none(),
+            "ThreadedRuntime tamper must be installed before the run"
+        );
+        self.tamper = Some(tamper);
     }
 
     /// Wall-clock duration of the completed run.
@@ -174,13 +187,18 @@ where
         self.pending.push(actor);
     }
 
+    fn set_tamper(&mut self, tamper: Box<dyn Tamper<M>>) {
+        ThreadedRuntime::set_tamper(self, tamper);
+    }
+
     fn run_until_stopped(&mut self, stop: &mut dyn FnMut() -> bool) -> RuntimeReport {
         // Already ran: report the recorded outcome unchanged.
         if let Some(report) = &self.last_report {
             return report.clone();
         }
         let actors = std::mem::take(&mut self.pending);
-        let run = run_router(actors, &self.config, stop);
+        let mut tamper = self.tamper.take();
+        let run = run_router(actors, &self.config, stop, &mut tamper);
         self.finished.extend(run.actors);
         self.stats = run.stats.clone();
         self.elapsed = run.elapsed;
@@ -248,6 +266,7 @@ fn run_router<M>(
     actors: Vec<Box<dyn Actor<M>>>,
     config: &ThreadedConfig,
     stop: &mut dyn FnMut() -> bool,
+    tamper: &mut Option<Box<dyn Tamper<M>>>,
 ) -> RouterRun<M>
 where
     M: Clone + Send + Labeled + 'static,
@@ -339,6 +358,17 @@ where
                 label,
             }) => {
                 stats.record_send(label);
+                let mut tampered_extra = Duration::ZERO;
+                if let Some(t) = tamper.as_mut() {
+                    match t.disposition(from, to, label, start.elapsed().as_millis() as Time) {
+                        Fate::Deliver => {}
+                        Fate::Delay(ms) => tampered_extra = Duration::from_millis(ms),
+                        Fate::Drop => {
+                            stats.messages_dropped += 1;
+                            continue;
+                        }
+                    }
+                }
                 let spread = config
                     .max_delay
                     .saturating_sub(config.min_delay)
@@ -348,7 +378,10 @@ where
                 } else {
                     rng.random_range(0..=spread)
                 };
-                let due = Instant::now() + config.min_delay + Duration::from_millis(extra);
+                let due = Instant::now()
+                    + config.min_delay
+                    + Duration::from_millis(extra)
+                    + tampered_extra;
                 seq += 1;
                 heap.push(Pending {
                     due,

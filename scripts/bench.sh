@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Bench trajectory artifact: runs the JSON-emitting experiment binaries
+# (table1, fig1, fig4, adversary_grid) in release mode and merges their
+# artifacts into one JSON document, so successive PRs can diff a single
+# file for end-time / message-count / wall-clock drift.
+#
+#   scripts/bench.sh [OUTPUT]     # default OUTPUT: BENCH_adversary.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_adversary.json}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+bins=(table1 fig1 fig4 adversary_grid)
+
+echo "==> cargo build --release -p cupft-bench --bins"
+cargo build --release -p cupft-bench --bins
+
+for bin in "${bins[@]}"; do
+    echo "==> $bin --json"
+    cargo run --release -q -p cupft-bench --bin "$bin" -- --json "$tmp/$bin.json" \
+        > "$tmp/$bin.txt"
+done
+
+{
+    printf '{'
+    first=1
+    for bin in "${bins[@]}"; do
+        [[ "$first" -eq 0 ]] && printf ','
+        first=0
+        printf '"%s":' "$bin"
+        tr -d '\n' < "$tmp/$bin.json"
+    done
+    printf '}\n'
+} > "$out"
+
+echo "bench.sh: wrote $out ($(wc -c < "$out") bytes)"

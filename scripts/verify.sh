@@ -2,7 +2,9 @@
 # Repo verification: formatting, lints, and the tier-1 build+test gate.
 #
 #   scripts/verify.sh          # everything (what CI should run)
-#   scripts/verify.sh --quick  # skip the release build (fast local loop)
+#   scripts/verify.sh --quick  # skip the release build (fast local loop);
+#                              # fronts the adversary_sweep grid as an
+#                              # early gate before the full test run
 #
 # Tier-1 (from ROADMAP.md): cargo build --release && cargo test -q
 set -euo pipefail
@@ -17,9 +19,15 @@ cargo fmt --check
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> cargo build --examples"
+cargo build --examples
+
 if [[ "$quick" -eq 0 ]]; then
     echo "==> cargo build --release"
     cargo build --release
+else
+    echo "==> cargo test -q --test adversary_sweep (quick gate)"
+    cargo test -q --test adversary_sweep
 fi
 
 echo "==> cargo test -q"

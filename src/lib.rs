@@ -10,6 +10,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use cupft_adversary as adversary;
 pub use cupft_committee as committee;
 pub use cupft_core as core;
 pub use cupft_crypto as crypto;

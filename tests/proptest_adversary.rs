@@ -1,0 +1,112 @@
+//! Property tests for the fault-injection engine's determinism contract:
+//! record → replay on the simulator is byte-identical for equal seeds,
+//! and shrinking preserves the violated invariant.
+
+use bft_cupft::adversary::{shrink, Assignment, Invariant};
+use bft_cupft::core::{run_scenario_recorded, ByzantineStrategy, ProtocolMode, Scenario};
+use bft_cupft::graph::{fig1a, fig1b, process_set, ProcessId};
+use proptest::prelude::*;
+
+/// Leaf and combinator specs over the fig1b neighborhood of process 4.
+fn arb_spec() -> impl Strategy<Value = ByzantineStrategy> {
+    let leaf = prop_oneof![
+        Just(ByzantineStrategy::Silent),
+        Just(ByzantineStrategy::FakePd {
+            claimed: process_set([1, 2, 3]),
+        }),
+        Just(ByzantineStrategy::ForgeUnsignedPd {
+            victim: ProcessId::new(1),
+            claimed: process_set([4]),
+        }),
+        Just(ByzantineStrategy::EquivocatePd {
+            even: process_set([1, 2]),
+            odd: process_set([2, 3]),
+        }),
+    ];
+    (leaf, 0u8..4, 50u64..500).prop_map(|(inner, combinator, at)| match combinator {
+        0 => inner,
+        1 => ByzantineStrategy::DelayRelease {
+            until: at,
+            inner: Box::new(inner),
+        },
+        2 => ByzantineStrategy::TargetSubset {
+            targets: process_set([1, 2]),
+            inner: Box::new(inner),
+        },
+        _ => ByzantineStrategy::FlipAfter {
+            at,
+            before: Box::new(inner),
+            after: Box::new(ByzantineStrategy::Silent),
+        },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Recording the same (scenario, seed, strategy) triple twice yields
+    /// byte-identical traces — the replay path underpinning the invariant
+    /// checker and the shrinker.
+    #[test]
+    fn record_replay_is_byte_identical(
+        seed in 0u64..1000,
+        spec in arb_spec(),
+    ) {
+        let scenario = Scenario::new(fig1b().graph().clone(), ProtocolMode::KnownThreshold(1))
+            .with_byzantine(4, spec)
+            .with_seed(seed)
+            .with_horizon(500_000);
+        let (outcome_a, trace_a) = run_scenario_recorded(&scenario);
+        let (outcome_b, trace_b) = run_scenario_recorded(&scenario);
+        prop_assert_eq!(trace_a.fingerprint(), trace_b.fingerprint());
+        prop_assert_eq!(&trace_a, &trace_b);
+        prop_assert_eq!(outcome_a.decisions, outcome_b.decisions);
+        // and the sufficient graph solved consensus under the spec
+        prop_assert!(outcome_a.check().consensus_solved());
+    }
+
+    /// Whatever composite the search starts from, the shrinker's output
+    /// still violates the same invariant (Agreement on Fig. 1a) and never
+    /// grows.
+    #[test]
+    fn shrinking_preserves_the_violation(
+        seed in 0u64..100,
+        until in 50u64..400,
+    ) {
+        let initial: Assignment = vec![(ProcessId::new(4), ByzantineStrategy::DelayRelease {
+            until,
+            inner: Box::new(ByzantineStrategy::TargetSubset {
+                targets: process_set([]),
+                inner: Box::new(ByzantineStrategy::Silent),
+            }),
+        })];
+        // Constrained to keep process 4 faulty (Fig. 1a fails even with no
+        // faults, so the unconstrained minimum is the empty assignment —
+        // see tests/adversary_catch.rs): the combinator layers must always
+        // prune down to bare Silent, for every seed and release tick.
+        let mut violates = |assignment: &Assignment| {
+            if assignment.is_empty() {
+                return false;
+            }
+            let mut scenario =
+                Scenario::new(fig1a().graph().clone(), ProtocolMode::KnownThreshold(1))
+                    .with_seed(seed)
+                    .with_horizon(50_000);
+            for (id, spec) in assignment {
+                scenario = scenario.with_byzantine(id.raw(), spec.clone());
+            }
+            let (_, trace) = run_scenario_recorded(&scenario);
+            scenario
+                .trace_checker()
+                .check(&trace)
+                .iter()
+                .any(|v| v.invariant == Invariant::Agreement)
+        };
+        let outcome = shrink(initial, &mut violates);
+        prop_assert!(violates(&outcome.minimal));
+        prop_assert_eq!(
+            outcome.minimal,
+            vec![(ProcessId::new(4), ByzantineStrategy::Silent)]
+        );
+    }
+}
