@@ -23,7 +23,7 @@
 //!   hook. **[`TraceChecker`]** ([`invariant`]) rules on the §II-B
 //!   consensus properties (agreement, validity, integrity,
 //!   termination-by-bound) post-hoc over traces.
-//! * **Shrinking** ([`shrink`]) — given a violating assignment,
+//! * **Shrinking** ([`shrink`](fn@shrink)) — given a violating assignment,
 //!   deterministically search for a minimal failing variant by pruning
 //!   strategy combinators and fault sets.
 //!

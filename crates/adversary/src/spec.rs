@@ -5,7 +5,7 @@
 //! *shrinking*. `StrategySpec` is the declarative mirror: a small
 //! expression tree naming a strategy. Protocol crates compile a spec into
 //! a boxed `Strategy` for their own message type (see
-//! `cupft_core::byzantine::build_strategy`); the [`crate::shrink`] module
+//! `cupft_core::byzantine::build_strategy`); the [`crate::shrink`](mod@crate::shrink) module
 //! rewrites specs into strictly smaller failing variants.
 //!
 //! The leaf variants are the paper's adversary playbook (§II-A, §III–IV);

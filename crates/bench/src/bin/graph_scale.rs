@@ -1,0 +1,183 @@
+//! S5 — graph-family scale series: generation time and condition-check
+//! time for every [`GraphFamily`] at large `n`, plus consensus outcome
+//! rates per family on small instances.
+//!
+//! The paper evaluates its conditions only on hand-drawn witness graphs;
+//! this series characterizes them over parameterized topology families at
+//! scale, the evaluation style of Khanchandani–Wattenhofer and Hesterberg
+//! et al. Two sections:
+//!
+//! 1. **Scale** — each family generated at 1k and 10k vertices (Erdős–
+//!    Rényi additionally at 50k), then condition-checked with the
+//!    SCC-based fast path ([`scale_osr_check`]) under the default
+//!    [`CheckBudget`]; planted-committee families also time
+//!    [`sink_with_threshold`]. The exponential `candidates` machinery is
+//!    never touched.
+//! 2. **Consensus** — a family × size × seed [`ScenarioGrid`] sweep on
+//!    the simulator, reporting the fraction of cells that solved
+//!    consensus per family (scale-free is expected below 100%: its
+//!    advertisement deliberately omits the disjoint-path condition).
+//!
+//! `--json <path>` leaves the machine-readable artifact `scripts/bench.sh`
+//! merges into `BENCH_graph.json`.
+
+use std::time::Instant;
+
+use cupft_bench::{header, json_path_from_args, write_json, Json};
+use cupft_core::{ProtocolMode, RuntimeKind, ScenarioGrid};
+use cupft_graph::{scale_osr_check, sink_with_threshold, CheckBudget, GraphFamily};
+
+const SCALE_SIZES: [usize; 2] = [1_000, 10_000];
+const CONSENSUS_SIZES: [usize; 3] = [10, 16, 22];
+const CONSENSUS_SEEDS: u64 = 3;
+const FAULT_THRESHOLD: usize = 1;
+
+fn ms(from: Instant) -> f64 {
+    from.elapsed().as_secs_f64() * 1_000.0
+}
+
+fn scale_row(family: &GraphFamily, size: usize) -> (String, Json) {
+    let scaled = family.scaled(size);
+    let started = Instant::now();
+    let sample = scaled
+        .generate(size as u64)
+        .unwrap_or_else(|e| panic!("{}: {e}", scaled.label()));
+    let gen_ms = ms(started);
+    let graph = &sample.system.graph;
+    let k = FAULT_THRESHOLD + 1;
+
+    let started = Instant::now();
+    let report = scale_osr_check(graph, k, &CheckBudget::default());
+    let check_ms = ms(started);
+
+    // The committee-sized-sink fast path is only meaningful when the sink
+    // does not span the whole graph (ring-of-cliques is its own sink).
+    let sink_ms = (report.sink_size() < graph.vertex_count()).then(|| {
+        let started = Instant::now();
+        let sink = sink_with_threshold(graph, FAULT_THRESHOLD);
+        let elapsed = ms(started);
+        assert_eq!(
+            sink.is_some(),
+            sample.advertised.unique_sink && sample.advertised.sink_size > 2 * FAULT_THRESHOLD,
+            "{}: fast path disagrees with advertisement",
+            scaled.label()
+        );
+        elapsed
+    });
+
+    let line = format!(
+        "  {:<18} n={:<6} edges={:<7} gen={:>8.2}ms check={:>8.2}ms sink_wt={} sink={:<5} holds={} exhaustive={} pairs(k/x)={}/{}",
+        family.name(),
+        graph.vertex_count(),
+        graph.edge_count(),
+        gen_ms,
+        check_ms,
+        sink_ms.map_or("   n/a  ".into(), |m| format!("{m:>7.2}ms")),
+        report.sink_size(),
+        report.holds_on_checked(),
+        report.exhaustive,
+        report.kappa_pairs_checked,
+        report.cross_pairs_checked,
+    );
+
+    let mut obj = vec![
+        ("family".to_string(), Json::str(family.name())),
+        ("label".to_string(), Json::str(scaled.label())),
+        ("n".to_string(), Json::U64(graph.vertex_count() as u64)),
+        ("edges".to_string(), Json::U64(graph.edge_count() as u64)),
+        ("generation_ms".to_string(), Json::F64(gen_ms)),
+        ("check_ms".to_string(), Json::F64(check_ms)),
+        (
+            "sink_size".to_string(),
+            Json::U64(report.sink_size() as u64),
+        ),
+        (
+            "holds_on_checked".to_string(),
+            Json::Bool(report.holds_on_checked()),
+        ),
+        ("exhaustive".to_string(), Json::Bool(report.exhaustive)),
+        (
+            "direct_fanin_proof".to_string(),
+            Json::Bool(report.direct_fanin_proof),
+        ),
+        (
+            "kappa_pairs".to_string(),
+            Json::U64(report.kappa_pairs_checked as u64),
+        ),
+        (
+            "cross_pairs".to_string(),
+            Json::U64(report.cross_pairs_checked as u64),
+        ),
+    ];
+    if let Some(sink_ms) = sink_ms {
+        obj.push(("sink_with_threshold_ms".to_string(), Json::F64(sink_ms)));
+    }
+    (line, Json::Obj(obj))
+}
+
+fn main() {
+    println!("Graph-family scale series — generation + condition checks + consensus rates (f = {FAULT_THRESHOLD})");
+
+    header("Scale: generation and fast condition checks");
+    let mut scale_rows = Vec::new();
+    for family in GraphFamily::catalogue(FAULT_THRESHOLD) {
+        let mut sizes: Vec<usize> = SCALE_SIZES.to_vec();
+        if matches!(family, GraphFamily::ErdosRenyi { .. }) {
+            sizes.push(50_000);
+        }
+        for size in sizes {
+            let (line, row) = scale_row(&family, size);
+            println!("{line}");
+            scale_rows.push(row);
+        }
+    }
+
+    header("Consensus outcome rates per family (simulator)");
+    let mut families_json = Vec::new();
+    for family in GraphFamily::catalogue(FAULT_THRESHOLD) {
+        let grid = ScenarioGrid::new()
+            .family(
+                &family,
+                CONSENSUS_SIZES,
+                7,
+                ProtocolMode::KnownThreshold(FAULT_THRESHOLD),
+            )
+            .seeds(0..CONSENSUS_SEEDS);
+        let report = grid.build().run(RuntimeKind::Sim);
+        let solved = report.solved_count();
+        let cells = report.verdicts.len();
+        println!(
+            "  {:<18} {:>2}/{:<2} solved ({} sizes x {} seeds, {:.2?} wall)",
+            family.name(),
+            solved,
+            cells,
+            CONSENSUS_SIZES.len(),
+            CONSENSUS_SEEDS,
+            report.wall,
+        );
+        families_json.push((
+            family.name().to_string(),
+            Json::obj([
+                ("cells", Json::U64(cells as u64)),
+                ("solved", Json::U64(solved as u64)),
+                ("messages", Json::U64(report.total_messages())),
+                ("wall_seconds", Json::F64(report.wall.as_secs_f64())),
+            ]),
+        ));
+    }
+
+    println!();
+    println!("Expected shape: generation is linear in edges; the fast checks stay");
+    println!("sub-second at 10k+ vertices because kappa is evaluated on the planted");
+    println!("sink only (or a budgeted pair sample) and condition 4 is proved");
+    println!("structurally whenever the family plants direct sink fan-in.");
+
+    if let Some(path) = json_path_from_args() {
+        let doc = Json::obj([
+            ("fault_threshold", Json::U64(FAULT_THRESHOLD as u64)),
+            ("scale", Json::Arr(scale_rows)),
+            ("consensus", Json::Obj(families_json)),
+        ]);
+        write_json(&path, &doc);
+    }
+}

@@ -12,10 +12,12 @@
 //! | `fig4`   | Fig. 4 — BFT-CUPFT core identification and consensus |
 //! | `ablation_auth` | Section III claim — signatures vs. RRB baseline |
 //! | `adversary_grid` | Fault-injection engine sweep: composite strategy specs + tamper |
+//! | `graph_scale` | Graph-family scale series: generation + fast condition checks at 1k–50k vertices, per-family consensus rates |
 //!
-//! `table1`, `fig1`, `fig4`, and `adversary_grid` accept `--json <path>`
-//! to leave a machine-readable artifact beside the text tables (see
-//! [`json`] and `scripts/bench.sh`).
+//! `table1`, `fig1`, `fig4`, `adversary_grid`, and `graph_scale` accept
+//! `--json <path>` to leave a machine-readable artifact beside the text
+//! tables (see [`json`] and `scripts/bench.sh`, which merges them into
+//! `BENCH_adversary.json` and `BENCH_graph.json`).
 
 #![forbid(unsafe_code)]
 

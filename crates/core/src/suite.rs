@@ -13,7 +13,11 @@
 //! binaries sweep: graph family × fault assignment × Byzantine strategy ×
 //! delay policy × seed (the strategy axis — [`StrategyCase`] — carries
 //! [`ByzantineStrategy`] spec trees from the fault-injection engine and is
-//! skipped in labels when unset).
+//! skipped in labels when unset). The graph axis accepts hand-picked
+//! graphs ([`ScenarioGrid::graph`]) or a whole *family × size* sweep
+//! generated from a [`cupft_graph::GraphFamily`]
+//! ([`ScenarioGrid::family`]), so suites can scale topology families
+//! alongside faults, strategies, and seeds.
 //!
 //! # Example
 //!
@@ -38,7 +42,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use cupft_graph::DiGraph;
+use cupft_graph::{DiGraph, GraphFamily};
 use cupft_net::{DelayPolicy, Time};
 
 use crate::byzantine::ByzantineStrategy;
@@ -358,6 +362,42 @@ impl ScenarioGrid {
         self
     }
 
+    /// Adds a *family × size* axis: one graph entry per requested size,
+    /// generated from `family` re-parameterized by
+    /// [`GraphFamily::scaled`] and labeled `"<family>@n<size>"`. All
+    /// entries share `seed` (vary the scenario seed axis, not the
+    /// topology, within one grid) and run in `mode`.
+    ///
+    /// Family samples embed no Byzantine processes; cross them with
+    /// [`FaultCase`] / [`StrategyCase`] axes by vertex ID (IDs are
+    /// contiguous from 1 with the sink first — see the
+    /// [`cupft_graph::GraphFamily`] docs for the layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scaled parameterization is invalid or fails to
+    /// generate — a grid construction bug, not a runtime condition.
+    pub fn family(
+        mut self,
+        family: &GraphFamily,
+        sizes: impl IntoIterator<Item = usize>,
+        seed: u64,
+        mode: ProtocolMode,
+    ) -> Self {
+        for size in sizes {
+            let scaled = family.scaled(size);
+            let sample = scaled
+                .generate(seed)
+                .unwrap_or_else(|e| panic!("family axis {}: {e}", scaled.label()));
+            self.graphs.push(GraphCase {
+                label: format!("{}@n{size}", family.name()),
+                graph: sample.system.graph,
+                mode,
+            });
+        }
+        self
+    }
+
     /// Adds a fault-assignment axis entry.
     pub fn fault(mut self, case: FaultCase) -> Self {
         self.faults.push(case);
@@ -596,6 +636,41 @@ mod tests {
             .fault(FaultCase::silent(4))
             .strategy(StrategyCase::single(4, ByzantineStrategy::Silent))
             .build();
+    }
+
+    #[test]
+    fn family_axis_expands_sizes_into_graph_entries() {
+        let family = GraphFamily::erdos_renyi(16, 1);
+        let suite = ScenarioGrid::new()
+            .family(&family, [10, 16, 22], 3, ProtocolMode::KnownThreshold(1))
+            .seeds(0..2)
+            .build();
+        assert_eq!(suite.len(), 6); // 3 sizes x 2 seeds
+        assert_eq!(
+            suite.entries()[0].label,
+            "erdos-renyi@n10/correct/default/s0"
+        );
+        assert_eq!(
+            suite.entries()[4].label,
+            "erdos-renyi@n22/correct/default/s0"
+        );
+        let sizes: Vec<usize> = suite
+            .entries()
+            .iter()
+            .step_by(2)
+            .map(|e| e.scenario.graph.vertex_count())
+            .collect();
+        assert_eq!(sizes, vec![10, 16, 22]);
+    }
+
+    #[test]
+    fn family_axis_runs_consensus() {
+        let family = GraphFamily::erdos_renyi(12, 1);
+        let report = ScenarioGrid::new()
+            .family(&family, [9, 12], 1, ProtocolMode::KnownThreshold(1))
+            .build()
+            .run(RuntimeKind::Sim);
+        assert!(report.all_solved(), "failures: {:?}", report.failures());
     }
 
     #[test]

@@ -315,23 +315,41 @@ impl DiGraph {
     /// Used for the "k node-disjoint paths from any process outside the
     /// sink/core to any process inside" requirements (Definitions 1 and 2).
     pub fn min_cross_disjoint_paths(&self, from: &ProcessSet, to: &ProcessSet) -> usize {
+        self.min_cross_disjoint_paths_capped(from, to, usize::MAX)
+    }
+
+    /// Like [`Self::min_cross_disjoint_paths`] but never proves more than
+    /// `cap` paths for any pair: returns `min(actual minimum, cap)`.
+    ///
+    /// The `k`-OSR conditions only ever compare the minimum against a known
+    /// `k`, so capping at `k` skips the unbounded max-flow a dense first
+    /// pair would otherwise pay (the uncapped minimum only tightens the
+    /// bound *after* that first full count).
+    pub fn min_cross_disjoint_paths_capped(
+        &self,
+        from: &ProcessSet,
+        to: &ProcessSet,
+        cap: usize,
+    ) -> usize {
         let dp = DisjointPaths::new(self);
-        let mut best = usize::MAX;
+        let mut best = cap;
+        let mut any = false;
         for &u in from {
             for &v in to {
                 if u == v {
                     continue;
                 }
+                any = true;
                 best = best.min(dp.count_bounded(u, v, Some(best)));
                 if best == 0 {
                     return 0;
                 }
             }
         }
-        if best == usize::MAX {
-            0
-        } else {
+        if any {
             best
+        } else {
+            0
         }
     }
 }

@@ -24,11 +24,15 @@ pub struct OsrReport {
     pub sink_count: usize,
     /// The unique sink component, when `sink_count == 1`.
     pub sink: Option<ProcessSet>,
-    /// Strong connectivity of the sink component (0 when no unique sink).
+    /// Strong connectivity of the sink component (0 when no unique sink),
+    /// capped at `max(k, (|S|−1)/2 + 1)` — no predicate of the paper ever
+    /// consults `κ` beyond the sink-size bound, so connectivity above the
+    /// cap is reported as the cap rather than paid for.
     pub sink_connectivity: usize,
     /// Minimum over all (non-sink, sink) ordered pairs of the number of
-    /// node-disjoint paths; `usize::MAX` when there are no non-sink
-    /// members (vacuously satisfied).
+    /// node-disjoint paths, capped like [`Self::sink_connectivity`];
+    /// `usize::MAX` when there are no non-sink members (vacuously
+    /// satisfied).
     pub min_nonsink_to_sink_paths: usize,
 }
 
@@ -75,13 +79,18 @@ pub fn osr_report(g: &DiGraph, k: usize) -> OsrReport {
 
     let (sink_connectivity, min_paths) = match &sink {
         Some(sink_set) => {
+            // The grid hot path: κ and the cross-path minimum are capped at
+            // the largest value any predicate can consult — `k` itself or
+            // the `(|S1|−1)/2 + 1` threshold bound — so family sweeps never
+            // pay for connectivity beyond what the verdict needs.
+            let cap = k.max((sink_set.len().saturating_sub(1)) / 2 + 1);
             let sub = g.induced(sink_set);
-            let kappa = sub.strong_connectivity();
+            let kappa = sub.strong_connectivity_capped(cap);
             let non_sink: ProcessSet = g.vertices().filter(|v| !sink_set.contains(v)).collect();
             let min_paths = if non_sink.is_empty() {
                 usize::MAX
             } else {
-                g.min_cross_disjoint_paths(&non_sink, sink_set)
+                g.min_cross_disjoint_paths_capped(&non_sink, sink_set, cap)
             };
             (kappa, min_paths)
         }
@@ -184,5 +193,20 @@ mod tests {
     fn report_k_recorded() {
         let g = DiGraph::complete(&process_set([1, 2, 3]));
         assert_eq!(osr_report(&g, 7).k, 7);
+    }
+
+    #[test]
+    fn connectivity_is_capped_at_threshold_bound() {
+        // K8 is its own sink with kappa = 7, but no predicate consults
+        // kappa beyond (|S|-1)/2 + 1 = 4; the report stops there.
+        let g = DiGraph::complete(&process_set(1..=8));
+        let r = osr_report(&g, 1);
+        assert_eq!(r.sink_connectivity, 4);
+        assert!(r.is_k_osr());
+        // A k above the size bound raises the cap so the verdict is exact.
+        let r = osr_report(&g, 7);
+        assert_eq!(r.sink_connectivity, 7);
+        assert!(r.is_k_osr());
+        assert!(!osr_report(&g, 8).is_k_osr());
     }
 }

@@ -1,0 +1,536 @@
+//! Large-`n` fast paths: SCC-based condition evaluation with capped,
+//! budgeted connectivity checks.
+//!
+//! The exact recognizers ([`osr_report`](crate::osr_report),
+//! [`is_extended_k_osr`](crate::is_extended_k_osr), the `isSink*` subset
+//! search) are quadratic-to-exponential in the vertex count; they are the
+//! right tool for the paper's witness graphs and committee-sized sinks, but
+//! not for the 10k–100k-vertex topologies the
+//! [`GraphFamily`](crate::GraphFamily) generators produce. This module
+//! supplies the scalable complements:
+//!
+//! * [`sink_with_threshold`] — identifies the qualified sink of a
+//!   planted-sink graph in near-linear time: one Tarjan condensation plus a
+//!   connectivity check *capped at `f + 1`* on the sink alone, never
+//!   touching the exponential candidate machinery.
+//! * [`scale_osr_check`] — evaluates the four `k`-OSR conditions of
+//!   Definition 1 under an explicit [`CheckBudget`]: condition 1 and 2 are
+//!   exact (linear), conditions 3 and 4 use early-exit max-flow on a
+//!   deterministic pair sample when the pair space exceeds the budget, and
+//!   the report says whether the verdict is exhaustive
+//!   ([`ScaleReport::exhaustive`]) or a budgeted spot check.
+//!
+//! Two structural shortcuts keep the common case cheap and *exact*:
+//!
+//! * **Degree rejection** — `κ(G) ≥ k` requires every vertex to have in-
+//!   and out-degree `≥ k`; a violation is a sound negative in `O(V + E)`.
+//! * **Direct-fan-in proof** — if every non-sink vertex has `≥ k` direct
+//!   edges into the sink and `κ(G[S]) ≥ k`, condition 4 holds exactly: the
+//!   `k` entry edges are vertex-disjoint by themselves, and the fan lemma
+//!   for `k`-strongly-connected digraphs extends them to `k` internally
+//!   disjoint paths to *every* sink member. Most generated families are
+//!   built to satisfy this, so their condition-4 verdict needs no flow
+//!   computation at all.
+
+use std::collections::BTreeMap;
+
+use crate::connectivity::DisjointPaths;
+use crate::digraph::DiGraph;
+use crate::id::{ProcessId, ProcessSet};
+use crate::scc::condensation;
+
+/// Pair budgets for [`scale_osr_check`]: the maximum number of ordered
+/// vertex pairs submitted to the max-flow oracle per condition.
+///
+/// When a condition's full pair space fits the budget it is checked
+/// exhaustively (the verdict is exact); otherwise a deterministic sample
+/// of exactly the budgeted size is checked and the report is marked
+/// non-exhaustive. Budgets bound *work*, not soundness: any violation
+/// found is a definitive "no".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckBudget {
+    /// Maximum sink-internal ordered pairs for the condition-3 `κ` check.
+    pub kappa_pairs: usize,
+    /// Maximum (non-sink, sink) ordered pairs for the condition-4
+    /// disjoint-path check (only consulted when the direct-fan-in proof
+    /// does not apply).
+    pub cross_pairs: usize,
+}
+
+impl Default for CheckBudget {
+    fn default() -> Self {
+        // 1 024 κ-pairs keep committee-sized sinks (≤ 32 members) fully
+        // exhaustive while bounding whole-graph sinks to a spot check.
+        CheckBudget {
+            kappa_pairs: 1_024,
+            cross_pairs: 512,
+        }
+    }
+}
+
+impl CheckBudget {
+    /// A budget that never samples: every pair is checked. Equivalent to
+    /// the exact recognizers (use only on small graphs).
+    pub fn exhaustive() -> Self {
+        CheckBudget {
+            kappa_pairs: usize::MAX,
+            cross_pairs: usize::MAX,
+        }
+    }
+}
+
+/// The outcome of [`scale_osr_check`]: the four `k`-OSR conditions with
+/// explicit accounting of how much of the pair space was examined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScaleReport {
+    /// The `k` the graph was checked against.
+    pub k: usize,
+    /// Condition 1 (exact): the undirected counterpart is connected.
+    pub undirected_connected: bool,
+    /// Number of sink components in the condensation (condition 2,
+    /// exact, requires exactly one).
+    pub sink_count: usize,
+    /// The unique sink component when `sink_count == 1`.
+    pub sink: Option<ProcessSet>,
+    /// Condition 3 on the checked pairs: no sink-internal pair fell below
+    /// `k` node-disjoint paths (degree rejection applied first).
+    pub sink_kappa_ok: bool,
+    /// Condition 4 on the checked pairs: no (non-sink, sink) pair fell
+    /// below `k` node-disjoint paths.
+    pub cross_paths_ok: bool,
+    /// Condition 4 was *proved* structurally (direct fan-in ≥ `k` plus
+    /// `κ(G[S]) ≥ k`), with no cross-pair flow computation.
+    pub direct_fanin_proof: bool,
+    /// Sink-internal pairs submitted to the flow oracle.
+    pub kappa_pairs_checked: usize,
+    /// Cross pairs submitted to the flow oracle.
+    pub cross_pairs_checked: usize,
+    /// Whether every verdict is exact (full pair coverage or a structural
+    /// proof). When `false`, `holds_on_checked` means "no violation found
+    /// within budget", not a proof.
+    pub exhaustive: bool,
+}
+
+impl ScaleReport {
+    /// Whether every condition held on the pairs examined. Combine with
+    /// [`Self::exhaustive`] to distinguish a proof from a spot check; a
+    /// `false` is always definitive.
+    pub fn holds_on_checked(&self) -> bool {
+        self.undirected_connected
+            && self.sink_count == 1
+            && self.sink_kappa_ok
+            && self.cross_paths_ok
+    }
+
+    /// Number of members of the unique sink (0 when there is none).
+    pub fn sink_size(&self) -> usize {
+        self.sink.as_ref().map_or(0, |s| s.len())
+    }
+}
+
+/// SplitMix64: the deterministic index scrambler behind pair sampling.
+/// (No RNG state — sampling must be a pure function of the graph and
+/// budget so repeated checks agree.)
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Identifies the qualified sink of a planted-sink graph: the unique sink
+/// component `S` of the condensation with `|S| ≥ 2f + 1` and
+/// `κ(G[S]) ≥ f + 1`.
+///
+/// This is the scalable counterpart of Algorithm 2's `∃ S1, S2` search
+/// for the omniscient case: one Tarjan pass plus a connectivity check
+/// capped at `f + 1` on the sink subgraph only. Cost is `O(V + E)` plus
+/// `O(|S|²)` capped flow queries — intended for graphs whose sink is
+/// committee-sized while the periphery scales to 10k–100k vertices. For
+/// whole-graph sinks prefer [`scale_osr_check`] with a budget.
+///
+/// Returns `None` when the graph has no unique sink, the sink is smaller
+/// than `2f + 1`, or its connectivity is below `f + 1`.
+///
+/// # Example
+///
+/// ```
+/// use cupft_graph::{sink_with_threshold, DiGraph, process_set};
+///
+/// // Sink triangle {1,2,3}; 4 and 5 each point into it twice.
+/// let mut g = DiGraph::complete(&process_set([1, 2, 3]));
+/// for (a, b) in [(4, 1), (4, 2), (5, 2), (5, 3)] {
+///     g.add_edge(a.into(), b.into());
+/// }
+/// assert_eq!(sink_with_threshold(&g, 1), Some(process_set([1, 2, 3])));
+/// assert_eq!(sink_with_threshold(&g, 2), None); // needs |S| >= 5
+/// ```
+pub fn sink_with_threshold(g: &DiGraph, f: usize) -> Option<ProcessSet> {
+    let cond = condensation(g);
+    let sink = cond.unique_sink()?.clone();
+    if sink.len() < 2 * f + 1 {
+        return None;
+    }
+    let sub = g.induced(&sink);
+    if sub.strong_connectivity_capped(f + 1) < f + 1 {
+        return None;
+    }
+    Some(sink)
+}
+
+/// In-degrees of every vertex of `g` in one edge scan.
+fn in_degrees(g: &DiGraph) -> BTreeMap<ProcessId, usize> {
+    let mut deg: BTreeMap<ProcessId, usize> = g.vertices().map(|v| (v, 0)).collect();
+    for (_, w) in g.edges() {
+        *deg.get_mut(&w).expect("edge endpoint is a vertex") += 1;
+    }
+    deg
+}
+
+/// Evaluates the four `k`-OSR conditions (Definition 1) under a pair
+/// budget. See the module docs for which conditions are exact and which
+/// may be sampled.
+///
+/// # Example
+///
+/// ```
+/// use cupft_graph::{scale_osr_check, CheckBudget, DiGraph, process_set};
+///
+/// let mut g = DiGraph::complete(&process_set([1, 2, 3]));
+/// g.add_edge(4.into(), 1.into());
+/// g.add_edge(4.into(), 2.into());
+/// let report = scale_osr_check(&g, 2, &CheckBudget::default());
+/// assert!(report.holds_on_checked() && report.exhaustive);
+/// assert!(report.direct_fanin_proof); // 4 has two direct sink edges
+/// ```
+pub fn scale_osr_check(g: &DiGraph, k: usize, budget: &CheckBudget) -> ScaleReport {
+    let undirected_connected = g.is_undirected_connected();
+    let cond = condensation(g);
+    let sink_count = cond.sinks().len();
+    let sink = cond.unique_sink().cloned();
+
+    let mut report = ScaleReport {
+        k,
+        undirected_connected,
+        sink_count,
+        sink: sink.clone(),
+        sink_kappa_ok: false,
+        cross_paths_ok: false,
+        direct_fanin_proof: false,
+        kappa_pairs_checked: 0,
+        cross_pairs_checked: 0,
+        exhaustive: true, // refined below once budgeted checks run
+    };
+    let Some(sink_set) = sink else {
+        // No unique sink: conditions 3 and 4 are vacuously violated and the
+        // verdict is exact.
+        report.exhaustive = true;
+        return report;
+    };
+
+    // Condition 3: κ(G[S]) ≥ k on the sink subgraph.
+    let sub = g.induced(&sink_set);
+    let (kappa_ok, kappa_pairs, kappa_exact) = check_kappa(&sub, k, budget.kappa_pairs);
+    report.sink_kappa_ok = kappa_ok;
+    report.kappa_pairs_checked = kappa_pairs;
+
+    // Condition 4: k node-disjoint paths from every non-sink vertex to
+    // every sink vertex.
+    let non_sink: Vec<ProcessId> = g.vertices().filter(|v| !sink_set.contains(v)).collect();
+    let (cross_ok, cross_pairs, cross_exact, fanin_proof) = if non_sink.is_empty() {
+        (true, 0, true, false) // vacuous: the sink is the whole graph
+    } else if kappa_ok && min_direct_sink_fanin(g, &sink_set, &non_sink) >= k {
+        // Structural proof (fan lemma); exact only if the κ premise is.
+        (true, 0, kappa_exact, true)
+    } else {
+        let (ok, pairs, exact) = check_cross(g, &sink_set, &non_sink, k, budget.cross_pairs);
+        (ok, pairs, exact, false)
+    };
+    report.cross_paths_ok = cross_ok;
+    report.cross_pairs_checked = cross_pairs;
+    report.direct_fanin_proof = fanin_proof;
+    report.exhaustive = kappa_exact && cross_exact;
+    report
+}
+
+/// Minimum over `non_sink` of the number of direct out-edges into `sink`.
+fn min_direct_sink_fanin(g: &DiGraph, sink: &ProcessSet, non_sink: &[ProcessId]) -> usize {
+    non_sink
+        .iter()
+        .map(|&v| {
+            g.out_neighbors_ref(v)
+                .map_or(0, |outs| outs.iter().filter(|t| sink.contains(t)).count())
+        })
+        .min()
+        .unwrap_or(usize::MAX)
+}
+
+/// Condition-3 check on the sink subgraph: degree rejection, then
+/// all-pairs (when the pair space fits `budget`) or a deterministic
+/// sample. Returns `(ok_on_checked, pairs_checked, exhaustive)`.
+fn check_kappa(sub: &DiGraph, k: usize, budget: usize) -> (bool, usize, bool) {
+    let n = sub.vertex_count();
+    if k == 0 {
+        return (true, 0, true);
+    }
+    if n <= 1 {
+        // Match the exact recognizer's convention (`strong_connectivity`
+        // of a trivial graph is its vertex count), so an exhaustive fast
+        // verdict never contradicts `osr_report` on singleton sinks.
+        return (k <= n, 0, true);
+    }
+    // Degree rejection: a sound, exact negative in O(V + E).
+    let in_deg = in_degrees(sub);
+    for v in sub.vertices() {
+        if sub.out_degree(v) < k || in_deg[&v] < k {
+            return (false, 0, true);
+        }
+    }
+    let order: Vec<ProcessId> = sub.vertices().collect();
+    let dp = DisjointPaths::new(sub);
+    let total_pairs = n * (n - 1);
+    if total_pairs <= budget {
+        let mut checked = 0;
+        for &u in &order {
+            for &v in &order {
+                if u == v {
+                    continue;
+                }
+                checked += 1;
+                if !dp.at_least(u, v, k) {
+                    return (false, checked, true);
+                }
+            }
+        }
+        (true, checked, true)
+    } else {
+        let mut checked = 0;
+        for t in 0..budget as u64 {
+            let i = (splitmix(t) % n as u64) as usize;
+            let mut j = (splitmix(t ^ 0x5bf0_3635) % n as u64) as usize;
+            if i == j {
+                j = (j + 1) % n;
+            }
+            checked += 1;
+            if !dp.at_least(order[i], order[j], k) {
+                return (false, checked, false);
+            }
+        }
+        (true, checked, false)
+    }
+}
+
+/// Condition-4 check: all cross pairs when they fit `budget`, else a
+/// deterministic sample. Returns `(ok_on_checked, pairs_checked,
+/// exhaustive)`.
+fn check_cross(
+    g: &DiGraph,
+    sink: &ProcessSet,
+    non_sink: &[ProcessId],
+    k: usize,
+    budget: usize,
+) -> (bool, usize, bool) {
+    if k == 0 {
+        return (true, 0, true);
+    }
+    let sink_order: Vec<ProcessId> = sink.iter().copied().collect();
+    let dp = DisjointPaths::new(g);
+    let total = non_sink.len().saturating_mul(sink_order.len());
+    if total <= budget {
+        let mut checked = 0;
+        for &u in non_sink {
+            for &t in &sink_order {
+                checked += 1;
+                if !dp.at_least(u, t, k) {
+                    return (false, checked, true);
+                }
+            }
+        }
+        (true, checked, true)
+    } else {
+        let mut checked = 0;
+        for t in 0..budget as u64 {
+            let u = non_sink[(splitmix(t) % non_sink.len() as u64) as usize];
+            let s = sink_order[(splitmix(t ^ 0x0ddc_0ffe) % sink_order.len() as u64) as usize];
+            checked += 1;
+            if !dp.at_least(u, s, k) {
+                return (false, checked, false);
+            }
+        }
+        (true, checked, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::process_set;
+    use crate::osr::osr_report;
+
+    fn feeders_graph() -> DiGraph {
+        let mut g = DiGraph::complete(&process_set([1, 2, 3]));
+        for (a, b) in [(4, 1), (4, 2), (5, 2), (5, 3)] {
+            g.add_edge(a.into(), b.into());
+        }
+        g
+    }
+
+    #[test]
+    fn sink_with_threshold_finds_planted_sink() {
+        let g = feeders_graph();
+        assert_eq!(sink_with_threshold(&g, 1), Some(process_set([1, 2, 3])));
+    }
+
+    #[test]
+    fn sink_with_threshold_respects_size_bound() {
+        let g = feeders_graph();
+        assert_eq!(sink_with_threshold(&g, 2), None);
+    }
+
+    #[test]
+    fn sink_with_threshold_rejects_weak_sink() {
+        // Directed 5-cycle sink: kappa = 1 < f+1 for f = 1.
+        let mut g = DiGraph::from_edges([(1, 2), (2, 3), (3, 4), (4, 5), (5, 1)]);
+        g.add_edge(9.into(), 1.into());
+        g.add_edge(9.into(), 2.into());
+        assert_eq!(sink_with_threshold(&g, 1), None);
+        assert_eq!(sink_with_threshold(&g, 0), Some(process_set(1..=5)));
+    }
+
+    #[test]
+    fn sink_with_threshold_rejects_two_sinks() {
+        let mut g = DiGraph::complete(&process_set([1, 2, 3]));
+        g.merge(&DiGraph::complete(&process_set([4, 5, 6])));
+        g.add_edge(7.into(), 1.into());
+        g.add_edge(7.into(), 4.into());
+        assert_eq!(sink_with_threshold(&g, 1), None);
+    }
+
+    #[test]
+    fn scale_check_agrees_with_exact_recognizer_when_exhaustive() {
+        for (g, k) in [
+            (feeders_graph(), 2),
+            (feeders_graph(), 3),
+            (DiGraph::complete(&process_set(1..=5)), 3),
+            (DiGraph::from_edges([(1, 2), (2, 3), (3, 1), (4, 1)]), 1),
+            (DiGraph::from_edges([(1, 2), (2, 3), (3, 1), (4, 1)]), 2),
+        ] {
+            let fast = scale_osr_check(&g, k, &CheckBudget::exhaustive());
+            let exact = osr_report(&g, k);
+            assert!(fast.exhaustive);
+            assert_eq!(fast.holds_on_checked(), exact.is_k_osr(), "k={k}\n{g}");
+            assert_eq!(fast.sink, exact.sink);
+        }
+    }
+
+    #[test]
+    fn direct_fanin_proof_fires_without_cross_flows() {
+        let report = scale_osr_check(&feeders_graph(), 2, &CheckBudget::default());
+        assert!(report.direct_fanin_proof);
+        assert_eq!(report.cross_pairs_checked, 0);
+        assert!(report.holds_on_checked() && report.exhaustive);
+    }
+
+    #[test]
+    fn indirect_paths_fall_back_to_flow_checks() {
+        // 4 reaches the sink through 5 and directly: 2 disjoint paths but
+        // only one *direct* sink edge, so no structural proof.
+        let mut g = DiGraph::complete(&process_set([1, 2, 3]));
+        for (a, b) in [(4, 1), (4, 5), (5, 2), (5, 3), (5, 1)] {
+            g.add_edge(a.into(), b.into());
+        }
+        let report = scale_osr_check(&g, 2, &CheckBudget::exhaustive());
+        assert!(!report.direct_fanin_proof);
+        assert!(report.cross_pairs_checked > 0);
+        assert!(report.holds_on_checked(), "{report:?}");
+    }
+
+    #[test]
+    fn degree_rejection_is_exact_even_over_budget() {
+        // Big directed cycle sink: every vertex has degree 1 < 2, so the
+        // kappa verdict is exact despite a tiny budget.
+        let mut edges: Vec<(u64, u64)> = (1..400).map(|i| (i, i + 1)).collect();
+        edges.push((400, 1));
+        let g = DiGraph::from_edges(edges);
+        let report = scale_osr_check(
+            &g,
+            2,
+            &CheckBudget {
+                kappa_pairs: 4,
+                cross_pairs: 4,
+            },
+        );
+        assert!(!report.sink_kappa_ok);
+        assert_eq!(report.kappa_pairs_checked, 0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let g = DiGraph::circulant(&process_set(1..=64), 3);
+        let budget = CheckBudget {
+            kappa_pairs: 100,
+            cross_pairs: 100,
+        };
+        let a = scale_osr_check(&g, 3, &budget);
+        let b = scale_osr_check(&g, 3, &budget);
+        assert_eq!(a, b);
+        assert!(!a.exhaustive);
+        assert_eq!(a.kappa_pairs_checked, 100);
+        assert!(a.holds_on_checked());
+    }
+
+    #[test]
+    fn sampled_check_still_catches_gross_violations() {
+        // Two K5 blocks joined only through hubs 11 and 12: every degree
+        // is >= 3 (degree rejection passes) but every cross-block pair has
+        // exactly 2 disjoint paths, so a small sample hits a violation.
+        let mut g = DiGraph::complete(&process_set(1..=5));
+        g.merge(&DiGraph::complete(&process_set(6..=10)));
+        for v in 1..=10u64 {
+            for hub in [11, 12] {
+                g.add_edge(v.into(), hub.into());
+                g.add_edge(hub.into(), v.into());
+            }
+        }
+        let budget = CheckBudget {
+            kappa_pairs: 32,
+            cross_pairs: 32,
+        };
+        let report = scale_osr_check(&g, 3, &budget);
+        assert!(!report.sink_kappa_ok, "{report:?}");
+        assert!(!report.exhaustive);
+        assert!(report.kappa_pairs_checked <= 32);
+    }
+
+    #[test]
+    fn whole_graph_sink_is_vacuous_for_condition_four() {
+        let g = DiGraph::complete(&process_set(1..=4));
+        let report = scale_osr_check(&g, 3, &CheckBudget::default());
+        assert!(report.holds_on_checked() && report.exhaustive);
+        assert_eq!(report.cross_pairs_checked, 0);
+        assert!(!report.direct_fanin_proof);
+    }
+
+    #[test]
+    fn singleton_sink_agrees_with_exact_recognizer() {
+        // Unique sink {1} with two feeders: kappa({1}) = 1, so the graph
+        // is 1-OSR but not 2-OSR; the fast path must agree on both.
+        let g = DiGraph::from_edges([(2, 1), (3, 1), (2, 3), (3, 2)]);
+        for k in [1usize, 2] {
+            let fast = scale_osr_check(&g, k, &CheckBudget::exhaustive());
+            let exact = osr_report(&g, k);
+            assert!(fast.exhaustive);
+            assert_eq!(fast.holds_on_checked(), exact.is_k_osr(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn no_unique_sink_reports_exact_failure() {
+        let g = DiGraph::from_edges([(1, 2), (1, 3)]);
+        let report = scale_osr_check(&g, 1, &CheckBudget::default());
+        assert_eq!(report.sink_count, 2);
+        assert!(!report.holds_on_checked());
+        assert!(report.exhaustive);
+        assert_eq!(report.sink_size(), 0);
+    }
+}

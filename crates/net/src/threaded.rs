@@ -458,6 +458,28 @@ where
             break;
         }
         if fired {
+            // Fairness: an actor whose per-tick work exceeds its own timer
+            // period would otherwise loop on due timers forever and never
+            // drain its inbox — sends keep flowing out while every reply
+            // rots undelivered (a livelock the family sweeps hit with
+            // 10 ms discovery ticks and debug-build candidate searches).
+            // Drain a bounded batch of queued messages between firings so
+            // neither timers nor messages can starve the other.
+            let mut drained = 0;
+            while drained < 64 && !halted {
+                match inbox.try_recv() {
+                    Ok((from, msg)) => {
+                        let mut ctx = Context::new(now_ms(start), id);
+                        actor.on_message(from, msg, &mut ctx);
+                        halted = apply(&mut timers, &router, id, ctx, now_ms(start)) || halted;
+                        drained += 1;
+                    }
+                    Err(_) => break,
+                }
+            }
+            if halted {
+                break;
+            }
             continue;
         }
         let wait = timers

@@ -452,7 +452,7 @@ impl RrbState {
     }
 }
 
-/// The *unauthenticated* discovery pipeline of the original BFT-CUP [10]:
+/// The *unauthenticated* discovery pipeline of the original BFT-CUP \[10\]:
 /// every process floods its PD via reachable reliable broadcast, and a PD
 /// enters the local [`KnowledgeView`] only once delivered over more than
 /// `f` node-disjoint routes — the multi-path delivery standing in for the
@@ -460,7 +460,7 @@ impl RrbState {
 ///
 /// Sink identification on the resulting views uses the same predicates as
 /// the authenticated stack, reproducing Alchieri et al.'s result (cited as
-/// [9] in the paper) that the knowledge connectivity *requirements* are
+/// \[9\] in the paper) that the knowledge connectivity *requirements* are
 /// unchanged by removing signatures — only the protocol complexity grows.
 #[derive(Debug)]
 pub struct UnauthDiscoveryActor {

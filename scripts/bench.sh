@@ -1,38 +1,50 @@
 #!/usr/bin/env bash
-# Bench trajectory artifact: runs the JSON-emitting experiment binaries
-# (table1, fig1, fig4, adversary_grid) in release mode and merges their
-# artifacts into one JSON document, so successive PRs can diff a single
-# file for end-time / message-count / wall-clock drift.
+# Bench trajectory artifacts: runs the JSON-emitting experiment binaries
+# in release mode and merges their artifacts into per-area JSON documents,
+# so successive PRs can diff a single file per area for end-time /
+# message-count / wall-clock drift.
 #
-#   scripts/bench.sh [OUTPUT]     # default OUTPUT: BENCH_adversary.json
+#   scripts/bench.sh [ADVERSARY_OUT] [GRAPH_OUT]
+#       ADVERSARY_OUT (default BENCH_adversary.json): table1, fig1, fig4,
+#                     adversary_grid
+#       GRAPH_OUT     (default BENCH_graph.json): graph_scale — family
+#                     generation + condition-check timings and per-family
+#                     consensus outcome rates
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_adversary.json}"
+adversary_out="${1:-BENCH_adversary.json}"
+graph_out="${2:-BENCH_graph.json}"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
-
-bins=(table1 fig1 fig4 adversary_grid)
 
 echo "==> cargo build --release -p cupft-bench --bins"
 cargo build --release -p cupft-bench --bins
 
-for bin in "${bins[@]}"; do
-    echo "==> $bin --json"
-    cargo run --release -q -p cupft-bench --bin "$bin" -- --json "$tmp/$bin.json" \
-        > "$tmp/$bin.txt"
-done
-
-{
-    printf '{'
-    first=1
+# merge <out-file> <bin...>: run each bin with --json and merge the
+# artifacts into one {"<bin>": ...} document.
+merge() {
+    local out="$1"
+    shift
+    local bins=("$@")
     for bin in "${bins[@]}"; do
-        [[ "$first" -eq 0 ]] && printf ','
-        first=0
-        printf '"%s":' "$bin"
-        tr -d '\n' < "$tmp/$bin.json"
+        echo "==> $bin --json"
+        cargo run --release -q -p cupft-bench --bin "$bin" -- --json "$tmp/$bin.json" \
+            > "$tmp/$bin.txt"
     done
-    printf '}\n'
-} > "$out"
+    {
+        printf '{'
+        local first=1
+        for bin in "${bins[@]}"; do
+            [[ "$first" -eq 0 ]] && printf ','
+            first=0
+            printf '"%s":' "$bin"
+            tr -d '\n' < "$tmp/$bin.json"
+        done
+        printf '}\n'
+    } > "$out"
+    echo "bench.sh: wrote $out ($(wc -c < "$out") bytes)"
+}
 
-echo "bench.sh: wrote $out ($(wc -c < "$out") bytes)"
+merge "$adversary_out" table1 fig1 fig4 adversary_grid
+merge "$graph_out" graph_scale

@@ -3,8 +3,10 @@
 #
 #   scripts/verify.sh          # everything (what CI should run)
 #   scripts/verify.sh --quick  # skip the release build (fast local loop);
-#                              # fronts the adversary_sweep grid as an
-#                              # early gate before the full test run
+#                              # fronts the adversary_sweep grid and the
+#                              # family_sweep (each graph family once at
+#                              # modest n) as early gates before the full
+#                              # test run
 #
 # Tier-1 (from ROADMAP.md): cargo build --release && cargo test -q
 set -euo pipefail
@@ -22,12 +24,17 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo build --examples"
 cargo build --examples
 
+echo "==> cargo doc --no-deps -q"
+cargo doc --no-deps -q
+
 if [[ "$quick" -eq 0 ]]; then
     echo "==> cargo build --release"
     cargo build --release
 else
     echo "==> cargo test -q --test adversary_sweep (quick gate)"
     cargo test -q --test adversary_sweep
+    echo "==> cargo test -q --test family_sweep (quick gate)"
+    cargo test -q --test family_sweep
 fi
 
 echo "==> cargo test -q"

@@ -36,7 +36,7 @@ pub mod strategy {
             Map { inner: self, f }
         }
 
-        /// Type-erases the strategy (needed by [`prop_oneof!`], whose arms
+        /// Type-erases the strategy (needed by `prop_oneof!`, whose arms
         /// have distinct concrete types).
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
@@ -96,7 +96,7 @@ pub mod strategy {
     }
 
     /// Uniformly picks one of several boxed strategies per case (the
-    /// [`prop_oneof!`] backing type).
+    /// `prop_oneof!` backing type).
     pub struct Union<V> {
         arms: Vec<BoxedStrategy<V>>,
     }
@@ -236,7 +236,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         size: Range<usize>,
