@@ -1,0 +1,119 @@
+//! A6 — the memoization wins of the delta-gossip rework, isolated from
+//! the network layer.
+//!
+//! Three `absorb` paths — cold (first sight: one HMAC verification),
+//! duplicate (fingerprint-equal record already held: no verification),
+//! forged replay (known-bad fingerprint: no verification, no recount) —
+//! plus the `ProcessSet` cached-fingerprint hash against re-hashing the
+//! members, which is what every per-peer sync-state comparison leans on.
+
+use std::collections::BTreeSet;
+use std::hash::{BuildHasher, RandomState};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cupft_detector::{PdCertificate, SystemSetup};
+use cupft_discovery::DiscoveryState;
+use cupft_graph::{process_set, GraphFamily, ProcessId, ProcessSet};
+
+const N: usize = 64;
+
+fn setup() -> SystemSetup {
+    let sample = GraphFamily::erdos_renyi(N, 1)
+        .generate(7)
+        .expect("valid family");
+    SystemSetup::new(&sample.system.graph)
+}
+
+fn fresh_state(setup: &SystemSetup) -> DiscoveryState {
+    DiscoveryState::from_setup(setup, ProcessId::new(N as u64)).expect("vertex registered")
+}
+
+fn bench_absorb(c: &mut Criterion) {
+    let setup = setup();
+    let certs: Vec<Arc<PdCertificate>> = (1..=N as u64)
+        .map(|id| setup.shared_certificate_for(ProcessId::new(id)).unwrap())
+        .collect();
+    let mut group = c.benchmark_group("absorb");
+
+    // Cold: every record is new — pays one signature verification each.
+    group.bench_function("cold_64_certs", |b| {
+        b.iter(|| {
+            let mut state = fresh_state(&setup);
+            for cert in &certs {
+                state.absorb(cert.clone());
+            }
+            black_box(state.view().received_count())
+        })
+    });
+
+    // Duplicate: the same records re-delivered — the fingerprint check
+    // rejects them before any cryptography.
+    group.bench_function("duplicate_64_certs", |b| {
+        let mut state = fresh_state(&setup);
+        for cert in &certs {
+            state.absorb(cert.clone());
+        }
+        b.iter(|| {
+            for cert in &certs {
+                state.absorb(cert.clone());
+            }
+            black_box(state.view().received_count())
+        })
+    });
+
+    // Forged replay: a known-bad record re-delivered — rejected by the
+    // memoized fingerprint, not by re-running HMAC.
+    group.bench_function("forged_replay_64x", |b| {
+        let forged = Arc::new(PdCertificate::forge(
+            ProcessId::new(1),
+            &process_set([99, 100]),
+        ));
+        let mut state = fresh_state(&setup);
+        state.absorb(forged.clone());
+        b.iter(|| {
+            for _ in 0..N {
+                state.absorb(forged.clone());
+            }
+            black_box(state.rejected_forgeries)
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_fingerprint_hash(c: &mut Criterion) {
+    let members: Vec<u64> = (1..=1024u64).collect();
+    let compact: ProcessSet = members.iter().map(|&m| ProcessId::new(m)).collect();
+    let btree: BTreeSet<ProcessId> = members.iter().map(|&m| ProcessId::new(m)).collect();
+    let hasher = RandomState::new();
+    let mut group = c.benchmark_group("process_set_hash");
+
+    // O(1): the cached fingerprint is hashed, not the 1024 members.
+    group.bench_function("cached_fingerprint_1024", |b| {
+        b.iter(|| black_box(hasher.hash_one(black_box(&compact))))
+    });
+
+    // The old representation: every member walks through the hasher.
+    group.bench_function("btreeset_rehash_1024", |b| {
+        b.iter(|| black_box(hasher.hash_one(black_box(&btree))))
+    });
+
+    // Equality fast path: fingerprint + length reject before any member
+    // comparison; the common case for per-peer sync-state checks.
+    group.bench_function("eq_mismatch_1024", |b| {
+        let mut other = compact.clone();
+        other.insert(ProcessId::new(9999));
+        b.iter(|| black_box(compact == other))
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_absorb, bench_fingerprint_hash
+}
+criterion_main!(benches);

@@ -1,0 +1,310 @@
+//! S6 — delta-gossip discovery scale series.
+//!
+//! Two sections, mirroring the two claims of the delta-gossip rework:
+//!
+//! 1. **Sweep payload** — the four family-sweep topologies at three sizes,
+//!    each run twice through discovery-only simulations (full-`S_PD`
+//!    baseline vs. delta gossip) to the same horizon. Reports the
+//!    delivered `SETPDS` payload (certificates · messages) of both modes
+//!    and asserts the final [`KnowledgeView`]s are byte-identical — the
+//!    observational-equivalence claim — while the payload collapses (the
+//!    ≥10x acceptance bar of the PR).
+//! 2. **End-to-end consensus at scale** — full discovery → identification
+//!    → committee consensus → learning on planted-committee families at
+//!    n = 100 / 500 / 1000 (plus 2000 with `--full`), on **both**
+//!    runtimes. The sizes that used to be graph-condition-check-only
+//!    territory (`graph_scale`) now run the actual protocol in seconds.
+//!
+//! `--json <path>` leaves the machine-readable artifact `scripts/bench.sh`
+//! merges into `BENCH_discovery.json`; the flat `regression` keys in it
+//! are what `bench.sh --check-regression` compares.
+
+use std::time::Instant;
+
+use cupft_bench::{header, json_path_from_args, write_json, Json};
+use cupft_core::{ProtocolMode, RuntimeKind, Scenario};
+use cupft_detector::SystemSetup;
+use cupft_discovery::{DiscoveryActor, DiscoveryMsg, DiscoveryState, GossipMode};
+use cupft_graph::{DiGraph, GraphFamily, KnowledgeView, ProcessId};
+use cupft_net::sim::Simulation;
+use cupft_net::{DelayPolicy, SimConfig};
+
+const FAULT_THRESHOLD: usize = 1;
+const SWEEP_SIZES: [usize; 3] = [12, 18, 24];
+const SWEEP_HORIZON: u64 = 4_000;
+const E2E_SIZES: [usize; 3] = [100, 500, 1_000];
+const E2E_FULL_SIZES: [usize; 1] = [2_000];
+
+fn psync() -> DelayPolicy {
+    DelayPolicy::PartialSynchrony {
+        gst: 200,
+        delta: 10,
+        pre_gst_max: 120,
+    }
+}
+
+/// The family-sweep topologies (same parameterization as
+/// `tests/family_sweep.rs`).
+fn sweep_families() -> Vec<GraphFamily> {
+    vec![
+        GraphFamily::erdos_renyi(16, FAULT_THRESHOLD),
+        GraphFamily::RingOfCliques {
+            cliques: 3,
+            clique_size: 4,
+            bridges: 3,
+            fault_threshold: FAULT_THRESHOLD,
+        },
+        GraphFamily::k_diamond(16, FAULT_THRESHOLD),
+        GraphFamily::BridgedPartition {
+            a_size: 8,
+            sink_size: 3,
+            bridge_width: 3,
+            fault_threshold: FAULT_THRESHOLD,
+        },
+    ]
+}
+
+/// Planted-committee families for the end-to-end scale section (the ring
+/// is excluded: its sink spans the whole graph, so identification means
+/// computing the connectivity of an n-vertex set — a different scaling
+/// story than committee discovery).
+fn e2e_families() -> Vec<GraphFamily> {
+    vec![
+        GraphFamily::erdos_renyi(100, FAULT_THRESHOLD),
+        GraphFamily::k_diamond(100, FAULT_THRESHOLD),
+        GraphFamily::scale_free(100, FAULT_THRESHOLD),
+        GraphFamily::bridged_partition(100, FAULT_THRESHOLD),
+    ]
+}
+
+/// Runs discovery-only actors over `graph` to the horizon and returns
+/// (delivered SETPDS payload, messages sent, final views).
+fn discovery_run(
+    graph: &DiGraph,
+    mode: GossipMode,
+    seed: u64,
+) -> (u64, u64, Vec<(ProcessId, KnowledgeView)>) {
+    let setup = SystemSetup::new(graph);
+    let mut sim: Simulation<DiscoveryMsg> = Simulation::new(SimConfig {
+        seed,
+        max_time: SWEEP_HORIZON + 100,
+        policy: psync(),
+    });
+    for v in graph.vertices() {
+        let state = DiscoveryState::from_setup(&setup, v)
+            .expect("vertex registered")
+            .with_gossip(mode);
+        sim.add_actor(Box::new(DiscoveryActor::new(state, 20)));
+    }
+    sim.run_until(|s| s.now() > SWEEP_HORIZON);
+    let payload = sim.stats().label_payload("SETPDS");
+    let messages = sim.stats().messages_sent;
+    let views = sim
+        .into_actors()
+        .into_iter()
+        .map(|(id, actor)| {
+            let discovery = actor
+                .as_any()
+                .downcast_ref::<DiscoveryActor>()
+                .expect("discovery actor");
+            (id, discovery.state().view().clone())
+        })
+        .collect();
+    (payload, messages, views)
+}
+
+struct SweepTotals {
+    full_payload: u64,
+    delta_payload: u64,
+    min_ratio: f64,
+}
+
+fn sweep_section(rows: &mut Vec<Json>) -> SweepTotals {
+    let mut totals = SweepTotals {
+        full_payload: 0,
+        delta_payload: 0,
+        min_ratio: f64::INFINITY,
+    };
+    for family in sweep_families() {
+        for size in SWEEP_SIZES {
+            let scaled = family.scaled(size);
+            let sample = scaled
+                .generate(11)
+                .unwrap_or_else(|e| panic!("{}: {e}", scaled.label()));
+            let graph = &sample.system.graph;
+            let (full_payload, full_msgs, full_views) =
+                discovery_run(graph, GossipMode::Full, size as u64);
+            let (delta_payload, delta_msgs, delta_views) =
+                discovery_run(graph, GossipMode::Delta, size as u64);
+            assert_eq!(
+                full_views,
+                delta_views,
+                "{}@n{size}: delta views must be byte-identical to the baseline",
+                family.name()
+            );
+            let ratio = full_payload as f64 / delta_payload.max(1) as f64;
+            totals.full_payload += full_payload;
+            totals.delta_payload += delta_payload;
+            totals.min_ratio = totals.min_ratio.min(ratio);
+            println!(
+                "  {:<18} n={:<3} SETPDS payload: full={:<8} delta={:<6} ({ratio:>6.1}x)  msgs: full={} delta={}",
+                family.name(),
+                graph.vertex_count(),
+                full_payload,
+                delta_payload,
+                full_msgs,
+                delta_msgs,
+            );
+            rows.push(Json::obj([
+                ("family", Json::str(family.name())),
+                ("n", Json::U64(graph.vertex_count() as u64)),
+                ("full_payload", Json::U64(full_payload)),
+                ("delta_payload", Json::U64(delta_payload)),
+                ("full_messages", Json::U64(full_msgs)),
+                ("delta_messages", Json::U64(delta_msgs)),
+                ("ratio", Json::F64(ratio)),
+            ]));
+        }
+    }
+    totals
+}
+
+#[allow(clippy::too_many_lines)]
+fn e2e_cell(family: &GraphFamily, n: usize, kind: RuntimeKind) -> (bool, f64, Json) {
+    let scaled = family.scaled(n);
+    let sample = scaled
+        .generate(n as u64)
+        .unwrap_or_else(|e| panic!("{}: {e}", scaled.label()));
+    let actual_n = sample.system.graph.vertex_count();
+    let mut scenario = Scenario::new(
+        sample.system.graph,
+        ProtocolMode::KnownThreshold(FAULT_THRESHOLD),
+    )
+    .with_seed(1)
+    .with_policy(psync())
+    .with_horizon(2_000_000);
+    if kind == RuntimeKind::Threaded && n >= 500 {
+        // Tick knobs read as milliseconds on the threaded substrate, and
+        // every message funnels through one router thread: slow the
+        // polling cadence so hundreds of nodes don't saturate it, and
+        // give the run a wall budget matched to the slower cadence (it
+        // still stops the instant every correct node decides).
+        scenario.discovery_period = 100;
+        scenario.view_timeout_base = 2_000;
+        scenario = scenario.with_threaded_wall_timeout(std::time::Duration::from_secs(180));
+    }
+    let started = Instant::now();
+    let outcome = scenario.run_on(kind);
+    let wall = started.elapsed().as_secs_f64();
+    let check = outcome.check();
+    let solved = check.consensus_solved();
+    println!(
+        "  {:<18} n={:<5} {:<8} {} wall={:>7.2}s end_time={:<8} msgs={:<9} payload={}",
+        family.name(),
+        actual_n,
+        kind.label(),
+        if solved { "solved ✓" } else { "FAILED ✗" },
+        wall,
+        outcome.end_time,
+        outcome.stats.messages_sent,
+        outcome.stats.payload_units,
+    );
+    let row = Json::obj([
+        ("family", Json::str(family.name())),
+        ("n", Json::U64(actual_n as u64)),
+        ("runtime", Json::str(kind.label())),
+        ("solved", Json::Bool(solved)),
+        ("agreement", Json::Bool(check.agreement)),
+        ("wall_seconds", Json::F64(wall)),
+        ("end_time", Json::U64(outcome.end_time)),
+        ("messages", Json::U64(outcome.stats.messages_sent)),
+        ("payload_units", Json::U64(outcome.stats.payload_units)),
+    ]);
+    (solved, wall, row)
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    println!(
+        "Delta-gossip discovery scale series (f = {FAULT_THRESHOLD}{})",
+        if full { ", --full" } else { "" }
+    );
+
+    header("Sweep: delivered SETPDS payload, full-S_PD baseline vs delta gossip");
+    let mut sweep_rows = Vec::new();
+    let totals = sweep_section(&mut sweep_rows);
+    let total_ratio = totals.full_payload as f64 / totals.delta_payload.max(1) as f64;
+    println!(
+        "  -- totals: full={} delta={} ({:.1}x overall, worst cell {:.1}x)",
+        totals.full_payload, totals.delta_payload, total_ratio, totals.min_ratio
+    );
+    assert!(
+        total_ratio >= 10.0,
+        "delta gossip must deliver ≥10x fewer SETPDS payload units on the sweep"
+    );
+
+    header("End-to-end consensus at scale (discovery → identification → consensus → learning)");
+    let mut e2e_rows = Vec::new();
+    let mut all_solved = true;
+    let mut e2e_wall_total = 0.0;
+    let mut sizes: Vec<usize> = E2E_SIZES.to_vec();
+    if full {
+        sizes.extend(E2E_FULL_SIZES);
+    }
+    for family in e2e_families() {
+        for &n in &sizes {
+            for kind in [RuntimeKind::Sim, RuntimeKind::Threaded] {
+                // 2000 OS threads is a stress test, not a benchmark cell.
+                if kind == RuntimeKind::Threaded && n > 1_000 {
+                    continue;
+                }
+                // Erdős–Rényi's random periphery edges make every node
+                // learn of (and poll) the whole system, so its per-round
+                // traffic is Θ(n²) — beyond the single router thread of
+                // the threaded substrate above a few hundred nodes; the
+                // scale-free family concentrates the same pressure on its
+                // hub inboxes at n=1000. The simulator carries their
+                // scale series; the threaded cells stay at the sizes the
+                // router can drain (k-diamond and bridged-partition run
+                // the full size axis on both substrates).
+                let threaded_cap = match family {
+                    GraphFamily::ErdosRenyi { .. } => 100,
+                    GraphFamily::ScaleFree { .. } => 500,
+                    _ => usize::MAX,
+                };
+                if kind == RuntimeKind::Threaded && n > threaded_cap {
+                    continue;
+                }
+                let (solved, wall, row) = e2e_cell(&family, n, kind);
+                all_solved &= solved;
+                e2e_wall_total += wall;
+                e2e_rows.push(row);
+            }
+        }
+    }
+    assert!(all_solved, "every end-to-end cell must solve consensus");
+
+    println!();
+    println!("Expected shape: sweep payload drops ≥10x because delta replies carry only");
+    println!("unseen certificates and synced pairs stop polling; end-to-end n=1000 runs in");
+    println!("seconds because identification is dirty-gated per tick and the candidate");
+    println!("search stops at the planted committee before touching giant periphery SCCs.");
+
+    if let Some(path) = json_path_from_args() {
+        let doc = Json::obj([
+            ("fault_threshold", Json::U64(FAULT_THRESHOLD as u64)),
+            ("sweep", Json::Arr(sweep_rows)),
+            ("e2e", Json::Arr(e2e_rows)),
+            (
+                "regression",
+                Json::obj([
+                    ("sweep_full_payload", Json::U64(totals.full_payload)),
+                    ("sweep_delta_payload", Json::U64(totals.delta_payload)),
+                    ("sweep_payload_ratio", Json::F64(total_ratio)),
+                    ("e2e_wall_seconds_total", Json::F64(e2e_wall_total)),
+                ]),
+            ),
+        ]);
+        write_json(&path, &doc);
+    }
+}

@@ -119,6 +119,7 @@ pub fn row_json(row: &Row) -> Json {
         ("validity", Json::Bool(row.check.validity)),
         ("end_time", Json::U64(row.end_time)),
         ("messages", Json::U64(row.messages)),
+        ("payload_units", Json::U64(row.payload_units)),
         ("decided", Json::Arr(decided)),
         ("detections", Json::Arr(detections)),
     ])
@@ -137,6 +138,10 @@ pub fn suite_json(report: &SuiteReport) -> Json {
         ("solved", Json::U64(report.solved_count() as u64)),
         ("cells", Json::U64(report.verdicts.len() as u64)),
         ("total_messages", Json::U64(report.total_messages())),
+        (
+            "total_payload_units",
+            Json::U64(report.total_payload_units()),
+        ),
         ("wall_seconds", Json::F64(report.wall.as_secs_f64())),
         (
             "rows",

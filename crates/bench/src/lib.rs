@@ -13,11 +13,13 @@
 //! | `ablation_auth` | Section III claim — signatures vs. RRB baseline |
 //! | `adversary_grid` | Fault-injection engine sweep: composite strategy specs + tamper |
 //! | `graph_scale` | Graph-family scale series: generation + fast condition checks at 1k–50k vertices, per-family consensus rates |
+//! | `discovery_scale` | Delta-gossip series: full-`S_PD` vs delta `SETPDS` payload on the family sweep, end-to-end consensus at n=100–1000 on both runtimes |
 //!
-//! `table1`, `fig1`, `fig4`, `adversary_grid`, and `graph_scale` accept
-//! `--json <path>` to leave a machine-readable artifact beside the text
-//! tables (see [`json`] and `scripts/bench.sh`, which merges them into
-//! `BENCH_adversary.json` and `BENCH_graph.json`).
+//! `table1`, `fig1`, `fig4`, `adversary_grid`, `graph_scale`, and
+//! `discovery_scale` accept `--json <path>` to leave a machine-readable
+//! artifact beside the text tables (see [`json`] and `scripts/bench.sh`,
+//! which merges them into `BENCH_adversary.json`, `BENCH_graph.json`, and
+//! `BENCH_discovery.json`).
 
 #![forbid(unsafe_code)]
 
@@ -41,6 +43,8 @@ pub struct Row {
     pub end_time: u64,
     /// Total messages.
     pub messages: u64,
+    /// Total payload units (certificates carried by SETPDS traffic).
+    pub payload_units: u64,
     /// Distinct sink/core detections among correct processes.
     pub detections: Vec<ProcessSet>,
 }
@@ -61,6 +65,7 @@ impl Row {
             check,
             end_time: outcome.end_time,
             messages: outcome.stats.messages_sent,
+            payload_units: outcome.stats.payload_units,
             detections: outcome.distinct_detections().into_iter().collect(),
         }
     }

@@ -19,11 +19,13 @@
 //! (delay-release, target-subset, flip-after) compose with every protocol
 //! strategy for free.
 
+use std::sync::Arc;
+
 use cupft_adversary::{DelayRelease, FlipAfter, Mute, Strategy, TargetSubset};
 use cupft_committee::{CommitteeMsg, Value};
 use cupft_crypto::{KeyRegistry, SigningKey};
 use cupft_detector::PdCertificate;
-use cupft_discovery::{DiscoveryMsg, DiscoveryState, DISCOVERY_TICK};
+use cupft_discovery::{DiscoveryMsg, DiscoveryState, SyncState, DISCOVERY_TICK};
 use cupft_graph::{ProcessId, ProcessSet};
 use cupft_net::{Actor, Context};
 
@@ -123,14 +125,23 @@ impl Strategy<NodeMsg> for EquivocatePdStrategy {
     }
 
     fn on_message(&mut self, from: ProcessId, msg: NodeMsg, ctx: &mut Context<NodeMsg>) {
-        if let NodeMsg::Discovery(DiscoveryMsg::GetPds) = msg {
+        if let NodeMsg::Discovery(DiscoveryMsg::GetPds { .. }) = msg {
             let pd = if from.raw().is_multiple_of(2) {
                 &self.even
             } else {
                 &self.odd
             };
             let cert = PdCertificate::sign(&self.key, pd);
-            ctx.send(from, NodeMsg::Discovery(DiscoveryMsg::SetPds(vec![cert])));
+            // A fabricated zero sync state never matches a correct
+            // requester's own state, so requesters keep polling — exactly
+            // the baseline behavior toward a Byzantine peer.
+            ctx.send(
+                from,
+                NodeMsg::Discovery(DiscoveryMsg::SetPds {
+                    certs: vec![Arc::new(cert)],
+                    state: SyncState::default(),
+                }),
+            );
         }
     }
 }
@@ -157,11 +168,17 @@ impl Strategy<NodeMsg> for ForgeUnsignedPdStrategy {
 
     fn on_message(&mut self, from: ProcessId, msg: NodeMsg, ctx: &mut Context<NodeMsg>) {
         if let NodeMsg::Discovery(m) = msg {
-            let requested = matches!(m, DiscoveryMsg::GetPds);
+            let requested = matches!(m, DiscoveryMsg::GetPds { .. });
             self.disc.handle(from, m, ctx);
             if requested {
                 let forged = PdCertificate::forge(self.victim, &self.claimed);
-                ctx.send(from, NodeMsg::Discovery(DiscoveryMsg::SetPds(vec![forged])));
+                ctx.send(
+                    from,
+                    NodeMsg::Discovery(DiscoveryMsg::SetPds {
+                        certs: vec![Arc::new(forged)],
+                        state: SyncState::default(),
+                    }),
+                );
             }
         }
     }
@@ -400,16 +417,20 @@ mod tests {
         (actor, registry)
     }
 
+    /// A minimal incoming request (empty have-set: "send me everything").
+    fn get_pds() -> NodeMsg {
+        NodeMsg::Discovery(DiscoveryMsg::GetPds {
+            have: Arc::new(ProcessSet::new()),
+            state: SyncState::default(),
+        })
+    }
+
     #[test]
     fn silent_never_sends() {
         let (mut actor, _) = make(ByzantineStrategy::Silent);
         let mut ctx = Context::new(0, actor.id());
         actor.on_start(&mut ctx);
-        actor.on_message(
-            ProcessId::new(1),
-            NodeMsg::Discovery(DiscoveryMsg::GetPds),
-            &mut ctx,
-        );
+        actor.on_message(ProcessId::new(1), get_pds(), &mut ctx);
         actor.on_message(ProcessId::new(1), NodeMsg::GetDecidedVal, &mut ctx);
         assert!(ctx.queued_sends().is_empty());
         assert!(ctx.queued_timers().is_empty());
@@ -422,15 +443,11 @@ mod tests {
             claimed: claimed.clone(),
         });
         let mut ctx = Context::new(0, actor.id());
-        actor.on_message(
-            ProcessId::new(1),
-            NodeMsg::Discovery(DiscoveryMsg::GetPds),
-            &mut ctx,
-        );
+        actor.on_message(ProcessId::new(1), get_pds(), &mut ctx);
         let sends = ctx.queued_sends();
         assert_eq!(sends.len(), 1);
         match &sends[0].1 {
-            NodeMsg::Discovery(DiscoveryMsg::SetPds(certs)) => {
+            NodeMsg::Discovery(DiscoveryMsg::SetPds { certs, .. }) => {
                 let own = certs.iter().find(|c| c.author() == actor.id()).unwrap();
                 assert_eq!(own.pd(), claimed);
                 // the lie is self-signed, hence verifiable
@@ -448,13 +465,9 @@ mod tests {
         });
         let pd_served = |actor: &mut ByzantineActor, from: u64| {
             let mut ctx = Context::new(0, actor.id());
-            actor.on_message(
-                ProcessId::new(from),
-                NodeMsg::Discovery(DiscoveryMsg::GetPds),
-                &mut ctx,
-            );
+            actor.on_message(ProcessId::new(from), get_pds(), &mut ctx);
             match &ctx.queued_sends()[0].1 {
-                NodeMsg::Discovery(DiscoveryMsg::SetPds(certs)) => {
+                NodeMsg::Discovery(DiscoveryMsg::SetPds { certs, .. }) => {
                     assert!(certs[0].verify(&registry));
                     certs[0].pd()
                 }
@@ -472,18 +485,15 @@ mod tests {
             claimed: process_set([4]),
         });
         let mut ctx = Context::new(0, actor.id());
-        actor.on_message(
-            ProcessId::new(2),
-            NodeMsg::Discovery(DiscoveryMsg::GetPds),
-            &mut ctx,
-        );
+        actor.on_message(ProcessId::new(2), get_pds(), &mut ctx);
         let forged: Vec<&PdCertificate> = ctx
             .queued_sends()
             .iter()
             .filter_map(|(_, m)| match m {
-                NodeMsg::Discovery(DiscoveryMsg::SetPds(certs)) => {
-                    certs.iter().find(|c| c.author() == ProcessId::new(1))
-                }
+                NodeMsg::Discovery(DiscoveryMsg::SetPds { certs, .. }) => certs
+                    .iter()
+                    .map(|c| c.as_ref())
+                    .find(|c| c.author() == ProcessId::new(1)),
                 _ => None,
             })
             .collect();
@@ -548,18 +558,10 @@ mod tests {
             }),
         });
         let mut ctx = Context::new(0, actor.id());
-        actor.on_message(
-            ProcessId::new(9),
-            NodeMsg::Discovery(DiscoveryMsg::GetPds),
-            &mut ctx,
-        );
+        actor.on_message(ProcessId::new(9), get_pds(), &mut ctx);
         assert!(ctx.queued_sends().is_empty());
         let mut ctx = Context::new(0, actor.id());
-        actor.on_message(
-            ProcessId::new(1),
-            NodeMsg::Discovery(DiscoveryMsg::GetPds),
-            &mut ctx,
-        );
+        actor.on_message(ProcessId::new(1), get_pds(), &mut ctx);
         assert_eq!(ctx.queued_sends().len(), 1);
     }
 

@@ -30,6 +30,13 @@ impl Labeled for NodeMsg {
             NodeMsg::DecidedVal(_) => "DECIDEDVAL",
         }
     }
+
+    fn payload_units(&self) -> u64 {
+        match self {
+            NodeMsg::Discovery(m) => m.payload_units(),
+            _ => 0,
+        }
+    }
 }
 
 impl From<DiscoveryMsg> for NodeMsg {
@@ -50,7 +57,12 @@ mod tests {
 
     #[test]
     fn labels_delegate() {
-        assert_eq!(NodeMsg::from(DiscoveryMsg::GetPds).label(), "GETPDS");
+        let get = DiscoveryMsg::GetPds {
+            have: std::sync::Arc::new(cupft_graph::ProcessSet::new()),
+            state: cupft_discovery::SyncState::default(),
+        };
+        assert_eq!(NodeMsg::from(get.clone()).label(), "GETPDS");
+        assert_eq!(NodeMsg::from(get).payload_units(), 0);
         assert_eq!(NodeMsg::GetDecidedVal.label(), "GETDECIDEDVAL");
         assert_eq!(
             NodeMsg::DecidedVal(Value::from_static(b"v")).label(),

@@ -6,8 +6,8 @@ use std::collections::BTreeMap;
 use cupft_committee::{view_of_timer, Committee, CommitteeMsg, Replica, ReplicaConfig, Value};
 use cupft_crypto::{KeyRegistry, SigningKey};
 use cupft_detector::SystemSetup;
-use cupft_discovery::{DiscoveryState, DISCOVERY_TICK};
-use cupft_graph::{ProcessId, ProcessSet};
+use cupft_discovery::{DiscoveryState, GossipMode, DISCOVERY_TICK};
+use cupft_graph::{CandidateSearch, ProcessId, ProcessSet};
 use cupft_net::threaded::Board;
 use cupft_net::{Actor, Context, Time};
 
@@ -43,6 +43,17 @@ pub struct NodeConfig {
     /// If set, the node crashes (goes permanently silent) at this time —
     /// used for the crash-fault executions of Theorem 7.
     pub crash_at: Option<Time>,
+    /// Run discovery with the literal full-`S_PD` dissemination of
+    /// Algorithm 1 ([`cupft_discovery::GossipMode::Full`]) instead of the
+    /// default delta gossip — the baseline the equivalence sweep and the
+    /// payload benches compare against.
+    pub full_gossip: bool,
+    /// Candidate-search knobs for sink/core identification. The default
+    /// skips min-cut splitting on SCCs above
+    /// [`CandidateSearch::cut_split_cutoff`] (64) — raise it here for
+    /// topologies whose qualified core is embedded in a larger strongly
+    /// connected component.
+    pub search: CandidateSearch,
 }
 
 impl Default for NodeConfig {
@@ -52,6 +63,8 @@ impl Default for NodeConfig {
             discovery_period: 20,
             replica: ReplicaConfig::default(),
             crash_at: None,
+            full_gossip: false,
+            search: CandidateSearch::default(),
         }
     }
 }
@@ -109,6 +122,12 @@ pub struct Node {
     pending_requests: ProcessSet,
     answers: BTreeMap<Vec<u8>, ProcessSet>,
     naive_stable: Option<(Detection, u32)>,
+    /// Whether the view changed since the last identification attempt.
+    /// Sink/Core detection is a pure function of the view, so re-running
+    /// it on an unchanged view is wasted work — and running it on *every*
+    /// view change (instead of once per discovery tick) is what made the
+    /// candidate search the end-to-end bottleneck at n ≥ a few hundred.
+    detect_dirty: bool,
 
     /// Simulated time at which identification succeeded.
     pub detection_time: Option<Time>,
@@ -118,6 +137,14 @@ pub struct Node {
 }
 
 impl Node {
+    fn gossip_of(config: &NodeConfig) -> GossipMode {
+        if config.full_gossip {
+            GossipMode::Full
+        } else {
+            GossipMode::Delta
+        }
+    }
+
     /// Creates a node from its key, the shared registry, its PD, and its
     /// proposal value.
     pub fn new(
@@ -127,10 +154,20 @@ impl Node {
         my_value: Value,
         config: NodeConfig,
     ) -> Self {
-        let id = ProcessId::new(key.id());
-        let discovery = DiscoveryState::new(&key, registry.clone(), pd);
+        let discovery =
+            DiscoveryState::new(&key, registry.clone(), pd).with_gossip(Node::gossip_of(&config));
+        Node::with_discovery(key, registry, my_value, config, discovery)
+    }
+
+    fn with_discovery(
+        key: SigningKey,
+        registry: KeyRegistry,
+        my_value: Value,
+        config: NodeConfig,
+        discovery: DiscoveryState,
+    ) -> Self {
         Node {
-            id,
+            id: ProcessId::new(key.id()),
             key,
             registry,
             config,
@@ -145,13 +182,15 @@ impl Node {
             pending_requests: ProcessSet::new(),
             answers: BTreeMap::new(),
             naive_stable: None,
+            detect_dirty: false,
             detection_time: None,
             decided_time: None,
             board: None,
         }
     }
 
-    /// Convenience constructor from a [`SystemSetup`].
+    /// Convenience constructor from a [`SystemSetup`]; the node's own
+    /// certificate is interned in the setup's shared certificate pool.
     pub fn from_setup(
         setup: &SystemSetup,
         id: ProcessId,
@@ -159,12 +198,14 @@ impl Node {
         config: NodeConfig,
     ) -> Option<Self> {
         let key = setup.key_of(id)?.clone();
-        Some(Node::new(
+        let discovery =
+            DiscoveryState::from_setup(setup, id)?.with_gossip(Node::gossip_of(&config));
+        Some(Node::with_discovery(
             key,
             setup.registry().clone(),
-            setup.oracle().pd_of(id),
             my_value,
             config,
+            discovery,
         ))
     }
 
@@ -215,8 +256,12 @@ impl Node {
         }
         let view = self.discovery.view();
         let found = match self.config.mode {
-            ProtocolMode::KnownThreshold(f) => SinkDetector::new(f).check(view),
-            ProtocolMode::UnknownThreshold => CoreDetector::default().check(view),
+            ProtocolMode::KnownThreshold(f) => {
+                SinkDetector::with_search(f, self.config.search).check(view)
+            }
+            ProtocolMode::UnknownThreshold => {
+                CoreDetector::with_search(self.config.search).check(view)
+            }
             ProtocolMode::NaiveGuess { settle_ticks } => {
                 if !on_tick {
                     return; // stability is counted in discovery rounds
@@ -366,8 +411,14 @@ impl Actor<NodeMsg> for Node {
                 for (to, out) in self.discovery.handle(from, m) {
                     ctx.send(to, NodeMsg::Discovery(out));
                 }
+                // Identification is deferred to the next discovery tick:
+                // at scale the view changes on nearly every delivery, and
+                // the candidate search is far too expensive to re-run per
+                // message. Detection stays a pure function of the view, so
+                // batching attempts per tick changes *when* a node
+                // identifies (by < one period), never *what*.
                 if self.discovery.take_changed() && self.phase == Phase::Discovering {
-                    self.try_detect(ctx, false);
+                    self.detect_dirty = true;
                 }
             }
             NodeMsg::Committee(m) => match &mut self.replica {
@@ -402,7 +453,14 @@ impl Actor<NodeMsg> for Node {
                 match self.phase {
                     Phase::Discovering => {
                         self.send_discovery_round(ctx);
-                        self.try_detect(ctx, true);
+                        // The naive guesser counts candidate stability in
+                        // discovery rounds, so it must evaluate every tick;
+                        // the real detectors are pure in the view and only
+                        // re-run when the view actually changed.
+                        let naive = matches!(self.config.mode, ProtocolMode::NaiveGuess { .. });
+                        if naive || std::mem::take(&mut self.detect_dirty) {
+                            self.try_detect(ctx, true);
+                        }
                     }
                     Phase::Learning => {
                         if self.decided.is_none() {

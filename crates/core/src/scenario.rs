@@ -58,6 +58,15 @@ pub struct Scenario {
     pub discovery_period: u64,
     /// Committee view-timeout base.
     pub view_timeout_base: u64,
+    /// Run correct nodes with the full-`S_PD` baseline dissemination
+    /// instead of delta gossip (see [`NodeConfig::full_gossip`]).
+    pub full_gossip: bool,
+    /// Wall-clock budget when run on the threaded substrate (default
+    /// 60 s). Large-n threaded runs route every message through one
+    /// router thread, so generous budgets are a scale knob, not a
+    /// correctness one — the run still stops the moment every correct
+    /// node has decided.
+    pub threaded_wall_timeout: Option<Duration>,
 }
 
 impl Scenario {
@@ -82,6 +91,8 @@ impl Scenario {
             },
             discovery_period: 20,
             view_timeout_base: 400,
+            full_gossip: false,
+            threaded_wall_timeout: None,
         }
     }
 
@@ -114,6 +125,20 @@ impl Scenario {
     /// within-model discipline).
     pub fn with_tamper(mut self, tamper: TamperSpec) -> Self {
         self.tamper = Some(tamper);
+        self
+    }
+
+    /// Overrides the threaded-substrate wall-clock budget.
+    pub fn with_threaded_wall_timeout(mut self, timeout: Duration) -> Self {
+        self.threaded_wall_timeout = Some(timeout);
+        self
+    }
+
+    /// Selects the full-`S_PD` baseline dissemination for correct nodes
+    /// (delta gossip is the default) — what the equivalence sweep and the
+    /// payload benches compare against.
+    pub fn with_full_gossip(mut self, full: bool) -> Self {
+        self.full_gossip = full;
         self
     }
 
@@ -290,7 +315,9 @@ impl Scenario {
         ThreadedConfig {
             min_delay: Duration::from_millis(1),
             max_delay: Duration::from_millis(self.sim.policy.delta().clamp(1, 20)),
-            wall_timeout: Duration::from_secs(60),
+            wall_timeout: self
+                .threaded_wall_timeout
+                .unwrap_or(Duration::from_secs(60)),
             seed: self.sim.seed,
             stop: None,
         }
@@ -344,6 +371,8 @@ fn populate<R: Runtime<NodeMsg>>(
                     timeout_base: scenario.view_timeout_base,
                 },
                 crash_at: scenario.crashes.get(&v).copied(),
+                full_gossip: scenario.full_gossip,
+                ..NodeConfig::default()
             };
             let mut node = Node::from_setup(setup, v, scenario.value_of(v), config)
                 .expect("vertex registered");

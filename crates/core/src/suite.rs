@@ -231,6 +231,15 @@ impl SuiteReport {
             .sum()
     }
 
+    /// Total payload units (e.g. certificates carried by SETPDS traffic)
+    /// sent across all scenarios.
+    pub fn total_payload_units(&self) -> u64 {
+        self.verdicts
+            .iter()
+            .map(|v| v.outcome.stats.payload_units)
+            .sum()
+    }
+
     /// One-line summary for experiment binaries.
     pub fn summary(&self) -> String {
         format!(

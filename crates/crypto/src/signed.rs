@@ -78,6 +78,12 @@ impl SignedPd {
         &self.pd
     }
 
+    /// The attached signature (valid or forged) — exposed so callers can
+    /// fingerprint the *exact* record, signature bytes included.
+    pub fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
     /// Verifies the record against the registry.
     pub fn verify(&self, registry: &KeyRegistry) -> bool {
         registry.verify(

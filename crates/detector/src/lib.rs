@@ -11,7 +11,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
 
 use cupft_crypto::{KeyRegistry, SignedPd, SigningKey};
 use cupft_graph::{DiGraph, ProcessId, ProcessSet};
@@ -68,27 +70,61 @@ impl PdOracle {
 /// signs `⟨i, PDᵢ⟩ᵢ`); Byzantine processes may fabricate records for
 /// *their own* ID with arbitrary contents, but records fabricated for
 /// other IDs fail verification.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+///
+/// Every certificate carries a precomputed 128-bit [fingerprint] of its
+/// exact contents (author, PD, signature bytes), so equality has a
+/// constant-time fast path, `Hash` is O(1), and the discovery layer can
+/// dedup/memoize by fingerprint instead of re-hashing or re-verifying
+/// whole records.
+///
+/// [fingerprint]: Self::fingerprint
+#[derive(Debug, Clone)]
 pub struct PdCertificate {
     inner: SignedPd,
+    fp: u128,
+}
+
+/// SHA-256 over the canonical record bytes, truncated to 128 bits.
+///
+/// The fingerprint must be *collision-resistant against adversarial
+/// inputs*, not merely well-mixed: the discovery layer memoizes signature
+/// verification by fingerprint, so a Byzantine process able to craft a
+/// forged record colliding with an already-verified one would smuggle an
+/// unverified certificate past the HMAC check (and a collision with a
+/// rejected one would censor a valid record). A domain-separated SHA-256
+/// closes that door; the cost is paid once per certificate construction,
+/// never on the absorb hot path.
+fn cert_fingerprint(inner: &SignedPd) -> u128 {
+    let mut bytes = Vec::with_capacity(44 + inner.pd().len() * 8);
+    bytes.extend_from_slice(b"cupft-cert-fp-v1");
+    bytes.extend_from_slice(&inner.author().to_be_bytes());
+    bytes.extend_from_slice(&(inner.pd().len() as u64).to_be_bytes());
+    for p in inner.pd() {
+        bytes.extend_from_slice(&p.to_be_bytes());
+    }
+    bytes.extend_from_slice(&inner.signature().signer().to_be_bytes());
+    bytes.extend_from_slice(inner.signature().tag());
+    let digest = cupft_crypto::sha256::digest(&bytes);
+    u128::from_be_bytes(digest[..16].try_into().expect("digest is 32 bytes"))
 }
 
 impl PdCertificate {
+    fn from_inner(inner: SignedPd) -> Self {
+        let fp = cert_fingerprint(&inner);
+        PdCertificate { inner, fp }
+    }
+
     /// Signs `pd` as `key`'s participant detector output.
     pub fn sign(key: &SigningKey, pd: &ProcessSet) -> Self {
         let raw: Vec<u64> = pd.iter().map(|p| p.raw()).collect();
-        PdCertificate {
-            inner: SignedPd::sign(key, raw),
-        }
+        PdCertificate::from_inner(SignedPd::sign(key, raw))
     }
 
     /// Fabricates an unverifiable record claiming to be `author`'s PD —
     /// the attack Algorithm 1's signatures exist to prevent.
     pub fn forge(author: ProcessId, pd: &ProcessSet) -> Self {
         let raw: Vec<u64> = pd.iter().map(|p| p.raw()).collect();
-        PdCertificate {
-            inner: SignedPd::forge(author.raw(), raw),
-        }
+        PdCertificate::from_inner(SignedPd::forge(author.raw(), raw))
     }
 
     /// The claimed author.
@@ -101,9 +137,106 @@ impl PdCertificate {
         self.inner.pd().iter().map(|&r| ProcessId::new(r)).collect()
     }
 
+    /// The precomputed content fingerprint: a pure function of author, PD,
+    /// and signature bytes (truncated domain-separated SHA-256, so
+    /// collisions are infeasible even for adversarially crafted records —
+    /// the property the discovery layer's verification memoization relies
+    /// on). Equality remains exact — the fingerprint only *fast-rejects*.
+    pub fn fingerprint(&self) -> u128 {
+        self.fp
+    }
+
     /// Verifies the signature against the registry.
     pub fn verify(&self, registry: &KeyRegistry) -> bool {
         self.inner.verify(registry)
+    }
+}
+
+impl PartialEq for PdCertificate {
+    fn eq(&self, other: &Self) -> bool {
+        // fp is a pure function of inner: unequal fps ⇒ unequal records.
+        self.fp == other.fp && self.inner == other.inner
+    }
+}
+impl Eq for PdCertificate {}
+
+impl PartialOrd for PdCertificate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PdCertificate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.inner.cmp(&other.inner)
+    }
+}
+
+/// O(1): hashes the cached fingerprint only.
+impl Hash for PdCertificate {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u128(self.fp);
+    }
+}
+
+/// A shared, thread-safe interning pool of [`PdCertificate`]s keyed by
+/// fingerprint.
+///
+/// The delta-gossip discovery path passes certificates around as
+/// `Arc<PdCertificate>` so that cloning a `SETPDS` message is
+/// pointer-bumping; the pool is where those `Arc`s are born. Interning the
+/// same record twice returns the *same* allocation, so a simulation with
+/// `n` processes holds each certificate once, not `O(n)` times.
+///
+/// # Example
+///
+/// ```
+/// use cupft_detector::{CertPool, PdCertificate, SystemSetup};
+/// use cupft_graph::{DiGraph, ProcessId};
+/// use std::sync::Arc;
+///
+/// let setup = SystemSetup::new(&DiGraph::from_edges([(1, 2), (2, 1)]));
+/// let pool = CertPool::new();
+/// let a = pool.intern(setup.certificate_for(ProcessId::new(1)).unwrap());
+/// let b = pool.intern(setup.certificate_for(ProcessId::new(1)).unwrap());
+/// assert!(Arc::ptr_eq(&a, &b));
+/// assert_eq!(pool.len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct CertPool {
+    by_fp: Mutex<HashMap<u128, Arc<PdCertificate>>>,
+}
+
+impl CertPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        CertPool::default()
+    }
+
+    /// Returns the pooled `Arc` for `cert`, inserting it on first sight.
+    pub fn intern(&self, cert: PdCertificate) -> Arc<PdCertificate> {
+        let mut pool = self.by_fp.lock().expect("cert pool poisoned");
+        pool.entry(cert.fingerprint())
+            .or_insert_with(|| Arc::new(cert))
+            .clone()
+    }
+
+    /// Looks up a pooled certificate by fingerprint.
+    pub fn get(&self, fingerprint: u128) -> Option<Arc<PdCertificate>> {
+        self.by_fp
+            .lock()
+            .expect("cert pool poisoned")
+            .get(&fingerprint)
+            .cloned()
+    }
+
+    /// Number of distinct certificates interned.
+    pub fn len(&self) -> usize {
+        self.by_fp.lock().expect("cert pool poisoned").len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -128,6 +261,7 @@ pub struct SystemSetup {
     registry: KeyRegistry,
     keys: BTreeMap<ProcessId, SigningKey>,
     oracle: PdOracle,
+    pool: Arc<CertPool>,
 }
 
 impl SystemSetup {
@@ -142,7 +276,13 @@ impl SystemSetup {
             registry,
             keys,
             oracle: PdOracle::from_graph(graph),
+            pool: Arc::new(CertPool::new()),
         }
+    }
+
+    /// The setup's shared certificate pool (clones share it).
+    pub fn pool(&self) -> &Arc<CertPool> {
+        &self.pool
     }
 
     /// The shared key registry (simulated PKI).
@@ -164,6 +304,12 @@ impl SystemSetup {
     pub fn certificate_for(&self, id: ProcessId) -> Option<PdCertificate> {
         let key = self.keys.get(&id)?;
         Some(PdCertificate::sign(key, &self.oracle.pd_of(id)))
+    }
+
+    /// Like [`Self::certificate_for`], but interned in the setup's shared
+    /// [`CertPool`] — repeated calls return the same allocation.
+    pub fn shared_certificate_for(&self, id: ProcessId) -> Option<Arc<PdCertificate>> {
+        Some(self.pool.intern(self.certificate_for(id)?))
     }
 
     /// All process IDs in the system.
@@ -238,5 +384,46 @@ mod tests {
         let setup = SystemSetup::new(&g);
         assert!(setup.key_of(p(9)).is_none());
         assert!(setup.certificate_for(p(9)).is_none());
+        assert!(setup.shared_certificate_for(p(9)).is_none());
+    }
+
+    #[test]
+    fn fingerprint_tracks_exact_contents() {
+        let g = DiGraph::from_edges([(1, 2), (2, 1)]);
+        let setup = SystemSetup::new(&g);
+        let a = setup.certificate_for(p(1)).unwrap();
+        let b = setup.certificate_for(p(1)).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a, b);
+        // Different author ⇒ different fingerprint.
+        let c = setup.certificate_for(p(2)).unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // Same author + PD but forged signature ⇒ different fingerprint
+        // (the signature bytes are part of the record's identity).
+        let forged = PdCertificate::forge(p(1), &a.pd());
+        assert_ne!(a.fingerprint(), forged.fingerprint());
+        assert_ne!(a, forged);
+    }
+
+    #[test]
+    fn pool_interns_by_fingerprint() {
+        let g = DiGraph::from_edges([(1, 2), (2, 1)]);
+        let setup = SystemSetup::new(&g);
+        let shared1 = setup.shared_certificate_for(p(1)).unwrap();
+        let shared2 = setup.shared_certificate_for(p(1)).unwrap();
+        assert!(Arc::ptr_eq(&shared1, &shared2));
+        assert_eq!(setup.pool().len(), 1);
+        assert_eq!(
+            setup.pool().get(shared1.fingerprint()).as_deref(),
+            Some(shared1.as_ref())
+        );
+        assert!(setup.pool().get(0).is_none());
+        // Clones of the setup share the pool.
+        let clone = setup.clone();
+        let shared3 = clone.shared_certificate_for(p(1)).unwrap();
+        assert!(Arc::ptr_eq(&shared1, &shared3));
+        let _ = clone.shared_certificate_for(p(2)).unwrap();
+        assert_eq!(setup.pool().len(), 2);
+        assert!(!setup.pool().is_empty());
     }
 }

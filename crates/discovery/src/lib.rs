@@ -1,4 +1,5 @@
-//! The Discovery algorithm (Algorithm 1 of the paper).
+//! The Discovery algorithm (Algorithm 1 of the paper), with a
+//! delta-gossip fast path.
 //!
 //! Every correct process periodically asks the processes it knows for the
 //! PDs they have collected (`GETPDS`), answers such requests with its own
@@ -6,6 +7,59 @@
 //! [`cupft_graph::KnowledgeView`]. Theorem 2 guarantees that in a graph
 //! from `G_di` every correct process eventually knows all correct sink
 //! members and holds their PDs; the tests reproduce that convergence.
+//!
+//! # Delta gossip
+//!
+//! The literal Algorithm 1 ships the **whole** `S_PD` in every `SETPDS`,
+//! which makes the protocol's payload complexity `O(rounds · n³)` records
+//! system-wide — the wall every end-to-end experiment beyond a few dozen
+//! processes used to hit. [`GossipMode::Delta`] (the default) changes
+//! *how much* is shipped, never *what is eventually known*:
+//!
+//! 1. **Requester-described deltas.** A `GETPDS` carries the authors the
+//!    requester already holds certificates for ([`DiscoveryMsg::GetPds`]'s
+//!    `have` set) and the responder replies with only the missing
+//!    records. The delta is recomputed *statelessly* from each request:
+//!    the responder never marks anything "already sent" on its own, so a
+//!    dropped or reordered reply costs one round, never a certificate.
+//! 2. **Sync-state suppression.** Every message carries a [`SyncState`] —
+//!    count plus commutative fingerprint of the sender's certificate set.
+//!    A process skips its `GETPDS` toward a peer exactly while the peer's
+//!    last reported state equals its own current state (identical sets,
+//!    up to a ~2⁻¹²⁸ fingerprint collision). The moment either side
+//!    learns anything, its state changes, the equality breaks on the next
+//!    exchanged message, and polling resumes.
+//! 3. **Memoized verification.** [`DiscoveryState::absorb`] discards exact
+//!    duplicates *before* signature verification and caches the
+//!    fingerprints of both verified and rejected records, so each
+//!    distinct certificate pays for at most one HMAC check per process
+//!    and replayed forgeries are counted once.
+//!
+//! ## Why Algorithm 1's invariants survive
+//!
+//! The paper's termination lemma for Algorithm 1 (and everything built on
+//! it: Theorem 2's "S_PD eventually common" across correct sink members)
+//! needs exactly one dissemination property:
+//!
+//! > **(P)** If correct `j` holds certificate `c` and correct `i` reaches
+//! > `j` along correct processes, then `i` eventually holds a certificate
+//! > from `c`'s author.
+//!
+//! Delta mode preserves (P) hop by hop: while `i` lacks `c`'s author,
+//! `i`'s `have` set omits it, so **every** reply `j` computes for `i`
+//! includes `c` — rule 1 cannot suppress an unreceived author, and rule 2
+//! cannot silence the pair, because `j`'s state (which counts `c`) cannot
+//! equal `i`'s state (which does not — the per-element fingerprints sum
+//! over *distinct* records). Dropped messages only delay the next
+//! request/reply pair, exactly as in the baseline. The single semantic
+//! difference is benign: a second, *conflicting* certificate from an
+//! equivocating (hence Byzantine) author may not be re-shipped to a
+//! process that already holds one from that author — and Algorithm 1
+//! discards such conflicts anyway ("first record wins"), so every
+//! reachable `KnowledgeView` is byte-identical to the baseline's
+//! fixpoint. `tests/discovery_equivalence.rs` and
+//! `tests/proptest_discovery.rs` hold both modes to that claim, including
+//! under message-reordering and dropping adversaries.
 //!
 //! The module exposes the protocol twice:
 //!
@@ -21,10 +75,11 @@
 mod msgs;
 mod state;
 
-pub use msgs::DiscoveryMsg;
-pub use state::{DiscoveryState, DISCOVERY_TICK};
+pub use msgs::{DiscoveryMsg, SyncState};
+pub use state::{DiscoveryState, GossipMode, DISCOVERY_TICK};
 
 use cupft_graph::ProcessId;
+use cupft_net::threaded::Board;
 use cupft_net::{Actor, Context};
 
 /// A standalone discovery participant: runs Algorithm 1 forever (the
@@ -34,18 +89,39 @@ use cupft_net::{Actor, Context};
 pub struct DiscoveryActor {
     state: DiscoveryState,
     period: u64,
+    board: Option<Board<usize>>,
 }
 
 impl DiscoveryActor {
     /// Creates an actor around an initialized state with the given tick
     /// period.
     pub fn new(state: DiscoveryState, period: u64) -> Self {
-        DiscoveryActor { state, period }
+        DiscoveryActor {
+            state,
+            period,
+            board: None,
+        }
+    }
+
+    /// Attaches a progress board: the actor publishes its
+    /// `S_received` count whenever it grows, so a driver can stop a run
+    /// once every actor reports the expected count (the only portable way
+    /// to observe convergence on the threaded runtime, whose actors are
+    /// unreachable mid-run).
+    pub fn with_board(mut self, board: Board<usize>) -> Self {
+        self.board = Some(board);
+        self
     }
 
     /// Read access to the protocol state.
     pub fn state(&self) -> &DiscoveryState {
         &self.state
+    }
+
+    fn publish_progress(&self) {
+        if let Some(board) = &self.board {
+            board.publish(self.state.id(), self.state.view().received_count());
+        }
     }
 }
 
@@ -61,12 +137,16 @@ impl Actor<DiscoveryMsg> for DiscoveryActor {
         for (to, msg) in self.state.tick() {
             ctx.send(to, msg);
         }
+        self.publish_progress();
         ctx.set_timer(DISCOVERY_TICK, self.period);
     }
 
     fn on_message(&mut self, from: ProcessId, msg: DiscoveryMsg, ctx: &mut Context<DiscoveryMsg>) {
         for (to, out) in self.state.handle(from, msg) {
             ctx.send(to, out);
+        }
+        if self.state.take_changed() {
+            self.publish_progress();
         }
     }
 
@@ -98,6 +178,15 @@ mod tests {
         silent: &ProcessSet,
         seed: u64,
     ) -> (Simulation<DiscoveryMsg>, SystemSetup) {
+        discovery_sim_with(graph, silent, seed, GossipMode::Delta)
+    }
+
+    fn discovery_sim_with(
+        graph: &DiGraph,
+        silent: &ProcessSet,
+        seed: u64,
+        mode: GossipMode,
+    ) -> (Simulation<DiscoveryMsg>, SystemSetup) {
         let setup = SystemSetup::new(graph);
         let mut sim = Simulation::new(SimConfig {
             seed,
@@ -112,7 +201,9 @@ mod tests {
             if silent.contains(&v) {
                 continue;
             }
-            let state = DiscoveryState::from_setup(&setup, v).unwrap();
+            let state = DiscoveryState::from_setup(&setup, v)
+                .unwrap()
+                .with_gossip(mode);
             sim.add_actor(Box::new(DiscoveryActor::new(state, 20)));
         }
         (sim, setup)
@@ -202,5 +293,32 @@ mod tests {
             let discovery = as_discovery(actor.as_ref());
             assert_eq!(discovery.state().view().received_count(), 6);
         }
+    }
+
+    /// Delta mode converges to byte-identical views at a fraction of the
+    /// delivered SETPDS payload, and its traffic dries up after the
+    /// fixpoint while the baseline keeps re-shipping whole S_PDs forever.
+    #[test]
+    fn delta_matches_full_views_with_less_payload() {
+        let graph = fig1b().graph().clone();
+        let horizon = 5_000;
+        let run = |mode: GossipMode| {
+            let (mut sim, _setup) = discovery_sim_with(&graph, &ProcessSet::new(), 9, mode);
+            sim.run_until(|s| s.now() > horizon);
+            let payload = sim.stats().label_payload("SETPDS");
+            let views: Vec<_> = sim
+                .into_actors()
+                .into_iter()
+                .map(|(id, a)| (id, as_discovery(a.as_ref()).state().view().clone()))
+                .collect();
+            (views, payload)
+        };
+        let (full_views, full_payload) = run(GossipMode::Full);
+        let (delta_views, delta_payload) = run(GossipMode::Delta);
+        assert_eq!(full_views, delta_views, "views must be byte-identical");
+        assert!(
+            delta_payload * 10 <= full_payload,
+            "expected ≥10x payload reduction, got {full_payload} vs {delta_payload}"
+        );
     }
 }

@@ -1,22 +1,82 @@
 //! Discovery protocol messages.
 
+use std::sync::Arc;
+
 use cupft_detector::PdCertificate;
+use cupft_graph::ProcessSet;
 use cupft_net::Labeled;
 
-/// The two messages of Algorithm 1.
+/// A compact summary of one process's certificate set (`S_PD`): the member
+/// count plus the commutative 128-bit sum of the certificates'
+/// [fingerprints](PdCertificate::fingerprint).
+///
+/// Equal sync states mean identical certificate sets (up to a ~2⁻¹²⁸
+/// collision), which is how the delta-gossip layer decides a peer has
+/// nothing new without shipping the set itself. A default (`count == 0`)
+/// state can never equal a live process's state — every process holds at
+/// least its own certificate — so fabricated zero states merely disable
+/// suppression toward their sender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct SyncState {
+    /// Number of certificates held.
+    pub count: u32,
+    /// Wrapping sum of the held certificates' fingerprints.
+    pub fp: u128,
+}
+
+impl SyncState {
+    /// Folds one more certificate fingerprint into the state.
+    pub fn add(&mut self, cert_fp: u128) {
+        self.count += 1;
+        self.fp = self.fp.wrapping_add(cert_fp);
+    }
+}
+
+/// The two messages of Algorithm 1, carrying the delta-gossip metadata.
+///
+/// Certificates travel as `Arc<PdCertificate>` and the `GETPDS` have-set
+/// as `Arc<ProcessSet>`, so cloning a message for fan-out (or for the
+/// simulator's per-recipient copies) bumps reference counts instead of
+/// deep-copying signed records.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DiscoveryMsg {
-    /// "Send me the PDs you have received" (line 2).
-    GetPds,
-    /// The responder's `S_PD` (line 3): signed PD records.
-    SetPds(Vec<PdCertificate>),
+    /// "Send me the PDs you have received" (line 2), annotated with what
+    /// the requester already holds: `have` lists the authors of its
+    /// verified certificates, `state` summarizes the exact set. A
+    /// delta-gossip responder answers with only the certificates whose
+    /// authors are missing from `have` — on first contact `have` is just
+    /// the requester itself, so the reply degenerates to the full `S_PD`
+    /// of the baseline protocol.
+    GetPds {
+        /// Authors of the certificates the requester already holds.
+        have: Arc<ProcessSet>,
+        /// The requester's certificate-set summary.
+        state: SyncState,
+    },
+    /// The responder's `S_PD` (line 3): signed PD records (all of them, or
+    /// the requester's delta), plus the responder's own set summary so the
+    /// requester can stop polling once the two sets agree.
+    SetPds {
+        /// The shipped certificates.
+        certs: Vec<Arc<PdCertificate>>,
+        /// The responder's certificate-set summary.
+        state: SyncState,
+    },
 }
 
 impl Labeled for DiscoveryMsg {
     fn label(&self) -> &'static str {
         match self {
-            DiscoveryMsg::GetPds => "GETPDS",
-            DiscoveryMsg::SetPds(_) => "SETPDS",
+            DiscoveryMsg::GetPds { .. } => "GETPDS",
+            DiscoveryMsg::SetPds { .. } => "SETPDS",
+        }
+    }
+
+    /// `SETPDS` weighs its certificate count; `GETPDS` is control traffic.
+    fn payload_units(&self) -> u64 {
+        match self {
+            DiscoveryMsg::GetPds { .. } => 0,
+            DiscoveryMsg::SetPds { certs, .. } => certs.len() as u64,
         }
     }
 }
@@ -26,8 +86,31 @@ mod tests {
     use super::*;
 
     #[test]
-    fn labels() {
-        assert_eq!(DiscoveryMsg::GetPds.label(), "GETPDS");
-        assert_eq!(DiscoveryMsg::SetPds(vec![]).label(), "SETPDS");
+    fn labels_and_payload() {
+        let get = DiscoveryMsg::GetPds {
+            have: Arc::new(ProcessSet::new()),
+            state: SyncState::default(),
+        };
+        assert_eq!(get.label(), "GETPDS");
+        assert_eq!(get.payload_units(), 0);
+        let set = DiscoveryMsg::SetPds {
+            certs: vec![],
+            state: SyncState::default(),
+        };
+        assert_eq!(set.label(), "SETPDS");
+        assert_eq!(set.payload_units(), 0);
+    }
+
+    #[test]
+    fn sync_state_is_order_independent() {
+        let mut a = SyncState::default();
+        a.add(10);
+        a.add(7);
+        let mut b = SyncState::default();
+        b.add(7);
+        b.add(10);
+        assert_eq!(a, b);
+        assert_eq!(a.count, 2);
+        assert_ne!(a, SyncState::default());
     }
 }

@@ -1,15 +1,33 @@
 //! Runtime-agnostic Discovery state machine.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
 
 use cupft_crypto::{KeyRegistry, SigningKey};
 use cupft_detector::PdCertificate;
 use cupft_graph::{KnowledgeView, ProcessId, ProcessSet};
 
-use crate::msgs::DiscoveryMsg;
+use crate::msgs::{DiscoveryMsg, SyncState};
 
 /// Timer kind used by discovery actors for the periodic round.
 pub const DISCOVERY_TICK: u64 = 0xD15C;
+
+/// How a [`DiscoveryState`] disseminates its certificate set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GossipMode {
+    /// Answer `GETPDS` with only the certificates the requester's have-set
+    /// is missing, and skip `GETPDS` rounds toward peers whose last
+    /// reported [`SyncState`] matches ours. Observationally equivalent to
+    /// [`GossipMode::Full`] (see the [crate docs](crate) for the
+    /// invariant argument) at a fraction of the delivered payload.
+    #[default]
+    Delta,
+    /// The literal Algorithm 1: every `GETPDS` is answered with the whole
+    /// `S_PD` and every round polls every known peer. Kept as the
+    /// baseline the equivalence sweep and the payload benches compare
+    /// against.
+    Full,
+}
 
 /// The per-process state of Algorithm 1.
 ///
@@ -18,6 +36,11 @@ pub const DISCOVERY_TICK: u64 = 0xD15C;
 /// produces outgoing messages as plain values, so the same state machine
 /// runs inside the simulator, the threaded runtime, and the full protocol
 /// nodes.
+///
+/// Certificates are held as `Arc<PdCertificate>` and re-shipped by
+/// reference; signature verification is memoized by certificate
+/// fingerprint, so each distinct record pays for at most one HMAC check
+/// per process no matter how often the network re-delivers it.
 ///
 /// # Example
 ///
@@ -37,9 +60,26 @@ pub struct DiscoveryState {
     id: ProcessId,
     registry: KeyRegistry,
     view: KnowledgeView,
-    certs: BTreeMap<ProcessId, PdCertificate>,
+    certs: BTreeMap<ProcessId, Arc<PdCertificate>>,
+    /// Cached snapshot of the held certificate authors (== `S_received`),
+    /// shipped inside `GETPDS` as a shared `Arc`.
+    have: Arc<ProcessSet>,
+    /// Summary of the held certificate set.
+    sync: SyncState,
+    /// Fingerprints that passed signature verification (memoization).
+    verified: HashSet<u128>,
+    /// Fingerprints that failed signature verification — replays of a
+    /// known-bad record are discarded without another HMAC check and
+    /// without re-counting the forgery.
+    rejected: HashSet<u128>,
+    /// The last [`SyncState`] each peer reported (via either message
+    /// kind). Delta mode skips `GETPDS` toward peers whose report matches
+    /// our own state.
+    peer_state: BTreeMap<ProcessId, SyncState>,
+    mode: GossipMode,
     changed: bool,
-    /// Certificates that failed signature verification (forgery attempts).
+    /// Certificates that failed signature verification (forgery attempts),
+    /// counted once per distinct record.
     pub rejected_forgeries: u64,
     /// Verified certificates conflicting with an earlier one from the same
     /// author (only a Byzantine author can produce these; first record
@@ -49,10 +89,24 @@ pub struct DiscoveryState {
 
 impl DiscoveryState {
     /// Initializes the state per Algorithm 1 line 1: the view starts from
-    /// the process's own PD and `S_PD = {⟨i, PDᵢ⟩ᵢ}`.
+    /// the process's own PD and `S_PD = {⟨i, PDᵢ⟩ᵢ}`. Dissemination
+    /// defaults to [`GossipMode::Delta`].
     pub fn new(key: &SigningKey, registry: KeyRegistry, pd: ProcessSet) -> Self {
+        let own_cert = Arc::new(PdCertificate::sign(key, &pd));
+        DiscoveryState::with_own_cert(key, registry, pd, own_cert)
+    }
+
+    fn with_own_cert(
+        key: &SigningKey,
+        registry: KeyRegistry,
+        pd: ProcessSet,
+        own_cert: Arc<PdCertificate>,
+    ) -> Self {
         let id = ProcessId::new(key.id());
-        let own_cert = PdCertificate::sign(key, &pd);
+        let mut sync = SyncState::default();
+        sync.add(own_cert.fingerprint());
+        let mut verified = HashSet::new();
+        verified.insert(own_cert.fingerprint());
         let mut certs = BTreeMap::new();
         certs.insert(id, own_cert);
         DiscoveryState {
@@ -60,22 +114,45 @@ impl DiscoveryState {
             registry,
             view: KnowledgeView::new(id, pd),
             certs,
+            have: Arc::new([id].into_iter().collect()),
+            sync,
+            verified,
+            rejected: HashSet::new(),
+            peer_state: BTreeMap::new(),
+            mode: GossipMode::default(),
             changed: true,
             rejected_forgeries: 0,
             conflicting_records: 0,
         }
     }
 
-    /// Convenience constructor from a [`cupft_detector::SystemSetup`].
+    /// Convenience constructor from a [`cupft_detector::SystemSetup`]; the
+    /// process's own certificate is interned in the setup's shared
+    /// [`cupft_detector::CertPool`], so every actor of a simulation holds
+    /// the same allocation.
     ///
     /// Returns `None` if `id` is not part of the setup.
     pub fn from_setup(setup: &cupft_detector::SystemSetup, id: ProcessId) -> Option<Self> {
         let key = setup.key_of(id)?;
-        Some(DiscoveryState::new(
+        let own_cert = setup.shared_certificate_for(id)?;
+        Some(DiscoveryState::with_own_cert(
             key,
             setup.registry().clone(),
             setup.oracle().pd_of(id),
+            own_cert,
         ))
+    }
+
+    /// Switches the dissemination mode (builder style; use before the
+    /// first round).
+    pub fn with_gossip(mut self, mode: GossipMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The dissemination mode in effect.
+    pub fn gossip_mode(&self) -> GossipMode {
+        self.mode
     }
 
     /// This process's ID.
@@ -90,7 +167,18 @@ impl DiscoveryState {
 
     /// The verified certificates held (`S_PD`).
     pub fn certificates(&self) -> impl Iterator<Item = &PdCertificate> + '_ {
+        self.certs.values().map(|c| c.as_ref())
+    }
+
+    /// The held certificates as shared handles.
+    pub fn shared_certificates(&self) -> impl Iterator<Item = &Arc<PdCertificate>> + '_ {
         self.certs.values()
+    }
+
+    /// The summary of the held certificate set (what peers receive in
+    /// every message).
+    pub fn sync_state(&self) -> SyncState {
+        self.sync
     }
 
     /// Whether the view changed since the last [`Self::take_changed`].
@@ -98,30 +186,66 @@ impl DiscoveryState {
         std::mem::take(&mut self.changed)
     }
 
+    /// Whether a round would currently skip `GETPDS` toward `peer`
+    /// (delta mode only: the peer's last reported state matches ours).
+    pub fn peer_in_sync(&self, peer: ProcessId) -> bool {
+        self.mode == GossipMode::Delta && self.peer_state.get(&peer) == Some(&self.sync)
+    }
+
     /// One periodic round (Algorithm 1 line 2): `GETPDS` to every known
-    /// process except ourselves.
+    /// process except ourselves — minus, in delta mode, the peers whose
+    /// certificate set provably matches ours already (they have nothing we
+    /// lack, and the moment either side changes the states stop matching
+    /// and polling resumes).
     pub fn tick(&self) -> Vec<(ProcessId, DiscoveryMsg)> {
         self.view
             .known()
             .iter()
             .copied()
-            .filter(|&p| p != self.id)
-            .map(|p| (p, DiscoveryMsg::GetPds))
+            .filter(|&p| p != self.id && !self.peer_in_sync(p))
+            .map(|p| {
+                (
+                    p,
+                    DiscoveryMsg::GetPds {
+                        have: self.have.clone(),
+                        state: self.sync,
+                    },
+                )
+            })
             .collect()
     }
 
     /// Handles an incoming message, returning the responses to send.
     pub fn handle(&mut self, from: ProcessId, msg: DiscoveryMsg) -> Vec<(ProcessId, DiscoveryMsg)> {
         match msg {
-            DiscoveryMsg::GetPds => {
-                // line 3: send S_PD to the requester
+            DiscoveryMsg::GetPds { have, state } => {
+                self.peer_state.insert(from, state);
+                // Line 3: send S_PD to the requester — all of it, or (delta
+                // mode) only the certificates the requester's have-set is
+                // missing. The delta is computed statelessly from the
+                // request itself, so a lost reply is simply recomputed on
+                // the requester's next round: nothing is ever marked
+                // "already sent" without the requester proving it.
+                let certs: Vec<Arc<PdCertificate>> = match self.mode {
+                    GossipMode::Full => self.certs.values().cloned().collect(),
+                    GossipMode::Delta => self
+                        .certs
+                        .iter()
+                        .filter(|(author, _)| !have.contains(author))
+                        .map(|(_, c)| c.clone())
+                        .collect(),
+                };
                 vec![(
                     from,
-                    DiscoveryMsg::SetPds(self.certs.values().cloned().collect()),
+                    DiscoveryMsg::SetPds {
+                        certs,
+                        state: self.sync,
+                    },
                 )]
             }
-            DiscoveryMsg::SetPds(records) => {
-                for record in records {
+            DiscoveryMsg::SetPds { certs, state } => {
+                self.peer_state.insert(from, state);
+                for record in certs {
                     self.absorb(record);
                 }
                 Vec::new()
@@ -129,22 +253,38 @@ impl DiscoveryState {
         }
     }
 
-    /// Absorbs one signed PD record (Algorithm 1 lines 4–6): verify the
-    /// signature, reject conflicts, update the view.
-    pub fn absorb(&mut self, record: PdCertificate) {
-        if !record.verify(&self.registry) {
-            self.rejected_forgeries += 1;
-            return;
-        }
+    /// Absorbs one signed PD record (Algorithm 1 lines 4–6): discard
+    /// duplicates by equality (fingerprint fast path) **before** paying
+    /// for signature verification, verify at most once per distinct
+    /// record, reject conflicts, update the view.
+    pub fn absorb(&mut self, record: Arc<PdCertificate>) {
+        let fp = record.fingerprint();
         let author = record.author();
+        if let Some(existing) = self.certs.get(&author) {
+            if **existing == *record {
+                return; // exact duplicate: no verification, no counters
+            }
+        }
+        if self.rejected.contains(&fp) {
+            return; // replayed known forgery: already counted once
+        }
+        if !self.verified.contains(&fp) {
+            if !record.verify(&self.registry) {
+                self.rejected.insert(fp);
+                self.rejected_forgeries += 1;
+                return;
+            }
+            self.verified.insert(fp);
+        }
         match self.certs.get(&author) {
-            Some(existing) if *existing == record => {}
             Some(_) => {
                 // Equivocating author (necessarily Byzantine): first wins.
                 self.conflicting_records += 1;
             }
             None => {
                 let pd = record.pd();
+                self.sync.add(fp);
+                Arc::make_mut(&mut self.have).insert(author);
                 self.certs.insert(author, record);
                 if self.view.record_pd(author, pd) {
                     self.changed = true;
@@ -169,6 +309,20 @@ mod tests {
         SystemSetup::new(&DiGraph::from_edges([(1, 2), (2, 1), (2, 3), (3, 2)]))
     }
 
+    fn set_pds(certs: Vec<PdCertificate>) -> DiscoveryMsg {
+        DiscoveryMsg::SetPds {
+            certs: certs.into_iter().map(Arc::new).collect(),
+            state: SyncState::default(),
+        }
+    }
+
+    fn get_pds_from(state: &DiscoveryState) -> DiscoveryMsg {
+        DiscoveryMsg::GetPds {
+            have: Arc::new(state.view().received()),
+            state: state.sync_state(),
+        }
+    }
+
     #[test]
     fn initial_state_matches_line_1() {
         let setup = line_setup();
@@ -176,6 +330,8 @@ mod tests {
         assert_eq!(*s.view().known(), process_set([1, 2]));
         assert_eq!(s.view().received(), process_set([1]));
         assert_eq!(s.certificates().count(), 1);
+        assert_eq!(s.sync_state().count, 1);
+        assert_eq!(s.gossip_mode(), GossipMode::Delta);
     }
 
     #[test]
@@ -185,21 +341,95 @@ mod tests {
         let out = s.tick();
         let targets: ProcessSet = out.iter().map(|(t, _)| *t).collect();
         assert_eq!(targets, process_set([1, 3]));
-        assert!(out.iter().all(|(_, m)| matches!(m, DiscoveryMsg::GetPds)));
+        assert!(out
+            .iter()
+            .all(|(_, m)| matches!(m, DiscoveryMsg::GetPds { .. })));
     }
 
     #[test]
     fn getpds_answered_with_certificates() {
         let setup = line_setup();
         let mut s = DiscoveryState::from_setup(&setup, p(1)).unwrap();
-        let out = s.handle(p(2), DiscoveryMsg::GetPds);
+        let out = s.handle(
+            p(2),
+            DiscoveryMsg::GetPds {
+                have: Arc::new(process_set([2])),
+                state: SyncState::default(),
+            },
+        );
         assert_eq!(out.len(), 1);
         let (to, msg) = &out[0];
         assert_eq!(*to, p(2));
         match msg {
-            DiscoveryMsg::SetPds(certs) => assert_eq!(certs.len(), 1),
+            DiscoveryMsg::SetPds { certs, state } => {
+                assert_eq!(certs.len(), 1);
+                assert_eq!(*state, s.sync_state());
+            }
             _ => panic!("expected SetPds"),
         }
+    }
+
+    #[test]
+    fn delta_reply_omits_certs_the_requester_has() {
+        let setup = line_setup();
+        let mut s2 = DiscoveryState::from_setup(&setup, p(2)).unwrap();
+        s2.absorb(setup.shared_certificate_for(p(1)).unwrap());
+        s2.absorb(setup.shared_certificate_for(p(3)).unwrap());
+        // Requester already has 1's and its own cert: only 2, 3 remain.
+        let out = s2.handle(
+            p(1),
+            DiscoveryMsg::GetPds {
+                have: Arc::new(process_set([1])),
+                state: SyncState::default(),
+            },
+        );
+        match &out[0].1 {
+            DiscoveryMsg::SetPds { certs, .. } => {
+                let authors: ProcessSet = certs.iter().map(|c| c.author()).collect();
+                assert_eq!(authors, process_set([2, 3]));
+            }
+            _ => panic!("expected SetPds"),
+        }
+        // Full mode ships everything regardless.
+        let mut full = DiscoveryState::from_setup(&setup, p(2))
+            .unwrap()
+            .with_gossip(GossipMode::Full);
+        full.absorb(setup.shared_certificate_for(p(1)).unwrap());
+        let out = full.handle(
+            p(1),
+            DiscoveryMsg::GetPds {
+                have: Arc::new(process_set([1, 2])),
+                state: SyncState::default(),
+            },
+        );
+        match &out[0].1 {
+            DiscoveryMsg::SetPds { certs, .. } => assert_eq!(certs.len(), 2),
+            _ => panic!("expected SetPds"),
+        }
+    }
+
+    #[test]
+    fn tick_suppressed_only_while_peer_matches() {
+        let setup = line_setup();
+        let mut s1 = DiscoveryState::from_setup(&setup, p(1)).unwrap();
+        let mut s2 = DiscoveryState::from_setup(&setup, p(2)).unwrap();
+        // Exchange until both hold {1, 2}'s certs.
+        s1.absorb(setup.shared_certificate_for(p(2)).unwrap());
+        s2.absorb(setup.shared_certificate_for(p(1)).unwrap());
+        // 1 learns 2's (matching) state from a GETPDS.
+        s1.handle(p(2), get_pds_from(&s2));
+        assert!(s1.peer_in_sync(p(2)));
+        assert!(
+            s1.tick().iter().all(|(to, _)| *to != p(2)),
+            "matched peer must be skipped"
+        );
+        // 1's own set changes (3's cert arrives): suppression lifts.
+        s1.absorb(setup.shared_certificate_for(p(3)).unwrap());
+        assert!(!s1.peer_in_sync(p(2)));
+        assert!(s1.tick().iter().any(|(to, _)| *to == p(2)));
+        // Full mode never suppresses.
+        let full = s2.clone().with_gossip(GossipMode::Full);
+        assert!(!full.peer_in_sync(p(1)));
     }
 
     #[test]
@@ -207,7 +437,7 @@ mod tests {
         let setup = line_setup();
         let mut s1 = DiscoveryState::from_setup(&setup, p(1)).unwrap();
         let cert2 = setup.certificate_for(p(2)).unwrap();
-        s1.handle(p(2), DiscoveryMsg::SetPds(vec![cert2]));
+        s1.handle(p(2), set_pds(vec![cert2]));
         // 2's PD = {1,3}: process 1 now knows 3.
         assert_eq!(*s1.view().known(), process_set([1, 2, 3]));
         assert_eq!(s1.view().received(), process_set([1, 2]));
@@ -216,14 +446,21 @@ mod tests {
     }
 
     #[test]
-    fn forged_records_rejected_and_counted() {
+    fn forged_records_rejected_and_counted_once() {
         let setup = line_setup();
         let mut s1 = DiscoveryState::from_setup(&setup, p(1)).unwrap();
         let forged = PdCertificate::forge(p(2), &process_set([999]));
-        s1.handle(p(2), DiscoveryMsg::SetPds(vec![forged]));
+        s1.handle(p(2), set_pds(vec![forged.clone()]));
         assert_eq!(s1.rejected_forgeries, 1);
         assert!(!s1.view().knows(p(999)));
         assert!(!s1.view().has_pd_of(p(2)));
+        // A replay of the same forged record is discarded without
+        // re-verifying and without double-counting.
+        s1.handle(p(2), set_pds(vec![forged]));
+        assert_eq!(s1.rejected_forgeries, 1);
+        // A *different* forgery is a new record and counts again.
+        s1.absorb(Arc::new(PdCertificate::forge(p(2), &process_set([998]))));
+        assert_eq!(s1.rejected_forgeries, 2);
     }
 
     #[test]
@@ -233,8 +470,8 @@ mod tests {
         let key2 = setup.key_of(p(2)).unwrap();
         let a = PdCertificate::sign(key2, &process_set([1, 3]));
         let b = PdCertificate::sign(key2, &process_set([42]));
-        s1.absorb(a);
-        s1.absorb(b);
+        s1.absorb(Arc::new(a));
+        s1.absorb(Arc::new(b));
         assert_eq!(s1.conflicting_records, 1);
         assert_eq!(s1.view().pd_of(p(2)), Some(&process_set([1, 3])));
         assert!(!s1.view().knows(p(42)));
@@ -244,12 +481,27 @@ mod tests {
     fn duplicate_record_is_noop() {
         let setup = line_setup();
         let mut s1 = DiscoveryState::from_setup(&setup, p(1)).unwrap();
-        let cert2 = setup.certificate_for(p(2)).unwrap();
+        let cert2 = setup.shared_certificate_for(p(2)).unwrap();
         s1.absorb(cert2.clone());
         let _ = s1.take_changed();
+        let sync_before = s1.sync_state();
         s1.absorb(cert2);
         assert!(!s1.take_changed());
         assert_eq!(s1.conflicting_records, 0);
+        assert_eq!(s1.sync_state(), sync_before);
+    }
+
+    #[test]
+    fn sync_state_tracks_cert_set() {
+        let setup = line_setup();
+        let mut s1 = DiscoveryState::from_setup(&setup, p(1)).unwrap();
+        let mut s3 = DiscoveryState::from_setup(&setup, p(3)).unwrap();
+        for id in [1, 2, 3] {
+            s1.absorb(setup.shared_certificate_for(p(id)).unwrap());
+            s3.absorb(setup.shared_certificate_for(p(id)).unwrap());
+        }
+        assert_eq!(s1.sync_state(), s3.sync_state());
+        assert_eq!(s1.sync_state().count, 3);
     }
 
     #[test]

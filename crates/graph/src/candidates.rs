@@ -57,6 +57,15 @@ pub struct CandidateSearch {
     /// Maximum number of peeling steps applied to each sink component of
     /// the received graph.
     pub max_peels: usize,
+    /// Maximum component size for minimum-cut splitting. Cut splitting
+    /// probes all ordered vertex pairs with a max-flow bound, which is
+    /// quadratic-times-flow in the component size — essential for the
+    /// paper's small witness graphs (a core buried inside a larger SCC),
+    /// hopeless on the giant random SCCs that large-scale views contain.
+    /// Components above the cutoff skip it; the planted committees of the
+    /// scalable graph families are their own (small) sink SCCs, so they
+    /// are found without it.
+    pub cut_split_cutoff: usize,
 }
 
 impl Default for CandidateSearch {
@@ -64,6 +73,7 @@ impl Default for CandidateSearch {
         CandidateSearch {
             exact_cutoff: 14,
             max_peels: 4,
+            cut_split_cutoff: 64,
         }
     }
 }
@@ -82,36 +92,52 @@ impl CandidateSearch {
         let received_graph = view.received_graph();
         let cond = condensation(&received_graph);
         let mut out: Vec<ProcessSet> = Vec::new();
+        for sink in cond.components() {
+            self.append_component_candidates(&received_graph, sink, &mut out);
+        }
+        out
+    }
+
+    /// Appends the candidates one condensation component contributes, in
+    /// the canonical order: the component itself, its peeled variants,
+    /// then (size permitting) its minimum-cut splits.
+    fn append_component_candidates(
+        &self,
+        received_graph: &DiGraph,
+        sink: &ProcessSet,
+        out: &mut Vec<ProcessSet>,
+    ) {
         let push_unique = |s: ProcessSet, out: &mut Vec<ProcessSet>| {
             if !s.is_empty() && !out.contains(&s) {
                 out.push(s);
             }
         };
-        for sink in cond.components() {
-            push_unique(sink.clone(), &mut out);
-            let mut cur = sink.clone();
-            for _ in 0..self.max_peels {
-                if cur.len() <= 1 {
-                    break;
-                }
-                let sub = received_graph.induced(&cur);
-                // Drop the member with the weakest internal connectivity
-                // footprint (min of in/out degree, ties by ID for
-                // determinism).
-                let victim = cur
-                    .iter()
-                    .copied()
-                    .min_by_key(|&v| (sub.out_degree(v).min(sub.in_degree(v)), v))
-                    .expect("non-empty candidate");
-                cur.remove(&victim);
-                push_unique(cur.clone(), &mut out);
+        push_unique(sink.clone(), out);
+        let mut cur = sink.clone();
+        for _ in 0..self.max_peels {
+            if cur.len() <= 1 {
+                break;
             }
-            // Minimum-cut splitting: a core embedded inside a larger SCC
-            // (e.g. Fig. 4a, where the whole graph is one SCC) is exposed by
-            // splitting the component at its minimum vertex cuts.
-            cut_split(&received_graph, sink, 3, &mut out);
+            let sub = received_graph.induced(&cur);
+            // Drop the member with the weakest internal connectivity
+            // footprint (min of in/out degree, ties by ID for
+            // determinism).
+            let victim = cur
+                .iter()
+                .copied()
+                .min_by_key(|&v| (sub.out_degree(v).min(sub.in_degree(v)), v))
+                .expect("non-empty candidate");
+            cur.remove(&victim);
+            push_unique(cur.clone(), out);
         }
-        out
+        // Minimum-cut splitting: a core embedded inside a larger SCC
+        // (e.g. Fig. 4a, where the whole graph is one SCC) is exposed by
+        // splitting the component at its minimum vertex cuts. All-pairs
+        // flow probing is quadratic in the component — skipped above the
+        // cutoff (see [`Self::cut_split_cutoff`]).
+        if sink.len() <= self.cut_split_cutoff {
+            cut_split(received_graph, sink, 3, out);
+        }
     }
 
     /// Algorithm 2's search: find `S1 ⊆ S_received`, `S2 ⊆ S_known ∖ S1`
@@ -120,16 +146,33 @@ impl CandidateSearch {
     /// Returns `None` when the view does not yet contain a valid sink —
     /// the caller keeps discovering and retries (the `wait until`).
     pub fn sink_with_threshold(&self, view: &KnowledgeView, f: usize) -> Option<SinkCandidate> {
-        for s1 in self.candidate_s1_sets(view) {
-            let s2 = derive_s2(view, &s1, f);
-            if is_sink_gdi(view, f, &s1, &s2) {
-                return Some(SinkCandidate {
-                    decomposition: SinkDecomposition {
-                        s1,
-                        s2,
-                        threshold: f,
-                    },
-                });
+        // Candidates are generated *lazily per component*, in exactly the
+        // order `candidate_s1_sets` would produce them: the condensation's
+        // sink components come first, so on a graph with a planted
+        // committee the very first candidate usually succeeds and the
+        // expensive splitting of later (often giant) components is never
+        // computed. This is the identification hot path — every node of an
+        // end-to-end run re-enters it on each discovery tick whose view
+        // changed.
+        let received_graph = view.received_graph();
+        let cond = condensation(&received_graph);
+        let mut out: Vec<ProcessSet> = Vec::new();
+        let mut checked = 0;
+        for sink in cond.components() {
+            self.append_component_candidates(&received_graph, sink, &mut out);
+            while checked < out.len() {
+                let s1 = out[checked].clone();
+                checked += 1;
+                let s2 = derive_s2(view, &s1, f);
+                if is_sink_gdi(view, f, &s1, &s2) {
+                    return Some(SinkCandidate {
+                        decomposition: SinkDecomposition {
+                            s1,
+                            s2,
+                            threshold: f,
+                        },
+                    });
+                }
             }
         }
         // Exhaustive fallback for small views.
@@ -512,6 +555,41 @@ mod tests {
         // pointing at 9 keeps it out of S2 (only one pointer).
         let cand = cand.expect("sink should be identifiable by peeling");
         assert_eq!(cand.decomposition.s1, process_set([1, 2, 3]));
+    }
+
+    #[test]
+    fn cut_split_cutoff_governs_embedded_core_discovery() {
+        // Core K4 inside a larger SCC needs cut splitting to surface; a
+        // search whose cutoff excludes the component must fall back to the
+        // other candidate sources (and, on a view this small, still find it
+        // via the exhaustive fallback) while the default search finds it
+        // heuristically.
+        let mut g = DiGraph::complete(&process_set(1..=4));
+        g.add_edge(4.into(), 5.into());
+        g.add_edge(5.into(), 1.into());
+        let view = KnowledgeView::omniscient(&g);
+        let with_split = CandidateSearch::default();
+        let with = with_split.candidate_s1_sets(&view);
+        assert!(with.contains(&process_set(1..=4)));
+        let without_split = CandidateSearch {
+            cut_split_cutoff: 0,
+            ..CandidateSearch::default()
+        };
+        let without = without_split.candidate_s1_sets(&view);
+        assert!(
+            without.len() < with.len(),
+            "cutoff 0 must drop the split-derived candidates ({} vs {})",
+            without.len(),
+            with.len()
+        );
+        assert!(without.iter().all(|s| with.contains(s)));
+        // The lazy path and the eager enumeration agree on the result.
+        assert_eq!(
+            with_split
+                .sink_with_threshold(&view, 1)
+                .map(|c| c.members()),
+            Some(process_set(1..=4))
+        );
     }
 
     #[test]

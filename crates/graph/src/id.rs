@@ -1,7 +1,8 @@
-//! Process identifiers.
+//! Process identifiers and the compact process-set representation.
 
-use std::collections::BTreeSet;
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// A unique process identifier.
 ///
@@ -55,11 +56,357 @@ impl From<ProcessId> for u64 {
     }
 }
 
-/// An ordered set of process identifiers.
+/// SplitMix64 finalizer: a cheap, well-mixed per-element hash.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// The 128-bit contribution one element makes to a set fingerprint
+/// (two independent 64-bit mixes, concatenated).
+#[inline]
+fn element_fingerprint(raw: u64) -> u128 {
+    let lo = mix64(raw) as u128;
+    let hi = mix64(raw ^ 0xa5a5_a5a5_a5a5_a5a5) as u128;
+    (hi << 64) | lo
+}
+
+/// An ordered set of process identifiers with a cached fingerprint.
 ///
-/// Ordered so that iteration (and therefore every protocol decision derived
-/// from iteration) is deterministic across runs.
-pub type ProcessSet = BTreeSet<ProcessId>;
+/// Stored as a sorted, deduplicated `Vec<ProcessId>` — compact and
+/// cache-friendly compared to a `BTreeSet` — with a 128-bit *commutative*
+/// fingerprint (the wrapping sum of per-element [SplitMix64] hashes)
+/// maintained incrementally on every insert/remove. The fingerprint makes
+/// hashing **O(1)** and gives equality a constant-time fast reject, which
+/// is what the delta-gossip discovery path leans on: per-peer sync states
+/// compare whole certificate sets by fingerprint instead of re-walking
+/// them.
+///
+/// Iteration is in ascending ID order, so every protocol decision derived
+/// from iteration stays deterministic across runs (the property the old
+/// `BTreeSet` alias provided).
+///
+/// [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+///
+/// # Example
+///
+/// ```
+/// use cupft_graph::{process_set, ProcessId, ProcessSet};
+///
+/// let mut s = ProcessSet::new();
+/// assert!(s.insert(ProcessId::new(3)));
+/// assert!(s.insert(ProcessId::new(1)));
+/// assert!(!s.insert(ProcessId::new(3))); // already present
+/// assert_eq!(s, process_set([1, 3]));
+/// assert_eq!(s.fingerprint(), process_set([3, 1]).fingerprint());
+/// ```
+#[derive(Clone, Default)]
+pub struct ProcessSet {
+    items: Vec<ProcessId>,
+    fp: u128,
+}
+
+impl ProcessSet {
+    /// Creates an empty set.
+    pub const fn new() -> Self {
+        ProcessSet {
+            items: Vec::new(),
+            fp: 0,
+        }
+    }
+
+    /// Creates an empty set with room for `capacity` members.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ProcessSet {
+            items: Vec::with_capacity(capacity),
+            fp: 0,
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The cached order-independent 128-bit fingerprint: equal sets always
+    /// have equal fingerprints, and distinct sets collide with negligible
+    /// probability (~2⁻¹²⁸ per pair). Maintained in O(1) per mutation.
+    pub fn fingerprint(&self) -> u128 {
+        self.fp
+    }
+
+    /// Whether `p` is a member (binary search).
+    pub fn contains(&self, p: &ProcessId) -> bool {
+        self.items.binary_search(p).is_ok()
+    }
+
+    /// Inserts `p`; returns `true` if it was not already present.
+    ///
+    /// Appending in ascending order is O(1); arbitrary-position inserts
+    /// shift the tail (the sets this crate builds are either collected in
+    /// one pass or grown near their maximum, so this stays cheap in
+    /// practice).
+    pub fn insert(&mut self, p: ProcessId) -> bool {
+        // Fast path: ascending append (the overwhelmingly common pattern).
+        if self.items.last().is_none_or(|&last| last < p) {
+            self.items.push(p);
+        } else {
+            match self.items.binary_search(&p) {
+                Ok(_) => return false,
+                Err(at) => self.items.insert(at, p),
+            }
+        }
+        self.fp = self.fp.wrapping_add(element_fingerprint(p.raw()));
+        true
+    }
+
+    /// Removes `p`; returns `true` if it was present.
+    pub fn remove(&mut self, p: &ProcessId) -> bool {
+        match self.items.binary_search(p) {
+            Ok(at) => {
+                self.items.remove(at);
+                self.fp = self.fp.wrapping_sub(element_fingerprint(p.raw()));
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Removes all members.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.fp = 0;
+    }
+
+    /// Keeps only the members for which `keep` returns `true`.
+    pub fn retain(&mut self, mut keep: impl FnMut(&ProcessId) -> bool) {
+        let mut fp = self.fp;
+        self.items.retain(|p| {
+            let k = keep(p);
+            if !k {
+                fp = fp.wrapping_sub(element_fingerprint(p.raw()));
+            }
+            k
+        });
+        self.fp = fp;
+    }
+
+    /// Iterates members in ascending order.
+    pub fn iter(&self) -> std::slice::Iter<'_, ProcessId> {
+        self.items.iter()
+    }
+
+    /// The members as a sorted slice.
+    pub fn as_slice(&self) -> &[ProcessId] {
+        &self.items
+    }
+
+    /// The smallest member.
+    pub fn first(&self) -> Option<&ProcessId> {
+        self.items.first()
+    }
+
+    /// The largest member.
+    pub fn last(&self) -> Option<&ProcessId> {
+        self.items.last()
+    }
+
+    /// Members of `self` ∪ `other`, ascending (like `BTreeSet::union`).
+    pub fn union<'a>(&'a self, other: &'a ProcessSet) -> impl Iterator<Item = &'a ProcessId> {
+        MergeIter {
+            a: self.items.as_slice(),
+            b: other.items.as_slice(),
+            keep: |in_a: bool, in_b: bool| in_a || in_b,
+        }
+    }
+
+    /// Members of `self` ∖ `other`, ascending.
+    pub fn difference<'a>(&'a self, other: &'a ProcessSet) -> impl Iterator<Item = &'a ProcessId> {
+        MergeIter {
+            a: self.items.as_slice(),
+            b: other.items.as_slice(),
+            keep: |in_a: bool, in_b: bool| in_a && !in_b,
+        }
+    }
+
+    /// Members of `self` ∩ `other`, ascending.
+    pub fn intersection<'a>(
+        &'a self,
+        other: &'a ProcessSet,
+    ) -> impl Iterator<Item = &'a ProcessId> {
+        MergeIter {
+            a: self.items.as_slice(),
+            b: other.items.as_slice(),
+            keep: |in_a: bool, in_b: bool| in_a && in_b,
+        }
+    }
+
+    /// Whether every member of `self` is in `other`.
+    pub fn is_subset(&self, other: &ProcessSet) -> bool {
+        if self.len() > other.len() {
+            return false;
+        }
+        self.items.iter().all(|p| other.contains(p))
+    }
+
+    /// Whether every member of `other` is in `self`.
+    pub fn is_superset(&self, other: &ProcessSet) -> bool {
+        other.is_subset(self)
+    }
+
+    /// Whether the sets share no member.
+    pub fn is_disjoint(&self, other: &ProcessSet) -> bool {
+        self.intersection(other).next().is_none()
+    }
+}
+
+/// Two-pointer merge over two sorted slices, yielding elements selected by
+/// `keep(in_a, in_b)` — the shared engine behind union / difference /
+/// intersection.
+struct MergeIter<'a, F> {
+    a: &'a [ProcessId],
+    b: &'a [ProcessId],
+    keep: F,
+}
+
+impl<'a, F: Fn(bool, bool) -> bool> Iterator for MergeIter<'a, F> {
+    type Item = &'a ProcessId;
+
+    fn next(&mut self) -> Option<&'a ProcessId> {
+        loop {
+            let (item, in_a, in_b) = match (self.a.first(), self.b.first()) {
+                (None, None) => return None,
+                (Some(x), None) => {
+                    self.a = &self.a[1..];
+                    (x, true, false)
+                }
+                (None, Some(y)) => {
+                    self.b = &self.b[1..];
+                    (y, false, true)
+                }
+                (Some(x), Some(y)) => match x.cmp(y) {
+                    Ordering::Less => {
+                        self.a = &self.a[1..];
+                        (x, true, false)
+                    }
+                    Ordering::Greater => {
+                        self.b = &self.b[1..];
+                        (y, false, true)
+                    }
+                    Ordering::Equal => {
+                        self.a = &self.a[1..];
+                        self.b = &self.b[1..];
+                        (x, true, true)
+                    }
+                },
+            };
+            if (self.keep)(in_a, in_b) {
+                return Some(item);
+            }
+        }
+    }
+}
+
+impl PartialEq for ProcessSet {
+    fn eq(&self, other: &Self) -> bool {
+        // Fingerprint + length give a constant-time reject; on a match the
+        // element compare is what makes Eq exact (never trust 128 bits
+        // alone where byte-identical equivalence is asserted).
+        self.fp == other.fp && self.items == other.items
+    }
+}
+impl Eq for ProcessSet {}
+
+impl PartialOrd for ProcessSet {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Lexicographic over ascending members — the same order the old
+/// `BTreeSet` alias had, so `BTreeSet<ProcessSet>` collections keep their
+/// ordering.
+impl Ord for ProcessSet {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.items.cmp(&other.items)
+    }
+}
+
+/// O(1): hashes the cached fingerprint and length instead of the members.
+impl Hash for ProcessSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u128(self.fp);
+        state.write_usize(self.items.len());
+    }
+}
+
+impl fmt::Debug for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.items.iter()).finish()
+    }
+}
+
+impl FromIterator<ProcessId> for ProcessSet {
+    fn from_iter<I: IntoIterator<Item = ProcessId>>(iter: I) -> Self {
+        let mut items: Vec<ProcessId> = iter.into_iter().collect();
+        items.sort_unstable();
+        items.dedup();
+        let fp = items.iter().fold(0u128, |acc, p| {
+            acc.wrapping_add(element_fingerprint(p.raw()))
+        });
+        ProcessSet { items, fp }
+    }
+}
+
+impl<'a> FromIterator<&'a ProcessId> for ProcessSet {
+    fn from_iter<I: IntoIterator<Item = &'a ProcessId>>(iter: I) -> Self {
+        iter.into_iter().copied().collect()
+    }
+}
+
+impl Extend<ProcessId> for ProcessSet {
+    fn extend<I: IntoIterator<Item = ProcessId>>(&mut self, iter: I) {
+        for p in iter {
+            self.insert(p);
+        }
+    }
+}
+
+impl<'a> Extend<&'a ProcessId> for ProcessSet {
+    fn extend<I: IntoIterator<Item = &'a ProcessId>>(&mut self, iter: I) {
+        self.extend(iter.into_iter().copied());
+    }
+}
+
+impl IntoIterator for ProcessSet {
+    type Item = ProcessId;
+    type IntoIter = std::vec::IntoIter<ProcessId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a ProcessSet {
+    type Item = &'a ProcessId;
+    type IntoIter = std::slice::Iter<'a, ProcessId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+impl From<Vec<ProcessId>> for ProcessSet {
+    fn from(items: Vec<ProcessId>) -> Self {
+        items.into_iter().collect()
+    }
+}
 
 /// Convenience constructor for a [`ProcessSet`] from raw integers.
 ///
@@ -78,6 +425,13 @@ pub fn process_set<I: IntoIterator<Item = u64>>(raw: I) -> ProcessSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(s: &ProcessSet) -> u64 {
+        let mut h = DefaultHasher::new();
+        s.hash(&mut h);
+        h.finish()
+    }
 
     #[test]
     fn display_is_compact() {
@@ -111,5 +465,110 @@ mod tests {
     #[test]
     fn default_is_zero() {
         assert_eq!(ProcessId::default().raw(), 0);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ProcessSet::new();
+        assert!(s.insert(ProcessId::new(5)));
+        assert!(s.insert(ProcessId::new(2)));
+        assert!(!s.insert(ProcessId::new(5)));
+        assert!(s.contains(&ProcessId::new(2)));
+        assert!(!s.contains(&ProcessId::new(3)));
+        assert!(s.remove(&ProcessId::new(5)));
+        assert!(!s.remove(&ProcessId::new(5)));
+        assert_eq!(s, process_set([2]));
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent_and_incremental() {
+        let collected = process_set([7, 1, 9, 4]);
+        let mut grown = ProcessSet::new();
+        for raw in [9, 4, 7, 1] {
+            grown.insert(ProcessId::new(raw));
+        }
+        assert_eq!(collected.fingerprint(), grown.fingerprint());
+        assert_eq!(collected, grown);
+        // remove + reinsert returns to the same fingerprint
+        let before = grown.fingerprint();
+        grown.remove(&ProcessId::new(4));
+        assert_ne!(grown.fingerprint(), before);
+        grown.insert(ProcessId::new(4));
+        assert_eq!(grown.fingerprint(), before);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_nearby_sets() {
+        // {1,2} vs {3}: a naive sum of raw IDs would collide.
+        assert_ne!(
+            process_set([1, 2]).fingerprint(),
+            process_set([3]).fingerprint()
+        );
+        assert_ne!(
+            process_set([1, 4]).fingerprint(),
+            process_set([2, 3]).fingerprint()
+        );
+    }
+
+    #[test]
+    fn equal_sets_hash_equal() {
+        let a = process_set([10, 20, 30]);
+        let b = process_set([30, 10, 20]);
+        assert_eq!(hash_of(&a), hash_of(&b));
+        assert_ne!(hash_of(&a), hash_of(&process_set([10, 20])));
+    }
+
+    #[test]
+    fn set_algebra_matches_btreeset_semantics() {
+        let a = process_set([1, 2, 3, 5]);
+        let b = process_set([2, 4, 5]);
+        let union: ProcessSet = a.union(&b).copied().collect();
+        assert_eq!(union, process_set([1, 2, 3, 4, 5]));
+        let diff: ProcessSet = a.difference(&b).copied().collect();
+        assert_eq!(diff, process_set([1, 3]));
+        let inter: ProcessSet = a.intersection(&b).copied().collect();
+        assert_eq!(inter, process_set([2, 5]));
+        assert!(process_set([2, 5]).is_subset(&b));
+        assert!(!a.is_subset(&b));
+        assert!(b.is_superset(&process_set([4])));
+        assert!(process_set([7, 8]).is_disjoint(&a));
+        assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn ord_is_lexicographic_like_btreeset() {
+        assert!(process_set([1, 2]) < process_set([1, 3]));
+        assert!(process_set([1]) < process_set([1, 2]));
+        assert!(process_set([2]) > process_set([1, 9, 10]));
+    }
+
+    #[test]
+    fn retain_updates_fingerprint() {
+        let mut s = process_set([1, 2, 3, 4, 5]);
+        s.retain(|p| p.raw() % 2 == 1);
+        assert_eq!(s, process_set([1, 3, 5]));
+        assert_eq!(s.fingerprint(), process_set([1, 3, 5]).fingerprint());
+    }
+
+    #[test]
+    fn iteration_is_ascending() {
+        let s = process_set([9, 1, 5]);
+        let order: Vec<u64> = s.iter().map(|p| p.raw()).collect();
+        assert_eq!(order, vec![1, 5, 9]);
+        let owned: Vec<u64> = s.clone().into_iter().map(|p| p.raw()).collect();
+        assert_eq!(owned, vec![1, 5, 9]);
+        let by_ref: Vec<u64> = (&s).into_iter().map(|p| p.raw()).collect();
+        assert_eq!(by_ref, vec![1, 5, 9]);
+        assert_eq!(s.first(), Some(&ProcessId::new(1)));
+        assert_eq!(s.last(), Some(&ProcessId::new(9)));
+    }
+
+    #[test]
+    fn clear_resets_fingerprint() {
+        let mut s = process_set([1, 2]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.fingerprint(), 0);
+        assert_eq!(s, ProcessSet::new());
     }
 }

@@ -14,6 +14,16 @@ pub type TimerKind = u64;
 pub trait Labeled {
     /// A short, static label naming the message kind (e.g. `"GETPDS"`).
     fn label(&self) -> &'static str;
+
+    /// The protocol-defined payload weight this message carries — for
+    /// discovery, the number of PD certificates in a `SETPDS` (control
+    /// traffic weighs 0). Runtimes sum it into
+    /// [`crate::NetStats::payload_units`], which is what the delta-gossip
+    /// benches compare: message *counts* barely move when replies shrink,
+    /// payload units collapse.
+    fn payload_units(&self) -> u64 {
+        0
+    }
 }
 
 /// A deterministic protocol participant.

@@ -283,7 +283,7 @@ impl<M: Clone + Labeled + 'static> Simulation<M> {
             ..
         } = ctx;
         for (to, msg) in sends {
-            self.stats.record_send(msg.label());
+            self.stats.record_send(msg.label(), msg.payload_units());
             let mut delay = self
                 .config
                 .policy
@@ -293,7 +293,7 @@ impl<M: Clone + Labeled + 'static> Simulation<M> {
                     Fate::Deliver => {}
                     Fate::Delay(extra) => delay += extra,
                     Fate::Drop => {
-                        self.stats.messages_dropped += 1;
+                        self.stats.record_drop(msg.payload_units());
                         continue;
                     }
                 }

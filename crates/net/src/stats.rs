@@ -13,23 +13,56 @@ pub struct NetStats {
     /// Messages discarded by an installed [`crate::Tamper`] layer (always
     /// 0 when no tamper is set). Dropped messages still count as sent.
     pub messages_dropped: u64,
+    /// Total payload units handed to the network (the sum of
+    /// [`crate::Labeled::payload_units`] over every send — for discovery
+    /// traffic, certificates carried). Like `messages_sent`, includes
+    /// payload that a tamper later dropped.
+    pub payload_units: u64,
+    /// Payload units aboard tamper-dropped messages. Subtract from
+    /// [`Self::payload_units`] (see [`Self::payload_delivered`]) for the
+    /// payload that actually reached the delivery schedule.
+    pub payload_dropped: u64,
     /// Total timer events fired.
     pub timers_fired: u64,
     /// Per-label message counts (the label comes from
     /// [`crate::Labeled::label`]).
     pub by_label: BTreeMap<&'static str, u64>,
+    /// Per-label payload-unit sums (only labels with nonzero payload
+    /// appear).
+    pub payload_by_label: BTreeMap<&'static str, u64>,
 }
 
 impl NetStats {
-    /// Records a send with the given label.
-    pub(crate) fn record_send(&mut self, label: &'static str) {
+    /// Records a send with the given label and payload weight.
+    pub(crate) fn record_send(&mut self, label: &'static str, payload: u64) {
         self.messages_sent += 1;
         *self.by_label.entry(label).or_insert(0) += 1;
+        if payload > 0 {
+            self.payload_units += payload;
+            *self.payload_by_label.entry(label).or_insert(0) += payload;
+        }
+    }
+
+    /// Records a tamper-dropped message (already counted as sent).
+    pub(crate) fn record_drop(&mut self, payload: u64) {
+        self.messages_dropped += 1;
+        self.payload_dropped += payload;
     }
 
     /// Messages of one label, 0 if none.
     pub fn label_count(&self, label: &str) -> u64 {
         self.by_label.get(label).copied().unwrap_or(0)
+    }
+
+    /// Payload units of one label, 0 if none.
+    pub fn label_payload(&self, label: &str) -> u64 {
+        self.payload_by_label.get(label).copied().unwrap_or(0)
+    }
+
+    /// Payload units that survived the tamper layer
+    /// (`payload_units − payload_dropped`).
+    pub fn payload_delivered(&self) -> u64 {
+        self.payload_units.saturating_sub(self.payload_dropped)
     }
 }
 
@@ -37,11 +70,14 @@ impl fmt::Display for NetStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "sent={} delivered={} timers={}",
-            self.messages_sent, self.messages_delivered, self.timers_fired
+            "sent={} delivered={} payload={} timers={}",
+            self.messages_sent, self.messages_delivered, self.payload_units, self.timers_fired
         )?;
         for (label, count) in &self.by_label {
             write!(f, " {label}={count}")?;
+            if let Some(payload) = self.payload_by_label.get(label) {
+                write!(f, "(·{payload})")?;
+            }
         }
         Ok(())
     }
@@ -54,14 +90,32 @@ mod tests {
     #[test]
     fn records_and_displays() {
         let mut s = NetStats::default();
-        s.record_send("PING");
-        s.record_send("PING");
-        s.record_send("PONG");
+        s.record_send("PING", 0);
+        s.record_send("PING", 0);
+        s.record_send("PONG", 0);
         assert_eq!(s.messages_sent, 3);
         assert_eq!(s.label_count("PING"), 2);
         assert_eq!(s.label_count("NOPE"), 0);
         let text = s.to_string();
         assert!(text.contains("PING=2"));
         assert!(text.contains("sent=3"));
+    }
+
+    #[test]
+    fn payload_accounting() {
+        let mut s = NetStats::default();
+        s.record_send("SETPDS", 5);
+        s.record_send("SETPDS", 3);
+        s.record_send("GETPDS", 0);
+        s.record_drop(3);
+        assert_eq!(s.payload_units, 8);
+        assert_eq!(s.payload_dropped, 3);
+        assert_eq!(s.payload_delivered(), 5);
+        assert_eq!(s.label_payload("SETPDS"), 8);
+        assert_eq!(s.label_payload("GETPDS"), 0);
+        assert_eq!(s.messages_dropped, 1);
+        let text = s.to_string();
+        assert!(text.contains("payload=8"));
+        assert!(text.contains("SETPDS=2(·8)"));
     }
 }

@@ -357,14 +357,15 @@ where
                 msg,
                 label,
             }) => {
-                stats.record_send(label);
+                let payload = msg.payload_units();
+                stats.record_send(label, payload);
                 let mut tampered_extra = Duration::ZERO;
                 if let Some(t) = tamper.as_mut() {
                     match t.disposition(from, to, label, start.elapsed().as_millis() as Time) {
                         Fate::Deliver => {}
                         Fate::Delay(ms) => tampered_extra = Duration::from_millis(ms),
                         Fate::Drop => {
-                            stats.messages_dropped += 1;
+                            stats.record_drop(payload);
                             continue;
                         }
                     }

@@ -28,6 +28,7 @@ fn main() {
             discovery_period: 15, // milliseconds on the threaded runtime
             replica: bft_cupft::committee::ReplicaConfig { timeout_base: 500 },
             crash_at: None,
+            ..NodeConfig::default()
         };
         let value = Value::from(format!("proposal-from-{}", v.raw()).into_bytes());
         let node = Node::from_setup(&setup, v, value, config)

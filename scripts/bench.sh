@@ -2,19 +2,82 @@
 # Bench trajectory artifacts: runs the JSON-emitting experiment binaries
 # in release mode and merges their artifacts into per-area JSON documents,
 # so successive PRs can diff a single file per area for end-time /
-# message-count / wall-clock drift.
+# message-count / payload / wall-clock drift.
 #
-#   scripts/bench.sh [ADVERSARY_OUT] [GRAPH_OUT]
+#   scripts/bench.sh [ADVERSARY_OUT] [GRAPH_OUT] [DISCOVERY_OUT]
 #       ADVERSARY_OUT (default BENCH_adversary.json): table1, fig1, fig4,
 #                     adversary_grid
 #       GRAPH_OUT     (default BENCH_graph.json): graph_scale — family
 #                     generation + condition-check timings and per-family
 #                     consensus outcome rates
+#       DISCOVERY_OUT (default BENCH_discovery.json): discovery_scale —
+#                     delta-gossip vs full-S_PD SETPDS payload on the
+#                     family sweep, plus end-to-end consensus at
+#                     n=100/500/1000 on both runtimes
+#
+#   scripts/bench.sh --check-regression
+#       Re-runs discovery_scale and compares its regression scalars
+#       against the committed BENCH_discovery.json: fails when the
+#       (deterministic) sweep SETPDS payload grows >25% or the payload
+#       ratio falls below the 10x floor; the end-to-end wall total is
+#       reported advisory-only (wall clocks don't compare across
+#       machines).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# scalar <file> <key>: extracts a flat numeric value from a (single-line)
+# JSON artifact without requiring a JSON tool in the container.
+scalar() {
+    grep -o "\"$2\":[0-9.]*" "$1" | head -1 | cut -d: -f2
+}
+
+if [[ "${1:-}" == "--check-regression" ]]; then
+    committed="BENCH_discovery.json"
+    [[ -f "$committed" ]] || { echo "bench.sh: no committed $committed to compare against"; exit 1; }
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT
+    echo "==> cargo build --release -p cupft-bench --bin discovery_scale"
+    cargo build --release -q -p cupft-bench --bin discovery_scale
+    echo "==> discovery_scale --json (fresh run for regression check)"
+    ./target/release/discovery_scale --json "$tmp/fresh.json" > "$tmp/fresh.txt"
+    fail=0
+    # Deterministic counters gate hard; the wall-clock scalar is advisory
+    # only (the committed artifact was measured on a different machine, so
+    # a hard wall-time gate would fail on slower hardware with zero code
+    # change).
+    for key in sweep_delta_payload; do
+        old="$(scalar "$committed" "$key")"
+        new="$(scalar "$tmp/fresh.json" "$key")"
+        [[ -n "$old" && -n "$new" ]] || { echo "bench.sh: key $key missing (old='$old' new='$new')"; fail=1; continue; }
+        # fail when new > old * 1.25
+        if awk -v o="$old" -v n="$new" 'BEGIN { exit !(n > o * 1.25) }'; then
+            echo "REGRESSION: $key grew >25% (committed=$old fresh=$new)"
+            fail=1
+        else
+            echo "ok: $key committed=$old fresh=$new"
+        fi
+    done
+    old_wall="$(scalar "$committed" e2e_wall_seconds_total)"
+    new_wall="$(scalar "$tmp/fresh.json" e2e_wall_seconds_total)"
+    if awk -v o="$old_wall" -v n="$new_wall" 'BEGIN { exit !(n > o * 1.25) }'; then
+        echo "note: e2e_wall_seconds_total grew >25% (committed=$old_wall fresh=$new_wall) — advisory only (cross-machine wall clock)"
+    else
+        echo "ok: e2e_wall_seconds_total committed=$old_wall fresh=$new_wall (advisory)"
+    fi
+    ratio="$(scalar "$tmp/fresh.json" sweep_payload_ratio)"
+    if awk -v r="$ratio" 'BEGIN { exit !(r < 10.0) }'; then
+        echo "REGRESSION: sweep_payload_ratio fell below 10x (fresh=$ratio)"
+        fail=1
+    else
+        echo "ok: sweep_payload_ratio fresh=${ratio}x (floor 10x)"
+    fi
+    [[ "$fail" -eq 0 ]] && echo "bench.sh: no regression" || echo "bench.sh: REGRESSION DETECTED"
+    exit "$fail"
+fi
+
 adversary_out="${1:-BENCH_adversary.json}"
 graph_out="${2:-BENCH_graph.json}"
+discovery_out="${3:-BENCH_discovery.json}"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
@@ -48,3 +111,4 @@ merge() {
 
 merge "$adversary_out" table1 fig1 fig4 adversary_grid
 merge "$graph_out" graph_scale
+merge "$discovery_out" discovery_scale

@@ -3,10 +3,11 @@
 #
 #   scripts/verify.sh          # everything (what CI should run)
 #   scripts/verify.sh --quick  # skip the release build (fast local loop);
-#                              # fronts the adversary_sweep grid and the
+#                              # fronts the adversary_sweep grid, the
 #                              # family_sweep (each graph family once at
-#                              # modest n) as early gates before the full
-#                              # test run
+#                              # modest n), and the delta-gossip
+#                              # discovery_equivalence sweep as early
+#                              # gates before the full test run
 #
 # Tier-1 (from ROADMAP.md): cargo build --release && cargo test -q
 set -euo pipefail
@@ -35,6 +36,8 @@ else
     cargo test -q --test adversary_sweep
     echo "==> cargo test -q --test family_sweep (quick gate)"
     cargo test -q --test family_sweep
+    echo "==> cargo test -q --test discovery_equivalence (quick gate)"
+    cargo test -q --test discovery_equivalence
 fi
 
 echo "==> cargo test -q"

@@ -1,0 +1,253 @@
+//! The delta-gossip equivalence sweep: across the four family-sweep
+//! topologies at three sizes, delta-gossip discovery must reach
+//! **byte-identical** final [`KnowledgeView`]s and the full protocol must
+//! reach **identical decisions** as the full-`S_PD` baseline — on both
+//! runtimes — while delivering an order of magnitude less `SETPDS`
+//! payload. This is the observational-equivalence bar the delta rework
+//! (shared cert pool, requester-described deltas, sync-state suppression,
+//! memoized verification) has to clear; the invariant argument lives in
+//! the `cupft_discovery` crate docs.
+//!
+//! `scripts/verify.sh --quick` fronts this test as the delta-gossip gate.
+
+use bft_cupft::core::{ProtocolMode, RuntimeKind, ScenarioGrid, SuiteReport};
+use bft_cupft::detector::SystemSetup;
+use bft_cupft::discovery::{DiscoveryActor, DiscoveryMsg, DiscoveryState, GossipMode};
+use bft_cupft::graph::{DiGraph, GraphFamily, KnowledgeView, ProcessId};
+use bft_cupft::net::sim::Simulation;
+use bft_cupft::net::threaded::{Board, ThreadedConfig, ThreadedRuntime};
+use bft_cupft::net::{DelayPolicy, Runtime, SimConfig};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+const SIZES: [usize; 3] = [10, 14, 18];
+
+fn psync() -> DelayPolicy {
+    DelayPolicy::PartialSynchrony {
+        gst: 200,
+        delta: 10,
+        pre_gst_max: 120,
+    }
+}
+
+/// Same topologies as `tests/family_sweep.rs`.
+fn sweep_families() -> Vec<GraphFamily> {
+    vec![
+        GraphFamily::erdos_renyi(16, 1),
+        GraphFamily::RingOfCliques {
+            cliques: 3,
+            clique_size: 4,
+            bridges: 3,
+            fault_threshold: 1,
+        },
+        GraphFamily::k_diamond(16, 1),
+        GraphFamily::BridgedPartition {
+            a_size: 8,
+            sink_size: 3,
+            bridge_width: 3,
+            fault_threshold: 1,
+        },
+    ]
+}
+
+fn family_graphs() -> Vec<(String, DiGraph)> {
+    let mut out = Vec::new();
+    for family in sweep_families() {
+        for size in SIZES {
+            let sample = family.scaled(size).generate(11).unwrap();
+            out.push((format!("{}@n{size}", family.name()), sample.system.graph));
+        }
+    }
+    out
+}
+
+/// Runs discovery-only actors on the simulator to a generous horizon and
+/// returns every process's final view plus the delivered SETPDS payload.
+fn sim_views(
+    graph: &DiGraph,
+    mode: GossipMode,
+    seed: u64,
+) -> (BTreeMap<ProcessId, KnowledgeView>, u64) {
+    let setup = SystemSetup::new(graph);
+    let mut sim: Simulation<DiscoveryMsg> = Simulation::new(SimConfig {
+        seed,
+        max_time: 10_000,
+        policy: psync(),
+    });
+    for v in graph.vertices() {
+        let state = DiscoveryState::from_setup(&setup, v)
+            .unwrap()
+            .with_gossip(mode);
+        sim.add_actor(Box::new(DiscoveryActor::new(state, 20)));
+    }
+    sim.run_until(|s| s.now() > 6_000);
+    let payload = sim.stats().label_payload("SETPDS");
+    let views = sim
+        .into_actors()
+        .into_iter()
+        .map(|(id, actor)| {
+            let d = actor
+                .as_any()
+                .downcast_ref::<DiscoveryActor>()
+                .expect("discovery actor");
+            (id, d.state().view().clone())
+        })
+        .collect();
+    (views, payload)
+}
+
+/// Byte-identical final views per process on the simulator, and ≥10x less
+/// SETPDS payload, across 4 families × 3 sizes.
+#[test]
+fn delta_views_match_full_baseline_on_simulation() {
+    let mut full_total = 0u64;
+    let mut delta_total = 0u64;
+    for (label, graph) in family_graphs() {
+        let (full_views, full_payload) = sim_views(&graph, GossipMode::Full, 5);
+        let (delta_views, delta_payload) = sim_views(&graph, GossipMode::Delta, 5);
+        assert_eq!(
+            full_views, delta_views,
+            "{label}: delta-gossip views must be byte-identical to the baseline"
+        );
+        full_total += full_payload;
+        delta_total += delta_payload;
+    }
+    assert!(
+        delta_total * 10 <= full_total,
+        "expected ≥10x sweep payload reduction, got full={full_total} delta={delta_total}"
+    );
+}
+
+/// Threaded runtime: convergence is observed through a progress board
+/// (the actors are unreachable mid-run). The knowledge fixpoint is a pure
+/// function of the topology — pull-based dissemination closes over the
+/// knowledge edges regardless of timing — so the deterministic simulator
+/// supplies the expected per-process views and both threaded modes must
+/// land on exactly them. One size per family keeps the wall cost sane.
+#[test]
+fn delta_views_match_full_baseline_on_threads() {
+    for family in sweep_families() {
+        let sample = family.scaled(12).generate(11).unwrap();
+        let graph = &sample.system.graph;
+        // Ground truth: the simulator's fixpoint (already proven equal
+        // across modes by the sim sweep above). Not every process learns
+        // the whole system — e.g. bridged-partition sink members never
+        // hear of the outer block — so the expectation is per-process.
+        let (expected, _) = sim_views(graph, GossipMode::Full, 5);
+        let expected_counts: BTreeMap<ProcessId, usize> = expected
+            .iter()
+            .map(|(&id, view)| (id, view.received_count()))
+            .collect();
+        let run = |mode: GossipMode| -> BTreeMap<ProcessId, KnowledgeView> {
+            let setup = SystemSetup::new(graph);
+            let board: Board<usize> = Board::new();
+            let mut rt: ThreadedRuntime<DiscoveryMsg> = ThreadedRuntime::new(ThreadedConfig {
+                wall_timeout: Duration::from_secs(30),
+                ..ThreadedConfig::default()
+            });
+            for v in graph.vertices() {
+                let state = DiscoveryState::from_setup(&setup, v)
+                    .unwrap()
+                    .with_gossip(mode);
+                rt.add_actor(Box::new(
+                    DiscoveryActor::new(state, 10).with_board(board.clone()),
+                ));
+            }
+            let report = rt.run_until_stopped(&mut || {
+                let snapshot = board.snapshot();
+                expected_counts
+                    .iter()
+                    .all(|(id, &want)| snapshot.get(id).is_some_and(|&have| have >= want))
+            });
+            assert!(
+                report.stopped,
+                "{} ({mode:?}): discovery must converge before the wall timeout",
+                family.name()
+            );
+            graph
+                .vertices()
+                .map(|v| {
+                    let actor: &DiscoveryActor = rt.actor_as(v).expect("actor returned");
+                    (v, actor.state().view().clone())
+                })
+                .collect()
+        };
+        assert_eq!(
+            run(GossipMode::Full),
+            expected,
+            "{}: threaded full-mode fixpoint must match the simulator's",
+            family.name()
+        );
+        assert_eq!(
+            run(GossipMode::Delta),
+            expected,
+            "{}: threaded delta-mode fixpoint must match the simulator's",
+            family.name()
+        );
+    }
+}
+
+fn consensus_report(
+    full_gossip: bool,
+    kind: RuntimeKind,
+    threaded_period: Option<u64>,
+) -> SuiteReport {
+    let mut grid = ScenarioGrid::new();
+    for family in sweep_families() {
+        grid = grid.family(&family, SIZES, 11, ProtocolMode::KnownThreshold(1));
+    }
+    let mut suite = grid.policy("psync", psync(), 400_000).seeds(0..1).build();
+    for entry in suite.entries_mut() {
+        entry.scenario = entry.scenario.clone().with_full_gossip(full_gossip);
+        if let Some(period) = threaded_period {
+            entry.scenario.discovery_period = period;
+            entry.scenario.view_timeout_base = 4_000;
+        }
+    }
+    suite.run(kind)
+}
+
+/// Identical `ScenarioGrid` decisions between modes on the simulator.
+#[test]
+fn delta_decisions_match_full_baseline_on_simulation() {
+    let full = consensus_report(true, RuntimeKind::Sim, None);
+    let delta = consensus_report(false, RuntimeKind::Sim, None);
+    assert!(
+        full.all_solved(),
+        "baseline failures: {:?}",
+        full.failures()
+    );
+    assert!(delta.all_solved(), "delta failures: {:?}", delta.failures());
+    for (f, d) in full.verdicts.iter().zip(&delta.verdicts) {
+        assert_eq!(f.label, d.label);
+        assert_eq!(
+            f.outcome.decisions, d.outcome.decisions,
+            "{}: decisions must be identical across gossip modes",
+            f.label
+        );
+        assert_eq!(f.outcome.detections, d.outcome.detections, "{}", f.label);
+    }
+}
+
+/// Identical decided values between modes on the threaded runtime (whose
+/// interleavings are nondeterministic, so values — determined by the
+/// identified committee — are compared, not timings).
+#[test]
+fn delta_decisions_match_full_baseline_on_threads() {
+    let full = consensus_report(true, RuntimeKind::Threaded, Some(200));
+    let delta = consensus_report(false, RuntimeKind::Threaded, Some(200));
+    assert!(
+        full.all_solved(),
+        "baseline failures: {:?}",
+        full.failures()
+    );
+    assert!(delta.all_solved(), "delta failures: {:?}", delta.failures());
+    for (f, d) in full.verdicts.iter().zip(&delta.verdicts) {
+        assert_eq!(f.label, d.label);
+        assert_eq!(
+            f.check.decided_values, d.check.decided_values,
+            "{}: decided values must agree across gossip modes",
+            f.label
+        );
+    }
+}

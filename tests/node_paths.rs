@@ -4,12 +4,21 @@
 use bft_cupft::committee::Value;
 use bft_cupft::core::{Node, NodeConfig, NodeMsg, Phase, ProtocolMode};
 use bft_cupft::detector::SystemSetup;
-use bft_cupft::discovery::DiscoveryMsg;
+use bft_cupft::discovery::{DiscoveryMsg, SyncState, DISCOVERY_TICK};
 use bft_cupft::graph::{fig1b, process_set, ProcessId};
 use bft_cupft::net::{Actor, Context};
+use std::sync::Arc;
 
 fn p(n: u64) -> ProcessId {
     ProcessId::new(n)
+}
+
+/// Wraps raw certificates in a SETPDS message.
+fn set_pds(certs: Vec<bft_cupft::detector::PdCertificate>) -> NodeMsg {
+    NodeMsg::Discovery(DiscoveryMsg::SetPds {
+        certs: certs.into_iter().map(Arc::new).collect(),
+        state: SyncState::default(),
+    })
 }
 
 /// Builds a non-member node (process 7 of Fig. 1b) and walks it to the
@@ -34,11 +43,9 @@ fn learning_node() -> Node {
         .map(|v| setup.certificate_for(v).unwrap())
         .collect();
     let mut ctx = Context::new(10, p(7));
-    node.on_message(
-        p(5),
-        NodeMsg::Discovery(DiscoveryMsg::SetPds(certs)),
-        &mut ctx,
-    );
+    node.on_message(p(5), set_pds(certs), &mut ctx);
+    // Identification runs on the discovery tick, not per message.
+    node.on_timer(DISCOVERY_TICK, &mut ctx);
     assert_eq!(node.phase(), Phase::Learning, "{:?}", node.detection());
     assert_eq!(node.detection().unwrap().members, process_set([1, 2, 3, 4]));
     node
@@ -64,11 +71,8 @@ fn learner_requests_decided_value_from_all_members() {
         .map(|v| setup.certificate_for(v).unwrap())
         .collect();
     let mut ctx = Context::new(10, p(7));
-    node.on_message(
-        p(5),
-        NodeMsg::Discovery(DiscoveryMsg::SetPds(certs)),
-        &mut ctx,
-    );
+    node.on_message(p(5), set_pds(certs), &mut ctx);
+    node.on_timer(DISCOVERY_TICK, &mut ctx);
     let targets: Vec<u64> = ctx
         .queued_sends()
         .iter()
@@ -214,11 +218,8 @@ fn member_node_starts_replica_and_proposes() {
         .map(|v| setup.certificate_for(v).unwrap())
         .collect();
     let mut ctx = Context::new(10, p(1));
-    node.on_message(
-        p(2),
-        NodeMsg::Discovery(DiscoveryMsg::SetPds(certs)),
-        &mut ctx,
-    );
+    node.on_message(p(2), set_pds(certs), &mut ctx);
+    node.on_timer(DISCOVERY_TICK, &mut ctx);
     assert_eq!(node.phase(), Phase::Member);
     assert_eq!(node.replica_view(), Some(0));
     let proposals = ctx

@@ -3,7 +3,7 @@
 
 use bft_cupft::core::{run_scenario, ByzantineStrategy, ProtocolMode, Scenario};
 use bft_cupft::crypto::{KeyRegistry, SignedPd};
-use bft_cupft::graph::{fig1b, fig4b, process_set, GdiParams, Generator};
+use bft_cupft::graph::{fig1b, fig4b, process_set, GdiParams, Generator, ProcessId};
 use bft_cupft::net::DelayPolicy;
 use proptest::prelude::*;
 
@@ -11,15 +11,15 @@ fn arb_strategy() -> impl Strategy<Value = ByzantineStrategy> {
     prop_oneof![
         Just(ByzantineStrategy::Silent),
         proptest::collection::btree_set(1u64..9, 0..4).prop_map(|s| ByzantineStrategy::FakePd {
-            claimed: s.into_iter().map(Into::into).collect(),
+            claimed: s.into_iter().map(ProcessId::new).collect(),
         }),
         (
             proptest::collection::btree_set(1u64..9, 0..3),
             proptest::collection::btree_set(1u64..9, 0..3)
         )
             .prop_map(|(a, b)| ByzantineStrategy::EquivocatePd {
-                even: a.into_iter().map(Into::into).collect(),
-                odd: b.into_iter().map(Into::into).collect(),
+                even: a.into_iter().map(ProcessId::new).collect(),
+                odd: b.into_iter().map(ProcessId::new).collect(),
             }),
     ]
 }
