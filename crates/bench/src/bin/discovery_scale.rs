@@ -12,13 +12,27 @@
 //! 2. **End-to-end consensus at scale** — full discovery → identification
 //!    → committee consensus → learning on planted-committee families at
 //!    n = 100 / 500 / 1000 (plus 2000 with `--full`), on **both**
-//!    runtimes. The sizes that used to be graph-condition-check-only
-//!    territory (`graph_scale`) now run the actual protocol in seconds.
+//!    runtimes. With the sharded router plane
+//!    ([`cupft_net::ThreadedConfig::router_shards`]) every family —
+//!    including Erdős–Rényi's Θ(n²) traffic and scale-free's hub
+//!    hotspots, which used to cap the threaded substrate at a few hundred
+//!    nodes — runs the n=1000 cell threaded, and every threaded cell's
+//!    decisions are asserted identical to the simulator's.
+//! 3. **Router shard axis** — one Erdős–Rényi topology run threaded at
+//!    `router_shards ∈ {1, 2, 4}` (1 = the classic single-router loop),
+//!    for cross-PR wall-clock comparison of the shard split itself.
 //!
 //! `--json <path>` leaves the machine-readable artifact `scripts/bench.sh`
 //! merges into `BENCH_discovery.json`; the flat `regression` keys in it
 //! are what `bench.sh --check-regression` compares.
+//!
+//! Determinism knobs for CI↔laptop comparability (`scripts/bench.sh`
+//! forwards both): `BENCH_SEED=<u64>` offsets every scenario seed
+//! (default: the committed artifact's seeds), `--shards <n>` pins the
+//! threaded cells' router shard count (default: `min(cores, 4)`, the
+//! runtime's auto resolution).
 
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 use cupft_bench::{header, json_path_from_args, write_json, Json};
@@ -34,6 +48,33 @@ const SWEEP_SIZES: [usize; 3] = [12, 18, 24];
 const SWEEP_HORIZON: u64 = 4_000;
 const E2E_SIZES: [usize; 3] = [100, 500, 1_000];
 const E2E_FULL_SIZES: [usize; 1] = [2_000];
+const SHARD_AXIS: [usize; 3] = [1, 2, 4];
+const SHARD_AXIS_N: usize = 200;
+
+/// `BENCH_SEED` offset, added to every scenario seed (sweep runs and
+/// e2e cells alike). The default of 0 reproduces the committed artifact.
+fn seed_offset() -> u64 {
+    std::env::var("BENCH_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// `--shards <n>` override for the threaded cells' router shard count.
+fn shards_override() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// The shard count threaded e2e cells run with: the `--shards` override,
+/// or the runtime's own auto resolution (`min(cores, 4)`).
+fn e2e_shards() -> usize {
+    shards_override()
+        .unwrap_or_else(|| cupft_net::ThreadedConfig::default().effective_router_shards())
+}
 
 fn psync() -> DelayPolicy {
     DelayPolicy::PartialSynchrony {
@@ -132,10 +173,11 @@ fn sweep_section(rows: &mut Vec<Json>) -> SweepTotals {
                 .generate(11)
                 .unwrap_or_else(|e| panic!("{}: {e}", scaled.label()));
             let graph = &sample.system.graph;
+            let run_seed = size as u64 + seed_offset();
             let (full_payload, full_msgs, full_views) =
-                discovery_run(graph, GossipMode::Full, size as u64);
+                discovery_run(graph, GossipMode::Full, run_seed);
             let (delta_payload, delta_msgs, delta_views) =
-                discovery_run(graph, GossipMode::Delta, size as u64);
+                discovery_run(graph, GossipMode::Delta, run_seed);
             assert_eq!(
                 full_views,
                 delta_views,
@@ -169,37 +211,70 @@ fn sweep_section(rows: &mut Vec<Json>) -> SweepTotals {
     totals
 }
 
-#[allow(clippy::too_many_lines)]
-fn e2e_cell(family: &GraphFamily, n: usize, kind: RuntimeKind) -> (bool, f64, Json) {
+/// The scenario behind one end-to-end cell (shared by sim and threaded
+/// runs of the same (family, n), so decisions are comparable).
+fn e2e_scenario(family: &GraphFamily, n: usize) -> (Scenario, usize) {
     let scaled = family.scaled(n);
     let sample = scaled
         .generate(n as u64)
         .unwrap_or_else(|e| panic!("{}: {e}", scaled.label()));
     let actual_n = sample.system.graph.vertex_count();
-    let mut scenario = Scenario::new(
+    let scenario = Scenario::new(
         sample.system.graph,
         ProtocolMode::KnownThreshold(FAULT_THRESHOLD),
     )
-    .with_seed(1)
+    .with_seed(1 + seed_offset())
     .with_policy(psync())
     .with_horizon(2_000_000);
-    if kind == RuntimeKind::Threaded && n >= 500 {
-        // Tick knobs read as milliseconds on the threaded substrate, and
-        // every message funnels through one router thread: slow the
-        // polling cadence so hundreds of nodes don't saturate it, and
-        // give the run a wall budget matched to the slower cadence (it
-        // still stops the instant every correct node decides).
-        scenario.discovery_period = 100;
-        scenario.view_timeout_base = 2_000;
-        scenario = scenario.with_threaded_wall_timeout(std::time::Duration::from_secs(180));
+    (scenario, actual_n)
+}
+
+/// Per-cell decisions, for sim↔threaded parity assertions.
+type Decisions = BTreeMap<ProcessId, Option<Vec<u8>>>;
+
+struct CellResult {
+    solved: bool,
+    wall: f64,
+    row: Json,
+    decisions: Decisions,
+    /// `Some` when a sim baseline was supplied: whether this cell's
+    /// decisions equal it (the same verdict printed and recorded in the
+    /// row — computed once).
+    matches_sim: Option<bool>,
+}
+
+fn run_e2e_cell(
+    family: &GraphFamily,
+    scenario: &Scenario,
+    actual_n: usize,
+    kind: RuntimeKind,
+    shards: Option<usize>,
+    sim_decisions: Option<&Decisions>,
+) -> CellResult {
+    let mut scenario = scenario.clone();
+    if kind == RuntimeKind::Threaded {
+        if let Some(shards) = shards {
+            scenario = scenario.with_router_shards(shards);
+        }
+        if actual_n >= 500 {
+            // Tick knobs read as milliseconds on the threaded substrate:
+            // slow the polling cadence so hundreds of nodes don't swamp
+            // the router plane during the discovery transient, and give
+            // the run a wall budget matched to the slower cadence (it
+            // still stops the instant every correct node decides).
+            scenario.discovery_period = 100;
+            scenario.view_timeout_base = 4_000;
+            scenario = scenario.with_threaded_wall_timeout(std::time::Duration::from_secs(600));
+        }
     }
     let started = Instant::now();
     let outcome = scenario.run_on(kind);
     let wall = started.elapsed().as_secs_f64();
     let check = outcome.check();
     let solved = check.consensus_solved();
+    let matches_sim = sim_decisions.map(|sim| sim == &outcome.decisions);
     println!(
-        "  {:<18} n={:<5} {:<8} {} wall={:>7.2}s end_time={:<8} msgs={:<9} payload={}",
+        "  {:<18} n={:<5} {:<8} {} wall={:>7.2}s end_time={:<8} msgs={:<9} payload={}{}",
         family.name(),
         actual_n,
         kind.label(),
@@ -208,19 +283,75 @@ fn e2e_cell(family: &GraphFamily, n: usize, kind: RuntimeKind) -> (bool, f64, Js
         outcome.end_time,
         outcome.stats.messages_sent,
         outcome.stats.payload_units,
+        match matches_sim {
+            Some(true) => "  decisions==sim",
+            Some(false) => "  DECISIONS DIVERGE FROM SIM",
+            None => "",
+        },
     );
-    let row = Json::obj([
-        ("family", Json::str(family.name())),
-        ("n", Json::U64(actual_n as u64)),
-        ("runtime", Json::str(kind.label())),
-        ("solved", Json::Bool(solved)),
-        ("agreement", Json::Bool(check.agreement)),
-        ("wall_seconds", Json::F64(wall)),
-        ("end_time", Json::U64(outcome.end_time)),
-        ("messages", Json::U64(outcome.stats.messages_sent)),
-        ("payload_units", Json::U64(outcome.stats.payload_units)),
-    ]);
-    (solved, wall, row)
+    let mut fields = vec![
+        ("family".to_string(), Json::str(family.name())),
+        ("n".to_string(), Json::U64(actual_n as u64)),
+        ("runtime".to_string(), Json::str(kind.label())),
+        ("solved".to_string(), Json::Bool(solved)),
+        ("agreement".to_string(), Json::Bool(check.agreement)),
+        ("wall_seconds".to_string(), Json::F64(wall)),
+        ("end_time".to_string(), Json::U64(outcome.end_time)),
+        (
+            "messages".to_string(),
+            Json::U64(outcome.stats.messages_sent),
+        ),
+        (
+            "payload_units".to_string(),
+            Json::U64(outcome.stats.payload_units),
+        ),
+    ];
+    if let Some(shards) = shards {
+        fields.push(("router_shards".to_string(), Json::U64(shards as u64)));
+    }
+    if let Some(matches) = matches_sim {
+        fields.push(("decisions_match_sim".to_string(), Json::Bool(matches)));
+    }
+    CellResult {
+        solved,
+        wall,
+        row: Json::Obj(fields),
+        decisions: outcome.decisions,
+        matches_sim,
+    }
+}
+
+/// One Erdős–Rényi topology threaded across the shard axis: wall clock
+/// and verdicts per `router_shards`, each checked against the simulator's
+/// decisions.
+fn shard_axis_section(rows: &mut Vec<Json>) {
+    let family = GraphFamily::erdos_renyi(100, FAULT_THRESHOLD);
+    let (mut scenario, actual_n) = e2e_scenario(&family, SHARD_AXIS_N);
+    // The x1 cell runs Θ(n²) Erdős–Rényi traffic through one router
+    // thread — the exact bottleneck the axis measures — so apply the
+    // slow-cadence knobs unconditionally (run_e2e_cell only applies them
+    // from n=500 up) and a generous wall budget: the axis compares shard
+    // counts under one cadence, and must not time out on slower machines.
+    scenario.discovery_period = 100;
+    scenario.view_timeout_base = 4_000;
+    scenario = scenario.with_threaded_wall_timeout(std::time::Duration::from_secs(600));
+    let sim = run_e2e_cell(&family, &scenario, actual_n, RuntimeKind::Sim, None, None);
+    assert!(sim.solved, "shard axis: sim cell must solve consensus");
+    for shards in SHARD_AXIS {
+        let cell = run_e2e_cell(
+            &family,
+            &scenario,
+            actual_n,
+            RuntimeKind::Threaded,
+            Some(shards),
+            Some(&sim.decisions),
+        );
+        assert!(
+            cell.solved,
+            "shard axis: threaded x{shards} must solve consensus"
+        );
+        rows.push(cell.row);
+    }
 }
 
 fn main() {
@@ -244,8 +375,11 @@ fn main() {
     );
 
     header("End-to-end consensus at scale (discovery → identification → consensus → learning)");
+    let threaded_shards = e2e_shards();
+    println!("  (threaded cells run router_shards = {threaded_shards})");
     let mut e2e_rows = Vec::new();
     let mut all_solved = true;
+    let mut all_match_sim = true;
     let mut e2e_wall_total = 0.0;
     let mut sizes: Vec<usize> = E2E_SIZES.to_vec();
     if full {
@@ -253,48 +387,56 @@ fn main() {
     }
     for family in e2e_families() {
         for &n in &sizes {
-            for kind in [RuntimeKind::Sim, RuntimeKind::Threaded] {
-                // 2000 OS threads is a stress test, not a benchmark cell.
-                if kind == RuntimeKind::Threaded && n > 1_000 {
-                    continue;
-                }
-                // Erdős–Rényi's random periphery edges make every node
-                // learn of (and poll) the whole system, so its per-round
-                // traffic is Θ(n²) — beyond the single router thread of
-                // the threaded substrate above a few hundred nodes; the
-                // scale-free family concentrates the same pressure on its
-                // hub inboxes at n=1000. The simulator carries their
-                // scale series; the threaded cells stay at the sizes the
-                // router can drain (k-diamond and bridged-partition run
-                // the full size axis on both substrates).
-                let threaded_cap = match family {
-                    GraphFamily::ErdosRenyi { .. } => 100,
-                    GraphFamily::ScaleFree { .. } => 500,
-                    _ => usize::MAX,
-                };
-                if kind == RuntimeKind::Threaded && n > threaded_cap {
-                    continue;
-                }
-                let (solved, wall, row) = e2e_cell(&family, n, kind);
-                all_solved &= solved;
-                e2e_wall_total += wall;
-                e2e_rows.push(row);
+            let (scenario, actual_n) = e2e_scenario(&family, n);
+            let sim = run_e2e_cell(&family, &scenario, actual_n, RuntimeKind::Sim, None, None);
+            all_solved &= sim.solved;
+            e2e_wall_total += sim.wall;
+            e2e_rows.push(sim.row);
+            // 2000 OS threads is a stress test, not a benchmark cell.
+            // Everything up to n=1000 runs threaded too: the sharded
+            // router plane drains Erdős–Rényi's Θ(n²) periphery traffic
+            // and scale-free's hub hotspots, which used to cap the
+            // threaded substrate at a few hundred nodes.
+            if n > 1_000 {
+                continue;
             }
+            let threaded = run_e2e_cell(
+                &family,
+                &scenario,
+                actual_n,
+                RuntimeKind::Threaded,
+                Some(threaded_shards),
+                Some(&sim.decisions),
+            );
+            all_solved &= threaded.solved;
+            all_match_sim &= threaded.matches_sim.unwrap_or(false);
+            e2e_wall_total += threaded.wall;
+            e2e_rows.push(threaded.row);
         }
     }
     assert!(all_solved, "every end-to-end cell must solve consensus");
+    assert!(
+        all_match_sim,
+        "every threaded cell must reach the simulator's decisions"
+    );
+
+    header("Router shard axis (erdos-renyi, threaded, router_shards in {1, 2, 4})");
+    let mut shard_rows = Vec::new();
+    shard_axis_section(&mut shard_rows);
 
     println!();
     println!("Expected shape: sweep payload drops ≥10x because delta replies carry only");
-    println!("unseen certificates and synced pairs stop polling; end-to-end n=1000 runs in");
-    println!("seconds because identification is dirty-gated per tick and the candidate");
-    println!("search stops at the planted committee before touching giant periphery SCCs.");
+    println!("unseen certificates and synced pairs stop polling; end-to-end n=1000 runs on");
+    println!("both substrates because identification is dirty-gated per tick and delivery");
+    println!("scheduling fans out across router shards instead of one router thread.");
 
     if let Some(path) = json_path_from_args() {
         let doc = Json::obj([
             ("fault_threshold", Json::U64(FAULT_THRESHOLD as u64)),
+            ("router_shards", Json::U64(threaded_shards as u64)),
             ("sweep", Json::Arr(sweep_rows)),
             ("e2e", Json::Arr(e2e_rows)),
+            ("shard_axis", Json::Arr(shard_rows)),
             (
                 "regression",
                 Json::obj([

@@ -62,11 +62,15 @@ pub struct Scenario {
     /// instead of delta gossip (see [`NodeConfig::full_gossip`]).
     pub full_gossip: bool,
     /// Wall-clock budget when run on the threaded substrate (default
-    /// 60 s). Large-n threaded runs route every message through one
-    /// router thread, so generous budgets are a scale knob, not a
-    /// correctness one — the run still stops the moment every correct
-    /// node has decided.
+    /// 60 s). Generous budgets are a scale knob, not a correctness one —
+    /// the run still stops the moment every correct node has decided.
     pub threaded_wall_timeout: Option<Duration>,
+    /// Router shard count when run on the threaded substrate: `None`
+    /// defers to the runtime's auto default (`min(cores, 4)`),
+    /// `Some(1)` pins the classic single-router loop, larger values
+    /// spread delivery scheduling across that many shards (see
+    /// [`ThreadedConfig::router_shards`]). Ignored by the simulator.
+    pub router_shards: Option<usize>,
 }
 
 impl Scenario {
@@ -93,6 +97,7 @@ impl Scenario {
             view_timeout_base: 400,
             full_gossip: false,
             threaded_wall_timeout: None,
+            router_shards: None,
         }
     }
 
@@ -131,6 +136,16 @@ impl Scenario {
     /// Overrides the threaded-substrate wall-clock budget.
     pub fn with_threaded_wall_timeout(mut self, timeout: Duration) -> Self {
         self.threaded_wall_timeout = Some(timeout);
+        self
+    }
+
+    /// Pins the threaded-substrate router shard count (`1` = the classic
+    /// single-router loop; leaving the knob unset — or passing `0`,
+    /// which [`ThreadedConfig::router_shards`] defines as auto — defers
+    /// to the runtime's `min(cores, 4)` resolution, which is
+    /// machine-dependent, not pinned). No effect on the simulator.
+    pub fn with_router_shards(mut self, shards: usize) -> Self {
+        self.router_shards = Some(shards);
         self
     }
 
@@ -320,6 +335,7 @@ impl Scenario {
                 .unwrap_or(Duration::from_secs(60)),
             seed: self.sim.seed,
             stop: None,
+            router_shards: self.router_shards.unwrap_or(0),
         }
     }
 

@@ -15,7 +15,10 @@
 //!   policies (needed to reproduce the indistinguishability executions of
 //!   Theorem 7 exactly);
 //! * [`threaded::ThreadedRuntime`] — an OS-thread runtime using channel
-//!   inboxes with randomized real-time delays, for wall-clock validation
+//!   inboxes with randomized real-time delays applied by a **sharded
+//!   router plane** ([`ThreadedConfig::router_shards`],
+//!   destination-hashed, per-shard delay wheels and stats merged
+//!   deterministically), for wall-clock validation
 //!   ([`threaded::run_threaded`] remains as a by-value convenience).
 //!
 //! Experiment code written against `Runtime` — like

@@ -64,6 +64,31 @@ impl NetStats {
     pub fn payload_delivered(&self) -> u64 {
         self.payload_units.saturating_sub(self.payload_dropped)
     }
+
+    /// Folds another stats block into this one, summing every counter and
+    /// per-label map.
+    ///
+    /// This is how the sharded threaded router merges per-shard stats back
+    /// into the run's single `NetStats` surface: shards are merged in
+    /// shard-index order, so given the same per-shard outcomes the merged
+    /// totals are deterministic, and every aggregate (`messages_sent`,
+    /// `payload_units`, `by_label`, …) is conserved — the merge of N shard
+    /// stats equals what one router observing all N traffic streams would
+    /// have recorded.
+    pub fn merge(&mut self, other: &NetStats) {
+        self.messages_sent += other.messages_sent;
+        self.messages_delivered += other.messages_delivered;
+        self.messages_dropped += other.messages_dropped;
+        self.payload_units += other.payload_units;
+        self.payload_dropped += other.payload_dropped;
+        self.timers_fired += other.timers_fired;
+        for (label, count) in &other.by_label {
+            *self.by_label.entry(label).or_insert(0) += count;
+        }
+        for (label, payload) in &other.payload_by_label {
+            *self.payload_by_label.entry(label).or_insert(0) += payload;
+        }
+    }
 }
 
 impl fmt::Display for NetStats {
@@ -99,6 +124,35 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("PING=2"));
         assert!(text.contains("sent=3"));
+    }
+
+    #[test]
+    fn merge_conserves_every_counter() {
+        let mut a = NetStats::default();
+        a.record_send("PING", 0);
+        a.record_send("SETPDS", 5);
+        a.messages_delivered = 2;
+        a.timers_fired = 3;
+        let mut b = NetStats::default();
+        b.record_send("SETPDS", 7);
+        b.record_drop(7);
+        b.messages_delivered = 1;
+
+        // Merging shard-by-shard equals one router seeing all traffic.
+        let mut reference = NetStats::default();
+        reference.record_send("PING", 0);
+        reference.record_send("SETPDS", 5);
+        reference.record_send("SETPDS", 7);
+        reference.record_drop(7);
+        reference.messages_delivered = 3;
+        reference.timers_fired = 3;
+
+        let mut merged = NetStats::default();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged, reference);
+        assert_eq!(merged.label_payload("SETPDS"), 12);
+        assert_eq!(merged.payload_delivered(), 5);
     }
 
     #[test]

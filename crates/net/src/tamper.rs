@@ -25,6 +25,13 @@
 //! Implementations must be deterministic functions of their own state and
 //! the call sequence; on the simulator the call sequence itself is
 //! deterministic, so seeded tampers replay exactly.
+//!
+//! On the threaded runtime's sharded router plane the tamper is
+//! serialized through a single dedicated shard: regardless of
+//! [`crate::ThreadedConfig::router_shards`], one `&mut` tamper state sees
+//! every message once, at send time, with each sender's emissions in
+//! order — so a `TamperSpec`'s observable semantics do not change with
+//! the shard count.
 
 use cupft_graph::ProcessId;
 

@@ -1,10 +1,31 @@
 //! OS-thread runtime: the same actors on real threads and channels.
 //!
-//! Each actor runs on its own thread with a crossbeam inbox; a router
-//! thread applies randomized delivery delays. Real-time interleaving is
-//! inherently nondeterministic — use [`crate::sim::Simulation`] for
-//! reproducible experiments and this runtime for wall-clock validation
-//! that the protocols are not simulator artifacts.
+//! Each actor runs on its own thread with a crossbeam inbox; a **sharded
+//! router plane** applies randomized delivery delays. Messages are hashed
+//! by destination onto one of [`ThreadedConfig::router_shards`] router
+//! shards, each owning its own delay wheel, inbox channel, RNG stream,
+//! and [`NetStats`] block — the per-shard stats are merged
+//! deterministically (shard-index order) into the single `NetStats`
+//! surface the [`crate::Runtime`] trait reports, so callers see exactly
+//! the counters a single router would have recorded.
+//!
+//! With `router_shards = 1` the runtime runs the classic single-router
+//! loop on the driving thread — bit-compatible with the pre-sharding
+//! runtime. With more shards, Θ(n²) all-to-all traffic (Erdős–Rényi
+//! knowledge graphs) and hub-focused traffic (scale-free graphs) no
+//! longer funnel through one router thread.
+//!
+//! A [`Tamper`] layer, when installed, is serialized through a single
+//! dedicated shard (shard 0): every send is routed to it first, so the
+//! tamper keeps seeing each message once, at send time, in the order the
+//! sending actor emitted it, with one `&mut` state — its observable
+//! semantics are independent of the shard count. Post-disposition, the
+//! message is handed to its destination's shard for delay scheduling.
+//!
+//! Real-time interleaving is inherently nondeterministic — use
+//! [`crate::sim::Simulation`] for reproducible experiments and this
+//! runtime for wall-clock validation that the protocols are not simulator
+//! artifacts.
 
 use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -24,6 +45,10 @@ use crate::stats::NetStats;
 use crate::tamper::{Fate, Tamper};
 use crate::Time;
 
+/// Seed stride separating the per-shard delay-RNG streams (shard 0 keeps
+/// the configured seed unchanged, matching the single-router stream).
+const SHARD_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
 /// Configuration for the threaded runtime.
 #[derive(Debug, Clone)]
 pub struct ThreadedConfig {
@@ -40,6 +65,15 @@ pub struct ThreadedConfig {
     /// where the caller detects goal completion out of band, e.g. via a
     /// [`Board`]).
     pub stop: Option<Arc<AtomicBool>>,
+    /// Number of router shards the delivery plane runs on.
+    ///
+    /// `0` (the default) resolves to `min(available cores, 4)`. `1` runs
+    /// the classic single-router loop on the driving thread —
+    /// bit-compatible with the pre-sharding runtime. Each shard owns its
+    /// own delay wheel, RNG stream (shard 0 keeps `seed` exactly), and
+    /// [`NetStats`] block; per-shard stats are merged in shard-index
+    /// order into the reported totals.
+    pub router_shards: usize,
 }
 
 impl Default for ThreadedConfig {
@@ -50,6 +84,20 @@ impl Default for ThreadedConfig {
             wall_timeout: Duration::from_secs(10),
             seed: 0,
             stop: None,
+            router_shards: 0,
+        }
+    }
+}
+
+impl ThreadedConfig {
+    /// The shard count this configuration resolves to: `router_shards`,
+    /// or `min(available cores, 4)` when left at the `0` auto default.
+    pub fn effective_router_shards(&self) -> usize {
+        match self.router_shards {
+            0 => std::thread::available_parallelism()
+                .map_or(1, |n| n.get())
+                .min(4),
+            n => n,
         }
     }
 }
@@ -58,7 +106,8 @@ impl Default for ThreadedConfig {
 pub struct ThreadedReport<M> {
     /// The actors, keyed by ID, in their final states.
     pub actors: BTreeMap<ProcessId, Box<dyn Actor<M>>>,
-    /// Network statistics observed by the router.
+    /// Network statistics observed by the router plane (merged across
+    /// shards).
     pub stats: NetStats,
     /// Whether every actor halted before the wall timeout.
     pub all_halted: bool,
@@ -87,6 +136,108 @@ enum RouterMsg<M> {
     Halted(ProcessId),
 }
 
+/// A message on a router shard's channel.
+enum ShardMsg<M> {
+    /// A fresh send from an actor (or, with a tamper installed, the whole
+    /// flow arriving at the tamper shard): record stats, consult the
+    /// tamper, then schedule or forward.
+    Send {
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+        label: &'static str,
+    },
+    /// A post-tamper handoff from the tamper shard to the destination's
+    /// shard: stats and disposition already happened, only delay
+    /// scheduling remains.
+    Forward {
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+        extra: Duration,
+    },
+}
+
+/// The shard a destination's deliveries are scheduled on.
+fn shard_of(to: ProcessId, shard_count: usize) -> usize {
+    (to.raw() as usize) % shard_count
+}
+
+/// The actor-side handle onto the router plane: routes sends to the right
+/// shard (or the single router) and halt notices to the coordinator.
+enum Outbox<M> {
+    /// The classic single-router channel.
+    Single(Sender<RouterMsg<M>>),
+    /// The sharded plane: destination-hashed shard channels, an optional
+    /// sticky tamper shard every send is serialized through, and the
+    /// coordinator's halt channel.
+    Sharded {
+        shards: Arc<Vec<Sender<ShardMsg<M>>>>,
+        tamper_shard: Option<usize>,
+        halt: Sender<ProcessId>,
+    },
+}
+
+impl<M> Clone for Outbox<M> {
+    fn clone(&self) -> Self {
+        match self {
+            Outbox::Single(tx) => Outbox::Single(tx.clone()),
+            Outbox::Sharded {
+                shards,
+                tamper_shard,
+                halt,
+            } => Outbox::Sharded {
+                shards: shards.clone(),
+                tamper_shard: *tamper_shard,
+                halt: halt.clone(),
+            },
+        }
+    }
+}
+
+impl<M: Labeled> Outbox<M> {
+    fn send(&self, from: ProcessId, to: ProcessId, msg: M) {
+        let label = msg.label();
+        match self {
+            Outbox::Single(tx) => {
+                let _ = tx.send(RouterMsg::Send {
+                    from,
+                    to,
+                    msg,
+                    label,
+                });
+            }
+            Outbox::Sharded {
+                shards,
+                tamper_shard,
+                ..
+            } => {
+                // With a tamper installed every send flows through the
+                // tamper shard first, preserving per-sender emission order
+                // at the single tamper state.
+                let idx = tamper_shard.unwrap_or_else(|| shard_of(to, shards.len()));
+                let _ = shards[idx].send(ShardMsg::Send {
+                    from,
+                    to,
+                    msg,
+                    label,
+                });
+            }
+        }
+    }
+
+    fn halted(&self, id: ProcessId) {
+        match self {
+            Outbox::Single(tx) => {
+                let _ = tx.send(RouterMsg::Halted(id));
+            }
+            Outbox::Sharded { halt, .. } => {
+                let _ = halt.send(id);
+            }
+        }
+    }
+}
+
 struct Pending<M> {
     due: Instant,
     seq: u64,
@@ -113,8 +264,8 @@ impl<M> Ord for Pending<M> {
     }
 }
 
-/// The OS-thread [`Runtime`]: each actor on its own thread, a router on
-/// the driving thread applying randomized delivery delays.
+/// The OS-thread [`Runtime`]: each actor on its own thread, a sharded
+/// router plane applying randomized delivery delays.
 ///
 /// Lifecycle mirrors the trait contract: [`Runtime::add_actor`] before the
 /// run, one [`Runtime::run_until_stopped`] (actors are consumed by their
@@ -146,7 +297,8 @@ impl<M> ThreadedRuntime<M> {
     }
 
     /// Installs a message-interception layer (see [`crate::tamper`]). The
-    /// tamper runs on the router thread; `now` is elapsed milliseconds.
+    /// tamper runs serialized on one router shard; `now` is elapsed
+    /// milliseconds.
     pub fn set_tamper(&mut self, tamper: Box<dyn Tamper<M>>) {
         assert!(
             self.last_report.is_none(),
@@ -259,10 +411,30 @@ struct RouterRun<M> {
     elapsed: Duration,
 }
 
-/// Spawns actor threads and drives the delay router until all actors halt,
-/// `stop` (or the config's external stop flag) fires, or the wall timeout
-/// expires.
+/// Spawns actor threads and drives the router plane until all actors
+/// halt, `stop` (or the config's external stop flag) fires, or the wall
+/// timeout expires. Dispatches on the effective shard count: one shard
+/// runs the classic single-router loop on the driving thread, more run
+/// [`run_router_sharded`].
 fn run_router<M>(
+    actors: Vec<Box<dyn Actor<M>>>,
+    config: &ThreadedConfig,
+    stop: &mut dyn FnMut() -> bool,
+    tamper: &mut Option<Box<dyn Tamper<M>>>,
+) -> RouterRun<M>
+where
+    M: Clone + Send + Labeled + 'static,
+{
+    if config.effective_router_shards() <= 1 {
+        run_router_single(actors, config, stop, tamper)
+    } else {
+        run_router_sharded(actors, config, stop, tamper)
+    }
+}
+
+/// The classic single-router loop (`router_shards = 1`): delay wheel,
+/// stats, tamper, and halt tracking all on the driving thread.
+fn run_router_single<M>(
     actors: Vec<Box<dyn Actor<M>>>,
     config: &ThreadedConfig,
     stop: &mut dyn FnMut() -> bool,
@@ -284,10 +456,10 @@ where
         let id = actor.id();
         let (tx, rx) = bounded::<(ProcessId, M)>(4096);
         inboxes.insert(id, tx);
-        let router_tx = router_tx.clone();
+        let outbox = Outbox::Single(router_tx.clone());
         let shutdown = shutdown.clone();
         handles.push(thread::spawn(move || {
-            actor_loop(actor, rx, router_tx, shutdown, start)
+            actor_loop(actor, rx, outbox, shutdown, start)
         }));
     }
     drop(router_tx);
@@ -319,31 +491,7 @@ where
             break;
         }
         // Deliver everything due.
-        while heap.peek().is_some_and(|p| p.due <= now) {
-            let p = heap.pop().expect("peeked");
-            if let Some(tx) = inboxes.get(&p.to) {
-                match tx.try_send((p.from, p.msg)) {
-                    Ok(()) => stats.messages_delivered += 1,
-                    Err(TrySendError::Full((from, msg))) => {
-                        // Channels are reliable (Section II-A): a full inbox
-                        // defers delivery, never drops. Retry strictly later
-                        // than `now` so this loop terminates; the wall
-                        // timeout bounds total retrying.
-                        seq += 1;
-                        heap.push(Pending {
-                            due: now + config.min_delay.max(Duration::from_millis(1)),
-                            seq,
-                            from,
-                            to: p.to,
-                            msg,
-                        });
-                    }
-                    // Receiver gone: the actor halted — dropping mirrors the
-                    // simulator discarding events for halted actors.
-                    Err(TrySendError::Disconnected(_)) => {}
-                }
-            }
-        }
+        deliver_due(&mut heap, &mut seq, &inboxes, &mut stats, now, config);
         let wait = heap
             .peek()
             .map(|p| p.due.saturating_duration_since(now))
@@ -417,10 +565,336 @@ where
     }
 }
 
+/// Pops every due entry off a shard's delay wheel and delivers it into the
+/// destination inbox. Channels are reliable (Section II-A): a full inbox
+/// defers delivery, never drops — the entry is re-pushed strictly later
+/// than `now` so this loop terminates; the wall timeout bounds total
+/// retrying. A disconnected receiver means the actor halted — dropping
+/// mirrors the simulator discarding events for halted actors.
+fn deliver_due<M>(
+    heap: &mut BinaryHeap<Pending<M>>,
+    seq: &mut u64,
+    inboxes: &BTreeMap<ProcessId, Sender<(ProcessId, M)>>,
+    stats: &mut NetStats,
+    now: Instant,
+    config: &ThreadedConfig,
+) {
+    while heap.peek().is_some_and(|p| p.due <= now) {
+        let p = heap.pop().expect("peeked");
+        if let Some(tx) = inboxes.get(&p.to) {
+            match tx.try_send((p.from, p.msg)) {
+                Ok(()) => stats.messages_delivered += 1,
+                Err(TrySendError::Full((from, msg))) => {
+                    *seq += 1;
+                    heap.push(Pending {
+                        due: now + config.min_delay.max(Duration::from_millis(1)),
+                        seq: *seq,
+                        from,
+                        to: p.to,
+                        msg,
+                    });
+                }
+                Err(TrySendError::Disconnected(_)) => {}
+            }
+        }
+    }
+}
+
+/// Everything one router shard needs to run: its channel, the full shard
+/// sender table (for post-tamper forwarding), the actor inboxes, and —
+/// on the tamper shard only — the tamper itself.
+struct ShardTask<M> {
+    index: usize,
+    rx: Receiver<ShardMsg<M>>,
+    peers: Vec<Sender<ShardMsg<M>>>,
+    inboxes: BTreeMap<ProcessId, Sender<(ProcessId, M)>>,
+    tamper: Option<Box<dyn Tamper<M>>>,
+}
+
+/// One router shard's loop: schedule sends through the delay wheel,
+/// deliver due messages into inboxes, run the tamper (tamper shard only)
+/// and forward post-disposition messages to their destination shard.
+/// Returns the shard's private [`NetStats`] for the deterministic merge.
+fn shard_loop<M>(
+    task: ShardTask<M>,
+    config: &ThreadedConfig,
+    shutdown: &AtomicBool,
+    start: Instant,
+) -> NetStats
+where
+    M: Clone + Send + Labeled + 'static,
+{
+    let ShardTask {
+        index,
+        rx,
+        peers,
+        inboxes,
+        mut tamper,
+    } = task;
+    let shard_count = peers.len();
+    let mut stats = NetStats::default();
+    let mut heap: BinaryHeap<Pending<M>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    // Shard 0 keeps the configured seed; the others take decorrelated
+    // streams along a golden-ratio stride.
+    let mut rng = StdRng::seed_from_u64(
+        config
+            .seed
+            .wrapping_add((index as u64).wrapping_mul(SHARD_SEED_STRIDE)),
+    );
+    let spread = config
+        .max_delay
+        .saturating_sub(config.min_delay)
+        .as_millis() as u64;
+    let deadline = start + config.wall_timeout;
+
+    let schedule = |heap: &mut BinaryHeap<Pending<M>>,
+                    seq: &mut u64,
+                    rng: &mut StdRng,
+                    from: ProcessId,
+                    to: ProcessId,
+                    msg: M,
+                    extra: Duration| {
+        let jitter = if spread == 0 {
+            0
+        } else {
+            rng.random_range(0..=spread)
+        };
+        *seq += 1;
+        heap.push(Pending {
+            due: Instant::now() + config.min_delay + Duration::from_millis(jitter) + extra,
+            seq: *seq,
+            from,
+            to,
+            msg,
+        });
+    };
+
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            // Drain, then exit. In the single-router loop an actor's
+            // final sends are recorded before its Halted is even
+            // observable (same FIFO channel); here halts bypass the
+            // shard channels, so the coordinator can raise shutdown
+            // while trailing sends still sit in `rx`. Account for them —
+            // record_send, tamper disposition, drop counting — so the
+            // merged stats of an all-halted run equal what the single
+            // router would have recorded. Nothing more gets *delivered*
+            // (the run is over; pending heap entries are discarded on
+            // either path), so only the accounting runs.
+            while let Ok(shard_msg) = rx.try_recv() {
+                // Forwards were already recorded by the tamper shard.
+                let ShardMsg::Send {
+                    from,
+                    to,
+                    msg,
+                    label,
+                } = shard_msg
+                else {
+                    continue;
+                };
+                let payload = msg.payload_units();
+                stats.record_send(label, payload);
+                if let Some(t) = tamper.as_mut() {
+                    if let Fate::Drop =
+                        t.disposition(from, to, label, start.elapsed().as_millis() as Time)
+                    {
+                        stats.record_drop(payload);
+                    }
+                }
+            }
+            break;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        deliver_due(&mut heap, &mut seq, &inboxes, &mut stats, now, config);
+        let wait = heap
+            .peek()
+            .map(|p| p.due.saturating_duration_since(now))
+            .unwrap_or(Duration::from_millis(5))
+            .min(deadline.saturating_duration_since(now))
+            .min(Duration::from_millis(5));
+        match rx.recv_timeout(wait) {
+            Ok(ShardMsg::Send {
+                from,
+                to,
+                msg,
+                label,
+            }) => {
+                let payload = msg.payload_units();
+                stats.record_send(label, payload);
+                let mut extra = Duration::ZERO;
+                if let Some(t) = tamper.as_mut() {
+                    match t.disposition(from, to, label, start.elapsed().as_millis() as Time) {
+                        Fate::Deliver => {}
+                        Fate::Delay(ms) => extra = Duration::from_millis(ms),
+                        Fate::Drop => {
+                            stats.record_drop(payload);
+                            continue;
+                        }
+                    }
+                    // Tamper shard: hand surviving messages to their
+                    // destination's shard for delay scheduling.
+                    let dest = shard_of(to, shard_count);
+                    if dest != index {
+                        let _ = peers[dest].send(ShardMsg::Forward {
+                            from,
+                            to,
+                            msg,
+                            extra,
+                        });
+                        continue;
+                    }
+                }
+                schedule(&mut heap, &mut seq, &mut rng, from, to, msg, extra);
+            }
+            Ok(ShardMsg::Forward {
+                from,
+                to,
+                msg,
+                extra,
+            }) => {
+                schedule(&mut heap, &mut seq, &mut rng, from, to, msg, extra);
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    stats
+}
+
+/// The sharded router plane (`router_shards >= 2`): N shard threads own
+/// the delay wheels and stats; the driving thread coordinates halt
+/// tracking, the stop condition, and the deadline, then merges shard
+/// stats in index order.
+fn run_router_sharded<M>(
+    actors: Vec<Box<dyn Actor<M>>>,
+    config: &ThreadedConfig,
+    stop: &mut dyn FnMut() -> bool,
+    tamper: &mut Option<Box<dyn Tamper<M>>>,
+) -> RouterRun<M>
+where
+    M: Clone + Send + Labeled + 'static,
+{
+    let shard_count = config.effective_router_shards();
+    let start = Instant::now();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (halt_tx, halt_rx) = unbounded::<ProcessId>();
+
+    let mut shard_txs = Vec::with_capacity(shard_count);
+    let mut shard_rxs = Vec::with_capacity(shard_count);
+    for _ in 0..shard_count {
+        let (tx, rx) = unbounded::<ShardMsg<M>>();
+        shard_txs.push(tx);
+        shard_rxs.push(rx);
+    }
+    let shard_txs = Arc::new(shard_txs);
+
+    // Inbox per actor, shared with every shard (each shard only delivers
+    // to the destinations hashed onto it, but the tamper shard may own
+    // any destination).
+    let mut inboxes: BTreeMap<ProcessId, Sender<(ProcessId, M)>> = BTreeMap::new();
+    let mut actor_handles = Vec::new();
+    let ids: Vec<ProcessId> = actors.iter().map(|a| a.id()).collect();
+    let tamper_shard = tamper.is_some().then_some(0);
+
+    let mut actor_rxs = Vec::new();
+    for actor in &actors {
+        let (tx, rx) = bounded::<(ProcessId, M)>(4096);
+        inboxes.insert(actor.id(), tx);
+        actor_rxs.push(rx);
+    }
+    for (actor, rx) in actors.into_iter().zip(actor_rxs) {
+        let outbox = Outbox::Sharded {
+            shards: shard_txs.clone(),
+            tamper_shard,
+            halt: halt_tx.clone(),
+        };
+        let shutdown = shutdown.clone();
+        actor_handles.push(thread::spawn(move || {
+            actor_loop(actor, rx, outbox, shutdown, start)
+        }));
+    }
+    drop(halt_tx);
+
+    let mut shard_handles = Vec::with_capacity(shard_count);
+    for (index, rx) in shard_rxs.into_iter().enumerate() {
+        let task = ShardTask {
+            index,
+            rx,
+            peers: shard_txs.as_ref().clone(),
+            inboxes: inboxes.clone(),
+            // Only shard 0 runs the tamper (serialized, single state).
+            tamper: if index == 0 { tamper.take() } else { None },
+        };
+        let config = config.clone();
+        let shutdown = shutdown.clone();
+        shard_handles.push(thread::spawn(move || {
+            shard_loop(task, &config, &shutdown, start)
+        }));
+    }
+    drop(shard_txs);
+
+    // Coordinator loop on the driving thread: halt tracking, stop
+    // condition, deadline.
+    let mut halted: BTreeMap<ProcessId, bool> = ids.iter().map(|&i| (i, false)).collect();
+    let deadline = start + config.wall_timeout;
+    let mut stopped = false;
+    loop {
+        if halted.values().all(|&h| h) {
+            break;
+        }
+        if stop()
+            || config
+                .stop
+                .as_ref()
+                .is_some_and(|s| s.load(Ordering::SeqCst))
+        {
+            stopped = true;
+            break;
+        }
+        if Instant::now() >= deadline {
+            break;
+        }
+        match halt_rx.recv_timeout(Duration::from_millis(5)) {
+            Ok(id) => {
+                halted.insert(id, true);
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+
+    let all_halted = halted.values().all(|&h| h);
+    shutdown.store(true, Ordering::SeqCst);
+    // Merge shard stats in index order: deterministic given the per-shard
+    // outcomes, and conserving every counter (see `NetStats::merge`).
+    let mut stats = NetStats::default();
+    for handle in shard_handles {
+        let shard_stats = handle.join().expect("router shard panicked");
+        stats.merge(&shard_stats);
+    }
+    drop(inboxes);
+    let mut out = BTreeMap::new();
+    for handle in actor_handles {
+        let actor = handle.join().expect("actor thread panicked");
+        out.insert(actor.id(), actor);
+    }
+    RouterRun {
+        actors: out,
+        stats,
+        all_halted,
+        stopped,
+        elapsed: start.elapsed(),
+    }
+}
+
 fn actor_loop<M>(
     mut actor: Box<dyn Actor<M>>,
     inbox: Receiver<(ProcessId, M)>,
-    router: Sender<RouterMsg<M>>,
+    router: Outbox<M>,
     shutdown: Arc<AtomicBool>,
     start: Instant,
 ) -> Box<dyn Actor<M>>
@@ -499,7 +973,7 @@ where
         }
     }
     if halted {
-        let _ = router.send(RouterMsg::Halted(id));
+        router.halted(id);
     }
     actor
 }
@@ -507,7 +981,7 @@ where
 /// Applies buffered context effects; returns whether the actor halted.
 fn apply<M>(
     timers: &mut BinaryHeap<(std::cmp::Reverse<Time>, TimerKind)>,
-    router: &Sender<RouterMsg<M>>,
+    router: &Outbox<M>,
     id: ProcessId,
     ctx: Context<M>,
     now: Time,
@@ -522,13 +996,7 @@ where
         ..
     } = ctx;
     for (to, msg) in sends {
-        let label = msg.label();
-        let _ = router.send(RouterMsg::Send {
-            from: id,
-            to,
-            msg,
-            label,
-        });
+        router.send(id, to, msg);
     }
     for (kind, delay) in new_timers {
         timers.push((std::cmp::Reverse(now + delay), kind));
@@ -624,10 +1092,8 @@ mod tests {
         }
     }
 
-    #[test]
-    fn threaded_pingpong() {
-        let board = Board::new();
-        let actors: Vec<Box<dyn Actor<Msg>>> = vec![
+    fn pingpong_actors(board: &Board<bool>) -> Vec<Box<dyn Actor<Msg>>> {
+        vec![
             Box::new(Node {
                 id: ProcessId::new(1),
                 peer: ProcessId::new(2),
@@ -640,11 +1106,17 @@ mod tests {
                 initiator: false,
                 board: board.clone(),
             }),
-        ];
+        ]
+    }
+
+    #[test]
+    fn threaded_pingpong() {
+        let board = Board::new();
         let report = run_threaded(
-            actors,
+            pingpong_actors(&board),
             ThreadedConfig {
                 wall_timeout: Duration::from_secs(5),
+                router_shards: 1,
                 ..ThreadedConfig::default()
             },
         );
@@ -652,6 +1124,78 @@ mod tests {
         assert_eq!(board.len(), 2);
         assert_eq!(report.stats.label_count("PING"), 1);
         assert_eq!(report.stats.label_count("PONG"), 1);
+    }
+
+    #[test]
+    fn threaded_pingpong_on_every_shard_count() {
+        for shards in [2, 3, 4] {
+            let board = Board::new();
+            let report = run_threaded(
+                pingpong_actors(&board),
+                ThreadedConfig {
+                    wall_timeout: Duration::from_secs(5),
+                    router_shards: shards,
+                    ..ThreadedConfig::default()
+                },
+            );
+            assert!(report.all_halted, "shards={shards}: {report:?}");
+            assert_eq!(board.len(), 2, "shards={shards}");
+            // Merged shard stats must equal what one router would count.
+            assert_eq!(report.stats.label_count("PING"), 1, "shards={shards}");
+            assert_eq!(report.stats.label_count("PONG"), 1, "shards={shards}");
+            assert_eq!(report.stats.messages_sent, 2, "shards={shards}");
+            assert_eq!(report.stats.messages_delivered, 2, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn auto_shards_resolve_to_cores_capped_at_four() {
+        let config = ThreadedConfig::default();
+        assert_eq!(config.router_shards, 0);
+        let effective = config.effective_router_shards();
+        assert!((1..=4).contains(&effective), "effective={effective}");
+        let pinned = ThreadedConfig {
+            router_shards: 3,
+            ..ThreadedConfig::default()
+        };
+        assert_eq!(pinned.effective_router_shards(), 3);
+    }
+
+    #[test]
+    fn sharded_tamper_drop_is_counted_once() {
+        struct DropPings;
+        impl Tamper<Msg> for DropPings {
+            fn disposition(
+                &mut self,
+                _: ProcessId,
+                _: ProcessId,
+                label: &'static str,
+                _: Time,
+            ) -> Fate {
+                if label == "PING" {
+                    Fate::Drop
+                } else {
+                    Fate::Deliver
+                }
+            }
+        }
+        let board = Board::new();
+        let mut rt: ThreadedRuntime<Msg> = ThreadedRuntime::new(ThreadedConfig {
+            wall_timeout: Duration::from_millis(300),
+            router_shards: 4,
+            ..ThreadedConfig::default()
+        });
+        for actor in pingpong_actors(&board) {
+            rt.add_actor(actor);
+        }
+        ThreadedRuntime::set_tamper(&mut rt, Box::new(DropPings));
+        let report = rt.run_to_completion();
+        // The PING is swallowed on the tamper shard, so nobody ever
+        // replies or halts; the run ends at the wall timeout.
+        assert!(!report.all_halted);
+        assert_eq!(report.stats.label_count("PING"), 1);
+        assert_eq!(report.stats.messages_dropped, 1);
+        assert_eq!(report.stats.messages_delivered, 0);
     }
 
     #[test]
@@ -668,17 +1212,20 @@ mod tests {
             }
             fn on_message(&mut self, _: ProcessId, _: Msg, _: &mut Context<Msg>) {}
         }
-        let report = run_threaded(
-            vec![Box::new(Stuck {
-                id: ProcessId::new(1),
-            }) as Box<dyn Actor<Msg>>],
-            ThreadedConfig {
-                wall_timeout: Duration::from_millis(200),
-                ..ThreadedConfig::default()
-            },
-        );
-        assert!(!report.all_halted);
-        assert!(report.elapsed >= Duration::from_millis(200));
+        for shards in [1, 2] {
+            let report = run_threaded(
+                vec![Box::new(Stuck {
+                    id: ProcessId::new(1),
+                }) as Box<dyn Actor<Msg>>],
+                ThreadedConfig {
+                    wall_timeout: Duration::from_millis(200),
+                    router_shards: shards,
+                    ..ThreadedConfig::default()
+                },
+            );
+            assert!(!report.all_halted);
+            assert!(report.elapsed >= Duration::from_millis(200));
+        }
     }
 
     #[test]
@@ -707,17 +1254,20 @@ mod tests {
                 }
             }
         }
-        let report = run_threaded(
-            vec![Box::new(TimerNode {
-                id: ProcessId::new(1),
-                fired: 0,
-            }) as Box<dyn Actor<Msg>>],
-            ThreadedConfig {
-                wall_timeout: Duration::from_secs(5),
-                ..ThreadedConfig::default()
-            },
-        );
-        assert!(report.all_halted);
+        for shards in [1, 2] {
+            let report = run_threaded(
+                vec![Box::new(TimerNode {
+                    id: ProcessId::new(1),
+                    fired: 0,
+                }) as Box<dyn Actor<Msg>>],
+                ThreadedConfig {
+                    wall_timeout: Duration::from_secs(5),
+                    router_shards: shards,
+                    ..ThreadedConfig::default()
+                },
+            );
+            assert!(report.all_halted);
+        }
     }
 
     #[test]

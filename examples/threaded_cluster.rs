@@ -62,6 +62,7 @@ fn main() {
             wall_timeout: Duration::from_secs(30),
             seed: 99,
             stop: Some(stop.clone()),
+            ..ThreadedConfig::default()
         },
     );
 
