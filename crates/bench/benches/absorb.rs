@@ -6,6 +6,11 @@
 //! forged replay (known-bad fingerprint: no verification, no recount) —
 //! plus the `ProcessSet` cached-fingerprint hash against re-hashing the
 //! members, which is what every per-peer sync-state comparison leans on.
+//!
+//! The `verify_pipeline` group isolates the verification stage's two
+//! levers: batch verification (a whole SETPDS bundle under one registry
+//! read lock, cold vs. memo-warm pool) and absorb against a pre-warmed
+//! shared pool (the actor-side view of a preflighted bundle: zero HMACs).
 
 use std::collections::BTreeSet;
 use std::hash::{BuildHasher, RandomState};
@@ -13,7 +18,7 @@ use std::hint::black_box;
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use cupft_detector::{PdCertificate, SystemSetup};
+use cupft_detector::{CertPool, PdCertificate, SystemSetup};
 use cupft_discovery::DiscoveryState;
 use cupft_graph::{process_set, GraphFamily, ProcessId, ProcessSet};
 
@@ -83,6 +88,58 @@ fn bench_absorb(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_verify_pipeline(c: &mut Criterion) {
+    let setup = setup();
+    let certs: Vec<Arc<PdCertificate>> = (1..=N as u64)
+        .map(|id| setup.shared_certificate_for(ProcessId::new(id)).unwrap())
+        .collect();
+    let mut group = c.benchmark_group("verify_pipeline");
+
+    // Cold batch: a fresh pool settles every verdict — 64 HMACs under a
+    // single registry read lock. This is what one stage worker pays for
+    // the first sighting of a SETPDS bundle. (Pool construction rides
+    // inside the timed body, same convention as `cold_64_certs`.)
+    group.bench_function("batch_verify_cold_64", |b| {
+        b.iter(|| {
+            let pool = CertPool::new();
+            black_box(pool.verify_batch(&certs, setup.registry()))
+        })
+    });
+
+    // Warm batch: every fingerprint already settled — the stage's steady
+    // state once a certificate has been seen anywhere in the system.
+    group.bench_function("batch_verify_warm_64", |b| {
+        let pool = CertPool::new();
+        pool.verify_batch(&certs, setup.registry());
+        b.iter(|| black_box(pool.verify_batch(&certs, setup.registry())))
+    });
+
+    // Cold absorb against a fresh shared pool: the actor pays the HMACs
+    // itself (batch path, one lock) — the unpipelined per-process cost.
+    group.bench_function("absorb_batch_cold_pool_64", |b| {
+        b.iter(|| {
+            let mut state = fresh_state(&setup).with_shared_pool(Arc::new(CertPool::new()));
+            state.absorb_batch(&certs);
+            black_box(state.view().received_count())
+        })
+    });
+
+    // Warm absorb: the stage (or any other process) already settled the
+    // verdicts, so absorbing the bundle is pure memo hits + set algebra —
+    // the stateful half of the split in isolation.
+    group.bench_function("absorb_batch_warm_pool_64", |b| {
+        let warm = Arc::new(CertPool::new());
+        warm.verify_batch(&certs, setup.registry());
+        b.iter(|| {
+            let mut state = fresh_state(&setup).with_shared_pool(warm.clone());
+            state.absorb_batch(&certs);
+            black_box(state.view().received_count())
+        })
+    });
+
+    group.finish();
+}
+
 fn bench_fingerprint_hash(c: &mut Criterion) {
     let members: Vec<u64> = (1..=1024u64).collect();
     let compact: ProcessSet = members.iter().map(|&m| ProcessId::new(m)).collect();
@@ -114,6 +171,6 @@ fn bench_fingerprint_hash(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default();
-    targets = bench_absorb, bench_fingerprint_hash
+    targets = bench_absorb, bench_verify_pipeline, bench_fingerprint_hash
 }
 criterion_main!(benches);

@@ -17,7 +17,11 @@
 //!    including Erdős–Rényi's Θ(n²) traffic and scale-free's hub
 //!    hotspots, which used to cap the threaded substrate at a few hundred
 //!    nodes — runs the n=1000 cell threaded, and every threaded cell's
-//!    decisions are asserted identical to the simulator's.
+//!    decisions are asserted identical to the simulator's. Both runtimes
+//!    run the certificate-verification pipeline (shared verdict pool +
+//!    preflight stage), so each distinct certificate pays for at most one
+//!    HMAC system-wide; per-family wall totals land as flat
+//!    `e2e_wall_seconds_<family>` regression scalars.
 //! 3. **Router shard axis** — one Erdős–Rényi topology run threaded at
 //!    `router_shards ∈ {1, 2, 4}` (1 = the classic single-router loop),
 //!    for cross-PR wall-clock comparison of the shard split itself.
@@ -381,6 +385,11 @@ fn main() {
     let mut all_solved = true;
     let mut all_match_sim = true;
     let mut e2e_wall_total = 0.0;
+    // Per-family wall totals (sim + threaded cells), emitted as flat
+    // `e2e_wall_seconds_<family>` regression scalars so
+    // `bench.sh --check-regression` can advise on each family's
+    // trajectory instead of only the blended total.
+    let mut e2e_wall_by_family: BTreeMap<String, f64> = BTreeMap::new();
     let mut sizes: Vec<usize> = E2E_SIZES.to_vec();
     if full {
         sizes.extend(E2E_FULL_SIZES);
@@ -388,9 +397,11 @@ fn main() {
     for family in e2e_families() {
         for &n in &sizes {
             let (scenario, actual_n) = e2e_scenario(&family, n);
+            let family_key = family.name().replace('-', "_");
             let sim = run_e2e_cell(&family, &scenario, actual_n, RuntimeKind::Sim, None, None);
             all_solved &= sim.solved;
             e2e_wall_total += sim.wall;
+            *e2e_wall_by_family.entry(family_key.clone()).or_default() += sim.wall;
             e2e_rows.push(sim.row);
             // 2000 OS threads is a stress test, not a benchmark cell.
             // Everything up to n=1000 runs threaded too: the sharded
@@ -411,6 +422,7 @@ fn main() {
             all_solved &= threaded.solved;
             all_match_sim &= threaded.matches_sim.unwrap_or(false);
             e2e_wall_total += threaded.wall;
+            *e2e_wall_by_family.entry(family_key).or_default() += threaded.wall;
             e2e_rows.push(threaded.row);
         }
     }
@@ -437,15 +449,27 @@ fn main() {
             ("sweep", Json::Arr(sweep_rows)),
             ("e2e", Json::Arr(e2e_rows)),
             ("shard_axis", Json::Arr(shard_rows)),
-            (
-                "regression",
-                Json::obj([
-                    ("sweep_full_payload", Json::U64(totals.full_payload)),
-                    ("sweep_delta_payload", Json::U64(totals.delta_payload)),
-                    ("sweep_payload_ratio", Json::F64(total_ratio)),
-                    ("e2e_wall_seconds_total", Json::F64(e2e_wall_total)),
-                ]),
-            ),
+            ("regression", {
+                let mut fields = vec![
+                    (
+                        "sweep_full_payload".to_string(),
+                        Json::U64(totals.full_payload),
+                    ),
+                    (
+                        "sweep_delta_payload".to_string(),
+                        Json::U64(totals.delta_payload),
+                    ),
+                    ("sweep_payload_ratio".to_string(), Json::F64(total_ratio)),
+                    (
+                        "e2e_wall_seconds_total".to_string(),
+                        Json::F64(e2e_wall_total),
+                    ),
+                ];
+                for (family, wall) in &e2e_wall_by_family {
+                    fields.push((format!("e2e_wall_seconds_{family}"), Json::F64(*wall)));
+                }
+                Json::Obj(fields)
+            }),
         ]);
         write_json(&path, &doc);
     }

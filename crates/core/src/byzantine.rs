@@ -138,7 +138,7 @@ impl Strategy<NodeMsg> for EquivocatePdStrategy {
             ctx.send(
                 from,
                 NodeMsg::Discovery(DiscoveryMsg::SetPds {
-                    certs: vec![Arc::new(cert)],
+                    certs: vec![Arc::new(cert)].into(),
                     state: SyncState::default(),
                 }),
             );
@@ -175,7 +175,7 @@ impl Strategy<NodeMsg> for ForgeUnsignedPdStrategy {
                 ctx.send(
                     from,
                     NodeMsg::Discovery(DiscoveryMsg::SetPds {
-                        certs: vec![Arc::new(forged)],
+                        certs: vec![Arc::new(forged)].into(),
                         state: SyncState::default(),
                     }),
                 );

@@ -48,6 +48,15 @@ pub struct NodeConfig {
     /// default delta gossip — the baseline the equivalence sweep and the
     /// payload benches compare against.
     pub full_gossip: bool,
+    /// Consult (and feed) the run's shared certificate-verdict pool
+    /// ([`cupft_detector::CertPool`]) from discovery, so each distinct
+    /// certificate pays for at most one HMAC check *system-wide* rather
+    /// than one per process, and a verification stage can settle verdicts
+    /// before delivery. On by default; the serial baseline cells of the
+    /// verify-pipeline parity tests switch it off. Only effective for
+    /// nodes built via [`Node::from_setup`] (the pool lives on the
+    /// [`SystemSetup`]).
+    pub shared_verify: bool,
     /// Candidate-search knobs for sink/core identification. The default
     /// skips min-cut splitting on SCCs above
     /// [`CandidateSearch::cut_split_cutoff`] (64) — raise it here for
@@ -64,6 +73,7 @@ impl Default for NodeConfig {
             replica: ReplicaConfig::default(),
             crash_at: None,
             full_gossip: false,
+            shared_verify: true,
             search: CandidateSearch::default(),
         }
     }
@@ -198,8 +208,11 @@ impl Node {
         config: NodeConfig,
     ) -> Option<Self> {
         let key = setup.key_of(id)?.clone();
-        let discovery =
+        let mut discovery =
             DiscoveryState::from_setup(setup, id)?.with_gossip(Node::gossip_of(&config));
+        if config.shared_verify {
+            discovery = discovery.with_shared_pool(setup.pool().clone());
+        }
         Some(Node::with_discovery(
             key,
             setup.registry().clone(),

@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockReadGuard};
 
 use crate::hmac::hmac_sha256;
 use crate::sha256::{Digest, DIGEST_LEN};
@@ -142,21 +142,20 @@ impl KeyRegistry {
     /// Returns `false` for unregistered IDs, signer mismatches, and invalid
     /// tags.
     pub fn verify(&self, id: u64, message: &[u8], sig: &Signature) -> bool {
-        if sig.signer != id {
-            return false;
+        verify_against(&self.inner.read(), id, message, sig)
+    }
+
+    /// Opens a batch-verification session: the returned [`BatchVerifier`]
+    /// holds the registry's read lock, so verifying a whole bundle of
+    /// signatures (a SETPDS worth of certificates) pays for lock
+    /// acquisition once instead of per record. Readers don't exclude each
+    /// other, so many batch sessions can verify concurrently; only
+    /// [`Self::register`] is blocked while a session is open — keep
+    /// sessions short-lived.
+    pub fn batch(&self) -> BatchVerifier<'_> {
+        BatchVerifier {
+            inner: self.inner.read(),
         }
-        let inner = self.inner.read();
-        let Some(secret) = inner.secrets.get(&id) else {
-            return false;
-        };
-        let expected = hmac_sha256(secret, message);
-        // Constant-time-style comparison (not strictly needed in a
-        // simulation, but cheap and good hygiene).
-        let mut diff = 0u8;
-        for (a, b) in expected.iter().zip(sig.tag.iter()) {
-            diff |= a ^ b;
-        }
-        diff == 0
     }
 
     /// Number of registered processes.
@@ -167,6 +166,46 @@ impl KeyRegistry {
     /// Whether the registry is empty.
     pub fn is_empty(&self) -> bool {
         self.inner.read().secrets.is_empty()
+    }
+}
+
+/// The shared verification body: signer-claim check, secret lookup, HMAC
+/// recompute, constant-time-style tag comparison. [`KeyRegistry::verify`]
+/// runs it under a fresh read lock per call; [`BatchVerifier`] runs it
+/// under one held lock per session.
+fn verify_against(inner: &RegistryInner, id: u64, message: &[u8], sig: &Signature) -> bool {
+    if sig.signer != id {
+        return false;
+    }
+    let Some(secret) = inner.secrets.get(&id) else {
+        return false;
+    };
+    let expected = hmac_sha256(secret, message);
+    // Constant-time-style comparison (not strictly needed in a
+    // simulation, but cheap and good hygiene).
+    let mut diff = 0u8;
+    for (a, b) in expected.iter().zip(sig.tag.iter()) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+/// A verification session over a snapshot of the registry.
+///
+/// Created by [`KeyRegistry::batch`]; holds the registry's read lock for
+/// its lifetime, so a bundle of verifications pays one lock acquisition
+/// total. Verification itself is pure — the session observes the key set
+/// as of its creation, which is all the simulation needs (registration
+/// happens before any traffic flows).
+pub struct BatchVerifier<'a> {
+    inner: RwLockReadGuard<'a, RegistryInner>,
+}
+
+impl BatchVerifier<'_> {
+    /// Verifies that `sig` is `id`'s signature over `message` — same
+    /// semantics as [`KeyRegistry::verify`], without re-locking.
+    pub fn verify(&self, id: u64, message: &[u8], sig: &Signature) -> bool {
+        verify_against(&self.inner, id, message, sig)
     }
 }
 
@@ -247,6 +286,21 @@ mod tests {
         let key = reg.register(1);
         let dbg = format!("{key:?}");
         assert_eq!(dbg, "SigningKey(p1)");
+    }
+
+    #[test]
+    fn batch_verifier_matches_per_call_verify() {
+        let mut reg = KeyRegistry::new();
+        let keys: Vec<SigningKey> = (1..=8).map(|id| reg.register(id)).collect();
+        let sigs: Vec<Signature> = keys.iter().map(|k| k.sign(b"round-1")).collect();
+        let batch = reg.batch();
+        for (key, sig) in keys.iter().zip(&sigs) {
+            assert!(batch.verify(key.id(), b"round-1", sig));
+            assert!(!batch.verify(key.id(), b"round-2", sig));
+        }
+        // unregistered + mismatched-signer claims fail identically
+        assert!(!batch.verify(99, b"round-1", &Signature::forged(99)));
+        assert!(!batch.verify(2, b"round-1", &sigs[0]));
     }
 
     #[test]

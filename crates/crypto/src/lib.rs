@@ -37,5 +37,5 @@ pub mod sha256;
 mod keys;
 mod signed;
 
-pub use keys::{KeyRegistry, Signature, SigningKey};
+pub use keys::{BatchVerifier, KeyRegistry, Signature, SigningKey};
 pub use signed::{SignedPd, SignedValue};

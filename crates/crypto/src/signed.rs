@@ -2,7 +2,7 @@
 
 use bytes::Bytes;
 
-use crate::keys::{KeyRegistry, Signature, SigningKey};
+use crate::keys::{BatchVerifier, KeyRegistry, Signature, SigningKey};
 
 /// Canonical encoding of a participant-detector record `⟨i, PDᵢ⟩`.
 fn pd_message(author: u64, pd: &[u64]) -> Vec<u8> {
@@ -87,6 +87,17 @@ impl SignedPd {
     /// Verifies the record against the registry.
     pub fn verify(&self, registry: &KeyRegistry) -> bool {
         registry.verify(
+            self.author,
+            &pd_message(self.author, &self.pd),
+            &self.signature,
+        )
+    }
+
+    /// Verifies the record inside an open [`BatchVerifier`] session —
+    /// same verdict as [`Self::verify`], amortizing the registry lock
+    /// over a whole bundle.
+    pub fn verify_with(&self, batch: &BatchVerifier<'_>) -> bool {
+        batch.verify(
             self.author,
             &pd_message(self.author, &self.pd),
             &self.signature,
@@ -217,6 +228,20 @@ mod tests {
         // A verifier checking it as 4's message must fail (signer encoded).
         assert_eq!(v.signer(), 3);
         assert!(v.verify(&reg, "prepare"));
+    }
+
+    #[test]
+    fn verify_with_agrees_with_verify() {
+        let mut reg = KeyRegistry::new();
+        let key = reg.register(1);
+        let good = SignedPd::sign(&key, vec![2, 3]);
+        let bad = SignedPd::forge(4, vec![2, 3]);
+        let batch = reg.batch();
+        assert!(good.verify_with(&batch));
+        assert!(!bad.verify_with(&batch));
+        drop(batch);
+        assert!(good.verify(&reg));
+        assert!(!bad.verify(&reg));
     }
 
     #[test]

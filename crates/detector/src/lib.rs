@@ -13,7 +13,8 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use cupft_crypto::{KeyRegistry, SignedPd, SigningKey};
 use cupft_graph::{DiGraph, ProcessId, ProcessSet};
@@ -150,6 +151,12 @@ impl PdCertificate {
     pub fn verify(&self, registry: &KeyRegistry) -> bool {
         self.inner.verify(registry)
     }
+
+    /// Verifies the signature inside an open batch session (see
+    /// [`cupft_crypto::KeyRegistry::batch`]).
+    pub fn verify_with(&self, batch: &cupft_crypto::BatchVerifier<'_>) -> bool {
+        self.inner.verify_with(batch)
+    }
 }
 
 impl PartialEq for PdCertificate {
@@ -203,7 +210,22 @@ impl Hash for PdCertificate {
 /// ```
 #[derive(Debug, Default)]
 pub struct CertPool {
-    by_fp: Mutex<HashMap<u128, Arc<PdCertificate>>>,
+    by_fp: RwLock<HashMap<u128, Arc<PdCertificate>>>,
+    /// Memoized verification verdicts, keyed by fingerprint. Sound to
+    /// share system-wide because verification is a pure function of the
+    /// record bytes against the one shared [`KeyRegistry`], and the
+    /// fingerprint is collision-resistant (see [`PdCertificate`] docs):
+    /// whoever verifies a record first verifies it for everyone.
+    ///
+    /// Read-mostly after the discovery transient, hence the `RwLock`:
+    /// probes from a thousand concurrently-absorbing processes share the
+    /// read lock instead of serializing; only first-sight settlement
+    /// takes the write lock.
+    verdicts: RwLock<HashMap<u128, bool>>,
+    /// Distinct forged records seen — incremented exactly once per
+    /// rejected fingerprint, no matter how many processes (or worker
+    /// threads) race to verify the same forgery.
+    forged_records: AtomicU64,
 }
 
 impl CertPool {
@@ -214,7 +236,7 @@ impl CertPool {
 
     /// Returns the pooled `Arc` for `cert`, inserting it on first sight.
     pub fn intern(&self, cert: PdCertificate) -> Arc<PdCertificate> {
-        let mut pool = self.by_fp.lock().expect("cert pool poisoned");
+        let mut pool = self.by_fp.write().expect("cert pool poisoned");
         pool.entry(cert.fingerprint())
             .or_insert_with(|| Arc::new(cert))
             .clone()
@@ -223,7 +245,7 @@ impl CertPool {
     /// Looks up a pooled certificate by fingerprint.
     pub fn get(&self, fingerprint: u128) -> Option<Arc<PdCertificate>> {
         self.by_fp
-            .lock()
+            .read()
             .expect("cert pool poisoned")
             .get(&fingerprint)
             .cloned()
@@ -231,12 +253,90 @@ impl CertPool {
 
     /// Number of distinct certificates interned.
     pub fn len(&self) -> usize {
-        self.by_fp.lock().expect("cert pool poisoned").len()
+        self.by_fp.read().expect("cert pool poisoned").len()
     }
 
     /// Whether the pool is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The memoized verdict for `fingerprint`, if any process (or stage
+    /// worker) has verified a record with it before.
+    pub fn verdict(&self, fingerprint: u128) -> Option<bool> {
+        self.verdicts
+            .read()
+            .expect("cert pool poisoned")
+            .get(&fingerprint)
+            .copied()
+    }
+
+    /// Records a verdict, returning the verdict that actually stuck —
+    /// under a race the first writer wins (both racers computed the same
+    /// pure function, so the verdicts agree anyway). A rejected
+    /// fingerprint bumps [`Self::forged_records`] exactly once, on the
+    /// insert that stuck.
+    pub fn record_verdict(&self, fingerprint: u128, ok: bool) -> bool {
+        let mut verdicts = self.verdicts.write().expect("cert pool poisoned");
+        match verdicts.entry(fingerprint) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(ok);
+                if !ok {
+                    self.forged_records.fetch_add(1, Ordering::Relaxed);
+                }
+                ok
+            }
+        }
+    }
+
+    /// Memoized single-certificate verification: probes the shared
+    /// verdict memo, falls back to the HMAC check, and records the
+    /// result so no other process pays for this fingerprint again.
+    pub fn verify_cert(&self, cert: &PdCertificate, registry: &KeyRegistry) -> bool {
+        if let Some(ok) = self.verdict(cert.fingerprint()) {
+            return ok;
+        }
+        let ok = cert.verify(registry);
+        self.record_verdict(cert.fingerprint(), ok)
+    }
+
+    /// Batch verification of a whole SETPDS bundle: one memo probe pass
+    /// under a single lock acquisition, then one [`KeyRegistry::batch`]
+    /// session for the misses, then one pass recording the fresh
+    /// verdicts. Returns one verdict per input certificate, in order.
+    pub fn verify_batch(&self, certs: &[Arc<PdCertificate>], registry: &KeyRegistry) -> Vec<bool> {
+        let mut out = vec![false; certs.len()];
+        let mut misses: Vec<usize> = Vec::new();
+        {
+            let verdicts = self.verdicts.read().expect("cert pool poisoned");
+            for (i, cert) in certs.iter().enumerate() {
+                match verdicts.get(&cert.fingerprint()) {
+                    Some(&ok) => out[i] = ok,
+                    None => misses.push(i),
+                }
+            }
+        }
+        if misses.is_empty() {
+            return out;
+        }
+        {
+            let batch = registry.batch();
+            for &i in &misses {
+                out[i] = certs[i].verify_with(&batch);
+            }
+        }
+        for &i in &misses {
+            out[i] = self.record_verdict(certs[i].fingerprint(), out[i]);
+        }
+        out
+    }
+
+    /// Distinct forged (verification-failing) records ever seen by this
+    /// pool — each rejected fingerprint counts once, concurrency
+    /// notwithstanding.
+    pub fn forged_records(&self) -> u64 {
+        self.forged_records.load(Ordering::Relaxed)
     }
 }
 
@@ -403,6 +503,68 @@ mod tests {
         let forged = PdCertificate::forge(p(1), &a.pd());
         assert_ne!(a.fingerprint(), forged.fingerprint());
         assert_ne!(a, forged);
+    }
+
+    #[test]
+    fn pool_memoizes_verdicts_and_counts_forgeries_once() {
+        let g = DiGraph::from_edges([(1, 2), (2, 1)]);
+        let setup = SystemSetup::new(&g);
+        let pool = setup.pool();
+        let good = setup.shared_certificate_for(p(1)).unwrap();
+        let forged = Arc::new(PdCertificate::forge(p(2), &process_set([9])));
+        assert_eq!(pool.verdict(good.fingerprint()), None);
+        assert!(pool.verify_cert(&good, setup.registry()));
+        assert_eq!(pool.verdict(good.fingerprint()), Some(true));
+        // Re-verifying hits the memo (same verdict, no recount).
+        assert!(pool.verify_cert(&good, setup.registry()));
+        for _ in 0..3 {
+            assert!(!pool.verify_cert(&forged, setup.registry()));
+        }
+        assert_eq!(pool.forged_records(), 1);
+        // A second distinct forgery counts separately.
+        let other = Arc::new(PdCertificate::forge(p(1), &process_set([4, 5])));
+        assert!(!pool.verify_cert(&other, setup.registry()));
+        assert_eq!(pool.forged_records(), 2);
+    }
+
+    #[test]
+    fn pool_batch_verify_matches_serial() {
+        let g = DiGraph::from_edges([(1, 2), (2, 3), (3, 1)]);
+        let setup = SystemSetup::new(&g);
+        let pool = setup.pool();
+        let mut bundle: Vec<Arc<PdCertificate>> = setup
+            .processes()
+            .into_iter()
+            .map(|v| setup.shared_certificate_for(v).unwrap())
+            .collect();
+        bundle.push(Arc::new(PdCertificate::forge(p(3), &process_set([7]))));
+        // Duplicate entry in the same bundle: still one verdict, counted once.
+        bundle.push(bundle[3].clone());
+        let verdicts = pool.verify_batch(&bundle, setup.registry());
+        assert_eq!(verdicts, vec![true, true, true, false, false]);
+        assert_eq!(pool.forged_records(), 1);
+        // Warm run: all memo hits, identical verdicts.
+        assert_eq!(pool.verify_batch(&bundle, setup.registry()), verdicts);
+        assert_eq!(pool.forged_records(), 1);
+    }
+
+    #[test]
+    fn concurrent_verifies_count_each_forgery_once() {
+        let g = DiGraph::from_edges([(1, 2), (2, 1)]);
+        let setup = SystemSetup::new(&g);
+        let forged = Arc::new(PdCertificate::forge(p(1), &process_set([8])));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let setup = &setup;
+                let forged = &forged;
+                s.spawn(move || {
+                    for _ in 0..16 {
+                        assert!(!setup.pool().verify_cert(forged, setup.registry()));
+                    }
+                });
+            }
+        });
+        assert_eq!(setup.pool().forged_records(), 1);
     }
 
     #[test]

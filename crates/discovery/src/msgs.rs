@@ -34,10 +34,11 @@ impl SyncState {
 
 /// The two messages of Algorithm 1, carrying the delta-gossip metadata.
 ///
-/// Certificates travel as `Arc<PdCertificate>` and the `GETPDS` have-set
-/// as `Arc<ProcessSet>`, so cloning a message for fan-out (or for the
-/// simulator's per-recipient copies) bumps reference counts instead of
-/// deep-copying signed records.
+/// Certificates travel as `Arc<PdCertificate>` inside an `Arc<[_]>` bundle
+/// and the `GETPDS` have-set as `Arc<ProcessSet>`, so cloning a message —
+/// for fan-out, for the simulator's per-recipient copies, or across the
+/// threaded router's shard hops — bumps one reference count instead of
+/// deep-copying signed records or even the bundle's pointer vector.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DiscoveryMsg {
     /// "Send me the PDs you have received" (line 2), annotated with what
@@ -57,8 +58,9 @@ pub enum DiscoveryMsg {
     /// the requester's delta), plus the responder's own set summary so the
     /// requester can stop polling once the two sets agree.
     SetPds {
-        /// The shipped certificates.
-        certs: Vec<Arc<PdCertificate>>,
+        /// The shipped certificates (shared bundle: cloning the message
+        /// is one atomic increment, zero per-certificate work).
+        certs: Arc<[Arc<PdCertificate>]>,
         /// The responder's certificate-set summary.
         state: SyncState,
     },
@@ -94,11 +96,24 @@ mod tests {
         assert_eq!(get.label(), "GETPDS");
         assert_eq!(get.payload_units(), 0);
         let set = DiscoveryMsg::SetPds {
-            certs: vec![],
+            certs: Vec::new().into(),
             state: SyncState::default(),
         };
         assert_eq!(set.label(), "SETPDS");
         assert_eq!(set.payload_units(), 0);
+        // Cloning a SETPDS shares the bundle allocation.
+        let bundle: Arc<[Arc<PdCertificate>]> = Vec::new().into();
+        let a = DiscoveryMsg::SetPds {
+            certs: bundle.clone(),
+            state: SyncState::default(),
+        };
+        let b = a.clone();
+        match (&a, &b) {
+            (DiscoveryMsg::SetPds { certs: ca, .. }, DiscoveryMsg::SetPds { certs: cb, .. }) => {
+                assert!(Arc::ptr_eq(ca, cb));
+            }
+            _ => unreachable!(),
+        }
     }
 
     #[test]

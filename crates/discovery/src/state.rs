@@ -1,10 +1,10 @@
 //! Runtime-agnostic Discovery state machine.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use cupft_crypto::{KeyRegistry, SigningKey};
-use cupft_detector::PdCertificate;
+use cupft_detector::{CertPool, PdCertificate};
 use cupft_graph::{KnowledgeView, ProcessId, ProcessSet};
 
 use crate::msgs::{DiscoveryMsg, SyncState};
@@ -66,12 +66,18 @@ pub struct DiscoveryState {
     have: Arc<ProcessSet>,
     /// Summary of the held certificate set.
     sync: SyncState,
-    /// Fingerprints that passed signature verification (memoization).
-    verified: HashSet<u128>,
-    /// Fingerprints that failed signature verification — replays of a
-    /// known-bad record are discarded without another HMAC check and
-    /// without re-counting the forgery.
-    rejected: HashSet<u128>,
+    /// Memoized verification verdicts by fingerprint — one map, one probe
+    /// per unique fingerprint on the absorb path (`true` = signature
+    /// verified, `false` = known forgery: replays of either are settled
+    /// without another HMAC check and without re-counting).
+    verdicts: HashMap<u128, bool>,
+    /// Optional system-wide verdict memo (the [`CertPool`] of the run's
+    /// `SystemSetup`): when attached, a certificate any process — or the
+    /// verification stage's worker pool — has already checked is never
+    /// re-verified here; this process only records the shared verdict in
+    /// its local memo (so per-process forgery counters keep their exact
+    /// serial semantics).
+    shared: Option<Arc<CertPool>>,
     /// The last [`SyncState`] each peer reported (via either message
     /// kind). Delta mode skips `GETPDS` toward peers whose report matches
     /// our own state.
@@ -105,8 +111,8 @@ impl DiscoveryState {
         let id = ProcessId::new(key.id());
         let mut sync = SyncState::default();
         sync.add(own_cert.fingerprint());
-        let mut verified = HashSet::new();
-        verified.insert(own_cert.fingerprint());
+        let mut verdicts = HashMap::new();
+        verdicts.insert(own_cert.fingerprint(), true);
         let mut certs = BTreeMap::new();
         certs.insert(id, own_cert);
         DiscoveryState {
@@ -116,8 +122,8 @@ impl DiscoveryState {
             certs,
             have: Arc::new([id].into_iter().collect()),
             sync,
-            verified,
-            rejected: HashSet::new(),
+            verdicts,
+            shared: None,
             peer_state: BTreeMap::new(),
             mode: GossipMode::default(),
             changed: true,
@@ -147,6 +153,17 @@ impl DiscoveryState {
     /// first round).
     pub fn with_gossip(mut self, mode: GossipMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Attaches a system-wide verification memo (builder style). With a
+    /// shared pool, a fingerprint verified by *any* process or stage
+    /// worker is settled for all of them — verification is a pure function
+    /// of the record bytes against the one shared registry, so whoever
+    /// checks first checks for everyone. Decisions are unchanged: only
+    /// *who pays* for the HMAC moves, never the verdict.
+    pub fn with_shared_pool(mut self, pool: Arc<CertPool>) -> Self {
+        self.shared = Some(pool);
         self
     }
 
@@ -238,16 +255,14 @@ impl DiscoveryState {
                 vec![(
                     from,
                     DiscoveryMsg::SetPds {
-                        certs,
+                        certs: certs.into(),
                         state: self.sync,
                     },
                 )]
             }
             DiscoveryMsg::SetPds { certs, state } => {
                 self.peer_state.insert(from, state);
-                for record in certs {
-                    self.absorb(record);
-                }
+                self.absorb_batch(&certs);
                 Vec::new()
             }
         }
@@ -256,7 +271,9 @@ impl DiscoveryState {
     /// Absorbs one signed PD record (Algorithm 1 lines 4–6): discard
     /// duplicates by equality (fingerprint fast path) **before** paying
     /// for signature verification, verify at most once per distinct
-    /// record, reject conflicts, update the view.
+    /// record — with a *single* memo probe per unique fingerprint (local
+    /// verdict map first, then the shared pool, then the HMAC itself) —
+    /// reject conflicts, update the view.
     pub fn absorb(&mut self, record: Arc<PdCertificate>) {
         let fp = record.fingerprint();
         let author = record.author();
@@ -265,16 +282,8 @@ impl DiscoveryState {
                 return; // exact duplicate: no verification, no counters
             }
         }
-        if self.rejected.contains(&fp) {
-            return; // replayed known forgery: already counted once
-        }
-        if !self.verified.contains(&fp) {
-            if !record.verify(&self.registry) {
-                self.rejected.insert(fp);
-                self.rejected_forgeries += 1;
-                return;
-            }
-            self.verified.insert(fp);
+        if !self.settle_verdict(fp, &record) {
+            return; // forgery (fresh or replayed): counted at most once
         }
         match self.certs.get(&author) {
             Some(_) => {
@@ -290,6 +299,59 @@ impl DiscoveryState {
                     self.changed = true;
                 }
             }
+        }
+    }
+
+    /// Absorbs a whole `SETPDS` bundle. With a shared pool attached the
+    /// bundle's locally-unseen fingerprints are settled through one
+    /// [`CertPool::verify_batch`] call first — one memo lock acquisition
+    /// and one registry batch session for the whole bundle instead of per
+    /// record — then each record runs the ordinary stateful absorb
+    /// against the now-warm local memo. Verdicts, counters, and view
+    /// updates are byte-identical to absorbing the records one by one.
+    pub fn absorb_batch(&mut self, certs: &[Arc<PdCertificate>]) {
+        if certs.len() > 1 {
+            if let Some(pool) = self.shared.clone() {
+                let misses: Vec<Arc<PdCertificate>> = certs
+                    .iter()
+                    .filter(|c| !self.verdicts.contains_key(&c.fingerprint()))
+                    .cloned()
+                    .collect();
+                if !misses.is_empty() {
+                    let verdicts = pool.verify_batch(&misses, &self.registry);
+                    for (cert, ok) in misses.iter().zip(verdicts) {
+                        self.record_local_verdict(cert.fingerprint(), ok);
+                    }
+                }
+            }
+        }
+        for record in certs {
+            self.absorb(record.clone());
+        }
+    }
+
+    /// Settles the verification verdict for `fp` with exactly one local
+    /// memo probe; on a local miss, consults the shared pool (which
+    /// verifies on *its* miss), or verifies directly when no pool is
+    /// attached. The per-process forgery counter bumps only when the
+    /// verdict enters the local memo — once per distinct fingerprint per
+    /// process, exactly the serial semantics.
+    fn settle_verdict(&mut self, fp: u128, record: &PdCertificate) -> bool {
+        if let Some(&ok) = self.verdicts.get(&fp) {
+            return ok;
+        }
+        let ok = match &self.shared {
+            Some(pool) => pool.verify_cert(record, &self.registry),
+            None => record.verify(&self.registry),
+        };
+        self.record_local_verdict(fp, ok);
+        ok
+    }
+
+    /// First local sighting of a verdict: memoize it and count a forgery.
+    fn record_local_verdict(&mut self, fp: u128, ok: bool) {
+        if self.verdicts.insert(fp, ok).is_none() && !ok {
+            self.rejected_forgeries += 1;
         }
     }
 }
@@ -508,5 +570,60 @@ mod tests {
     fn missing_process_in_setup() {
         let setup = line_setup();
         assert!(DiscoveryState::from_setup(&setup, p(99)).is_none());
+    }
+
+    #[test]
+    fn shared_pool_settles_verdicts_across_processes() {
+        let setup = line_setup();
+        let pool = setup.pool().clone();
+        let mut s1 = DiscoveryState::from_setup(&setup, p(1))
+            .unwrap()
+            .with_shared_pool(pool.clone());
+        let mut s3 = DiscoveryState::from_setup(&setup, p(3))
+            .unwrap()
+            .with_shared_pool(pool.clone());
+        let forged = Arc::new(PdCertificate::forge(p(2), &process_set([999])));
+        let good = setup.shared_certificate_for(p(2)).unwrap();
+        s1.absorb(forged.clone());
+        s1.absorb(good.clone());
+        // The pool settled both fingerprints; s3 absorbs without paying
+        // for another HMAC, with identical per-process outcomes.
+        assert_eq!(pool.verdict(forged.fingerprint()), Some(false));
+        assert_eq!(pool.verdict(good.fingerprint()), Some(true));
+        s3.absorb(forged);
+        s3.absorb(good);
+        assert_eq!(s1.rejected_forgeries, 1);
+        assert_eq!(s3.rejected_forgeries, 1);
+        assert_eq!(pool.forged_records(), 1);
+        assert!(s1.view().has_pd_of(p(2)));
+        assert!(s3.view().has_pd_of(p(2)));
+    }
+
+    #[test]
+    fn absorb_batch_matches_serial_absorb() {
+        let setup = line_setup();
+        let key2 = setup.key_of(p(2)).unwrap();
+        let bundle: Vec<Arc<PdCertificate>> = vec![
+            setup.shared_certificate_for(p(2)).unwrap(),
+            Arc::new(PdCertificate::forge(p(3), &process_set([7]))),
+            // Equivocation from 2: verified but conflicting, first wins.
+            Arc::new(PdCertificate::sign(key2, &process_set([42]))),
+            // Replay of the forgery inside the same bundle.
+            Arc::new(PdCertificate::forge(p(3), &process_set([7]))),
+        ];
+        let mut serial = DiscoveryState::from_setup(&setup, p(1)).unwrap();
+        for record in &bundle {
+            serial.absorb(record.clone());
+        }
+        let mut pooled = DiscoveryState::from_setup(&setup, p(1))
+            .unwrap()
+            .with_shared_pool(setup.pool().clone());
+        pooled.absorb_batch(&bundle);
+        assert_eq!(serial.rejected_forgeries, pooled.rejected_forgeries);
+        assert_eq!(serial.conflicting_records, pooled.conflicting_records);
+        assert_eq!(serial.sync_state(), pooled.sync_state());
+        assert_eq!(serial.view(), pooled.view());
+        assert_eq!(serial.rejected_forgeries, 1);
+        assert_eq!(serial.conflicting_records, 1);
     }
 }

@@ -69,6 +69,7 @@ mod actor;
 mod delay;
 pub mod runtime;
 pub mod sim;
+pub mod stage;
 mod stats;
 pub mod tamper;
 pub mod threaded;
@@ -77,6 +78,7 @@ pub use actor::{Actor, Context, Labeled, TimerKind};
 pub use delay::DelayPolicy;
 pub use runtime::{Runtime, RuntimeReport};
 pub use sim::{RunReport, SimConfig, Simulation, TraceEntry};
+pub use stage::Preflight;
 pub use stats::NetStats;
 pub use tamper::{Fate, NoTamper, Tamper};
 pub use threaded::{ThreadedConfig, ThreadedRuntime};

@@ -23,9 +23,12 @@
 //! threaded runtime cannot offer mid-run (the actors are owned by their
 //! threads until shutdown).
 
+use std::sync::Arc;
+
 use cupft_graph::ProcessId;
 
 use crate::actor::Actor;
+use crate::stage::Preflight;
 use crate::stats::NetStats;
 use crate::tamper::Tamper;
 use crate::Time;
@@ -71,6 +74,16 @@ pub trait Runtime<M: 'static> {
     /// trait, so an adversarial schedule is expressed once and runs on
     /// either.
     fn set_tamper(&mut self, tamper: Box<dyn Tamper<M>>);
+
+    /// Installs a stateless pre-delivery stage (see [`crate::stage`]).
+    /// Must be called before the run starts; installing a second
+    /// preflight replaces the first. Substrates that support staging
+    /// override this — the default quietly ignores the stage, which is
+    /// always correct: a [`Preflight`] may run zero times per message by
+    /// contract.
+    fn set_preflight(&mut self, preflight: Arc<dyn Preflight<M>>) {
+        let _ = preflight;
+    }
 
     /// Drives the system until every actor halts, `stop` returns `true`,
     /// or the runtime's own bound (simulated horizon / wall timeout) is

@@ -2,6 +2,7 @@
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::Arc;
 
 use cupft_graph::ProcessId;
 use rand::rngs::StdRng;
@@ -10,6 +11,7 @@ use rand::SeedableRng;
 use crate::actor::{Actor, Context, Labeled, TimerKind};
 use crate::delay::DelayPolicy;
 use crate::runtime::{Runtime, RuntimeReport};
+use crate::stage::Preflight;
 use crate::stats::NetStats;
 use crate::tamper::{Fate, Tamper};
 use crate::Time;
@@ -93,6 +95,7 @@ pub struct Simulation<M> {
     stats: NetStats,
     trace: Option<Vec<TraceEntry>>,
     tamper: Option<Box<dyn Tamper<M>>>,
+    preflight: Option<Arc<dyn Preflight<M>>>,
 }
 
 struct OrderedEvent<M>(Event<M>);
@@ -129,6 +132,7 @@ impl<M: Clone + Labeled + 'static> Simulation<M> {
             stats: NetStats::default(),
             trace: None,
             tamper: None,
+            preflight: None,
         }
     }
 
@@ -137,6 +141,16 @@ impl<M: Clone + Labeled + 'static> Simulation<M> {
     /// the RNG stream and event order are untouched.
     pub fn set_tamper(&mut self, tamper: Box<dyn Tamper<M>>) {
         self.tamper = Some(tamper);
+    }
+
+    /// Installs a stateless pre-delivery stage (see [`crate::stage`]) as a
+    /// deterministic *virtual* stage: it runs synchronously at the
+    /// delivery event, immediately before `on_message`. No events are
+    /// injected and no ordering changes, so event order, traces, and
+    /// [`Self::trace_fingerprint`] are byte-identical with and without a
+    /// preflight installed.
+    pub fn set_preflight(&mut self, preflight: Arc<dyn Preflight<M>>) {
+        self.preflight = Some(preflight);
     }
 
     /// Enables delivery tracing: every delivered message is recorded as a
@@ -255,6 +269,7 @@ impl<M: Clone + Labeled + 'static> Simulation<M> {
                 EventKind::Start => actor.on_start(&mut ctx),
                 EventKind::Deliver { from, msg } => {
                     self.stats.messages_delivered += 1;
+                    self.stats.record_delivery_payload(msg.payload_units());
                     if let Some(trace) = &mut self.trace {
                         trace.push(TraceEntry {
                             time: self.now,
@@ -262,6 +277,9 @@ impl<M: Clone + Labeled + 'static> Simulation<M> {
                             to: event.target,
                             label: msg.label(),
                         });
+                    }
+                    if let Some(stage) = &self.preflight {
+                        stage.preflight(from, event.target, &msg);
                     }
                     actor.on_message(from, msg, &mut ctx);
                 }
@@ -365,6 +383,10 @@ impl<M: Clone + Labeled + 'static> Runtime<M> for Simulation<M> {
 
     fn set_tamper(&mut self, tamper: Box<dyn Tamper<M>>) {
         Simulation::set_tamper(self, tamper);
+    }
+
+    fn set_preflight(&mut self, preflight: Arc<dyn Preflight<M>>) {
+        Simulation::set_preflight(self, preflight);
     }
 
     fn run_until_stopped(&mut self, stop: &mut dyn FnMut() -> bool) -> RuntimeReport {
@@ -677,6 +699,32 @@ mod tests {
         c.enable_trace();
         c.run();
         assert_ne!(a.trace_fingerprint(), c.trace_fingerprint());
+    }
+
+    #[test]
+    fn preflight_runs_per_delivery_without_changing_the_trace() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        struct CountStage(Arc<AtomicU64>);
+        impl Preflight<Msg> for CountStage {
+            fn preflight(&self, _from: ProcessId, _to: ProcessId, _msg: &Msg) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let mut plain = pingpong_sim(13);
+        plain.enable_trace();
+        let plain_report = plain.run();
+        let seen = Arc::new(AtomicU64::new(0));
+        let mut staged = pingpong_sim(13);
+        staged.enable_trace();
+        staged.set_preflight(Arc::new(CountStage(seen.clone())));
+        let staged_report = staged.run();
+        // The virtual stage ran once per delivery…
+        assert_eq!(seen.load(Ordering::Relaxed), 12);
+        // …and changed nothing observable: same trace bytes, fingerprint,
+        // end time, stats.
+        assert_eq!(plain.trace(), staged.trace());
+        assert_eq!(plain.trace_fingerprint(), staged.trace_fingerprint());
+        assert_eq!(plain_report, staged_report);
     }
 
     #[test]

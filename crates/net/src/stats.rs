@@ -22,6 +22,14 @@ pub struct NetStats {
     /// [`Self::payload_units`] (see [`Self::payload_delivered`]) for the
     /// payload that actually reached the delivery schedule.
     pub payload_dropped: u64,
+    /// Payload units counted **at actual delivery to an actor** — once
+    /// per delivered message, regardless of how many shard hops or stage
+    /// handoffs the (possibly `Arc`-shared, zero-copy) payload traveled
+    /// through. The conservation law under reliable channels is
+    /// `payload_delivered_units ≤ payload_units − payload_dropped`, with
+    /// equality once every scheduled message has been delivered (the gap
+    /// is payload still in flight at shutdown).
+    pub payload_delivered_units: u64,
     /// Total timer events fired.
     pub timers_fired: u64,
     /// Per-label message counts (the label comes from
@@ -47,6 +55,12 @@ impl NetStats {
     pub(crate) fn record_drop(&mut self, payload: u64) {
         self.messages_dropped += 1;
         self.payload_dropped += payload;
+    }
+
+    /// Records an actual delivery's payload weight (exactly once per
+    /// delivered message, at the moment the actor receives it).
+    pub(crate) fn record_delivery_payload(&mut self, payload: u64) {
+        self.payload_delivered_units += payload;
     }
 
     /// Messages of one label, 0 if none.
@@ -81,6 +95,7 @@ impl NetStats {
         self.messages_dropped += other.messages_dropped;
         self.payload_units += other.payload_units;
         self.payload_dropped += other.payload_dropped;
+        self.payload_delivered_units += other.payload_delivered_units;
         self.timers_fired += other.timers_fired;
         for (label, count) in &other.by_label {
             *self.by_label.entry(label).or_insert(0) += count;
@@ -153,6 +168,25 @@ mod tests {
         assert_eq!(merged, reference);
         assert_eq!(merged.label_payload("SETPDS"), 12);
         assert_eq!(merged.payload_delivered(), 5);
+    }
+
+    #[test]
+    fn delivered_payload_counts_once_per_delivery() {
+        let mut s = NetStats::default();
+        s.record_send("SETPDS", 5);
+        s.record_send("SETPDS", 3);
+        s.record_drop(3);
+        s.record_delivery_payload(5);
+        assert_eq!(s.payload_delivered_units, 5);
+        // Conservation once everything scheduled has been delivered.
+        assert_eq!(s.payload_delivered_units, s.payload_delivered());
+        // Merge conserves the delivered counter too.
+        let mut other = NetStats::default();
+        other.record_send("SETPDS", 2);
+        other.record_delivery_payload(2);
+        s.merge(&other);
+        assert_eq!(s.payload_delivered_units, 7);
+        assert_eq!(s.payload_delivered_units, s.payload_delivered());
     }
 
     #[test]

@@ -22,6 +22,29 @@
 //! semantics are independent of the shard count. Post-disposition, the
 //! message is handed to its destination's shard for delay scheduling.
 //!
+//! A [`Preflight`] stage, when installed, runs on a pool of
+//! [`ThreadedConfig::verify_workers`] **stage worker** threads sitting
+//! between the actor outboxes and the router plane: stateless work
+//! (certificate verification, fingerprint computation) runs off the
+//! protocol threads before delivery. Workers are *sticky by sender*
+//! (`from % workers`), and an actor's halt notice travels through the same
+//! worker as its sends, so per-sender emission order — the property the
+//! tamper serialization and the shutdown stats drain rely on — is
+//! preserved for everything the stage touches. Messages the preflight
+//! [`Preflight::wants`] not (polling and consensus traffic, typically)
+//! bypass the pool and go straight to the router plane — on a busy box a
+//! stage worker competing with hundreds of actor threads must not become
+//! a second serialization point for traffic it has no work for. A halt
+//! still trails every send: bypassed sends were forwarded by the actor
+//! itself before it emitted the halt. When auto sizing resolves to a
+//! single worker (a one-core box), the stage degenerates to running the
+//! preflight inline on the sending actor's thread — the shared verdict
+//! memo needs no extra thread, and a pool of one would be a second
+//! serialization point, not a pipeline (an explicitly pinned
+//! `verify_workers = 1` still spawns its one real worker). With no
+//! preflight installed the pool does not exist and sends take exactly
+//! the unstaged path.
+//!
 //! Real-time interleaving is inherently nondeterministic — use
 //! [`crate::sim::Simulation`] for reproducible experiments and this
 //! runtime for wall-clock validation that the protocols are not simulator
@@ -41,6 +64,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::actor::{Actor, Context, Labeled, TimerKind};
 use crate::runtime::{Runtime, RuntimeReport};
+use crate::stage::Preflight;
 use crate::stats::NetStats;
 use crate::tamper::{Fate, Tamper};
 use crate::Time;
@@ -74,6 +98,17 @@ pub struct ThreadedConfig {
     /// [`NetStats`] block; per-shard stats are merged in shard-index
     /// order into the reported totals.
     pub router_shards: usize,
+    /// Number of stage-worker threads running the installed
+    /// [`Preflight`] between the actor outboxes and the router plane.
+    ///
+    /// `0` (the default) sizes the pool off the router-shard
+    /// auto-detection ([`Self::effective_router_shards`]); when that
+    /// resolves to a single worker (a one-core box) the stage runs
+    /// inline on the sending actors' threads instead of spawning a
+    /// pool of one. The pool only exists while a preflight is
+    /// installed — without one, sends take the unstaged path regardless
+    /// of this setting.
+    pub verify_workers: usize,
 }
 
 impl Default for ThreadedConfig {
@@ -85,6 +120,7 @@ impl Default for ThreadedConfig {
             seed: 0,
             stop: None,
             router_shards: 0,
+            verify_workers: 0,
         }
     }
 }
@@ -97,6 +133,16 @@ impl ThreadedConfig {
             0 => std::thread::available_parallelism()
                 .map_or(1, |n| n.get())
                 .min(4),
+            n => n,
+        }
+    }
+
+    /// The stage-pool size this configuration resolves to:
+    /// `verify_workers`, or the router-shard auto-detection when left at
+    /// the `0` default.
+    pub fn effective_verify_workers(&self) -> usize {
+        match self.verify_workers {
+            0 => self.effective_router_shards(),
             n => n,
         }
     }
@@ -158,9 +204,26 @@ enum ShardMsg<M> {
     },
 }
 
+/// A message on a stage worker's channel: an actor's send awaiting its
+/// preflight, or the actor's halt notice riding the same sticky worker so
+/// it cannot overtake the sends emitted before it.
+enum StageMsg<M> {
+    Send {
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+    },
+    Halted(ProcessId),
+}
+
 /// The shard a destination's deliveries are scheduled on.
 fn shard_of(to: ProcessId, shard_count: usize) -> usize {
     (to.raw() as usize) % shard_count
+}
+
+/// The stage worker a sender's traffic is serialized through.
+fn worker_of(from: ProcessId, worker_count: usize) -> usize {
+    (from.raw() as usize) % worker_count
 }
 
 /// The actor-side handle onto the router plane: routes sends to the right
@@ -176,6 +239,29 @@ enum Outbox<M> {
         tamper_shard: Option<usize>,
         halt: Sender<ProcessId>,
     },
+    /// The staged plane: sends the preflight [`Preflight::wants`] flow
+    /// through the sender's sticky stage worker (which runs the preflight,
+    /// then forwards on the wrapped unstaged outbox); everything else goes
+    /// straight to the wrapped outbox, so uninteresting traffic never pays
+    /// the stage hop. Halts ride the sticky worker, so they cannot
+    /// overtake any staged send, and every bypassed send was already
+    /// forwarded when the halt was emitted.
+    Staged {
+        workers: Arc<Vec<Sender<StageMsg<M>>>>,
+        inner: Box<Outbox<M>>,
+        preflight: Arc<dyn Preflight<M>>,
+    },
+    /// The degenerate stage: the preflight runs on the sending actor's
+    /// thread immediately before the send enters the router plane. The
+    /// auto policy picks this over a worker pool when sizing resolves to
+    /// a single worker (a one-core box): the shared verdict memo needs no
+    /// extra thread to do its job, and a pool of one competing with every
+    /// actor thread for the same core is a serialization point, not a
+    /// pipeline. Per-sender emission order is exactly the unstaged one.
+    Inline {
+        inner: Box<Outbox<M>>,
+        preflight: Arc<dyn Preflight<M>>,
+    },
 }
 
 impl<M> Clone for Outbox<M> {
@@ -190,6 +276,19 @@ impl<M> Clone for Outbox<M> {
                 shards: shards.clone(),
                 tamper_shard: *tamper_shard,
                 halt: halt.clone(),
+            },
+            Outbox::Staged {
+                workers,
+                inner,
+                preflight,
+            } => Outbox::Staged {
+                workers: workers.clone(),
+                inner: inner.clone(),
+                preflight: preflight.clone(),
+            },
+            Outbox::Inline { inner, preflight } => Outbox::Inline {
+                inner: inner.clone(),
+                preflight: preflight.clone(),
             },
         }
     }
@@ -223,6 +322,24 @@ impl<M: Labeled> Outbox<M> {
                     label,
                 });
             }
+            Outbox::Staged {
+                workers,
+                inner,
+                preflight,
+            } => {
+                if preflight.wants(&msg) {
+                    let idx = worker_of(from, workers.len());
+                    let _ = workers[idx].send(StageMsg::Send { from, to, msg });
+                } else {
+                    inner.send(from, to, msg);
+                }
+            }
+            Outbox::Inline { inner, preflight } => {
+                if preflight.wants(&msg) {
+                    preflight.preflight(from, to, &msg);
+                }
+                inner.send(from, to, msg);
+            }
         }
     }
 
@@ -234,8 +351,94 @@ impl<M: Labeled> Outbox<M> {
             Outbox::Sharded { halt, .. } => {
                 let _ = halt.send(id);
             }
+            Outbox::Staged { workers, .. } => {
+                // Through the sender's own sticky worker: by the time the
+                // halt reaches the router plane (or coordinator), every
+                // send this actor emitted before halting already has —
+                // staged sends by the worker's FIFO, bypassed sends
+                // because the actor forwarded them directly before
+                // emitting the halt.
+                let idx = worker_of(id, workers.len());
+                let _ = workers[idx].send(StageMsg::Halted(id));
+            }
+            Outbox::Inline { inner, .. } => inner.halted(id),
         }
     }
+}
+
+/// One stage worker's loop: run the preflight on each send, then forward
+/// it (and halt notices, in order) on the wrapped unstaged outbox. Exits
+/// when every actor sharing the worker has dropped its sender.
+fn stage_loop<M>(rx: Receiver<StageMsg<M>>, inner: Outbox<M>, preflight: Arc<dyn Preflight<M>>)
+where
+    M: Clone + Send + Labeled + 'static,
+{
+    while let Ok(stage_msg) = rx.recv() {
+        match stage_msg {
+            StageMsg::Send { from, to, msg } => {
+                preflight.preflight(from, to, &msg);
+                inner.send(from, to, msg);
+            }
+            StageMsg::Halted(id) => inner.halted(id),
+        }
+    }
+}
+
+/// Builds the actor-facing outbox for an installed preflight: a worker
+/// pool when there is parallelism to exploit, the inline degenerate stage
+/// when auto sizing resolves to a single worker (an explicitly pinned
+/// `verify_workers = 1` still gets its one real worker — tests use that
+/// to exercise the pool machinery deterministically).
+fn stage_front<M>(
+    inner: &Outbox<M>,
+    preflight: Arc<dyn Preflight<M>>,
+    config: &ThreadedConfig,
+) -> (Outbox<M>, Vec<thread::JoinHandle<()>>)
+where
+    M: Clone + Send + Labeled + 'static,
+{
+    let workers = config.effective_verify_workers().max(1);
+    if config.verify_workers == 0 && workers <= 1 {
+        (
+            Outbox::Inline {
+                inner: Box::new(inner.clone()),
+                preflight,
+            },
+            Vec::new(),
+        )
+    } else {
+        spawn_stage_pool(inner, preflight, workers)
+    }
+}
+
+/// Spawns the stage-worker pool in front of `inner`, returning the staged
+/// actor-facing outbox and the worker join handles. Callers drop their
+/// actor-side outbox clones to retire the pool.
+fn spawn_stage_pool<M>(
+    inner: &Outbox<M>,
+    preflight: Arc<dyn Preflight<M>>,
+    worker_count: usize,
+) -> (Outbox<M>, Vec<thread::JoinHandle<()>>)
+where
+    M: Clone + Send + Labeled + 'static,
+{
+    let mut worker_txs = Vec::with_capacity(worker_count);
+    let mut handles = Vec::with_capacity(worker_count);
+    for _ in 0..worker_count {
+        let (tx, rx) = unbounded::<StageMsg<M>>();
+        worker_txs.push(tx);
+        let inner = inner.clone();
+        let preflight = preflight.clone();
+        handles.push(thread::spawn(move || stage_loop(rx, inner, preflight)));
+    }
+    (
+        Outbox::Staged {
+            workers: Arc::new(worker_txs),
+            inner: Box::new(inner.clone()),
+            preflight,
+        },
+        handles,
+    )
 }
 
 struct Pending<M> {
@@ -280,6 +483,7 @@ pub struct ThreadedRuntime<M> {
     last_report: Option<RuntimeReport>,
     elapsed: Duration,
     tamper: Option<Box<dyn Tamper<M>>>,
+    preflight: Option<Arc<dyn Preflight<M>>>,
 }
 
 impl<M> ThreadedRuntime<M> {
@@ -293,6 +497,7 @@ impl<M> ThreadedRuntime<M> {
             last_report: None,
             elapsed: Duration::ZERO,
             tamper: None,
+            preflight: None,
         }
     }
 
@@ -305,6 +510,17 @@ impl<M> ThreadedRuntime<M> {
             "ThreadedRuntime tamper must be installed before the run"
         );
         self.tamper = Some(tamper);
+    }
+
+    /// Installs a stateless pre-delivery stage (see [`crate::stage`]),
+    /// executed by a pool of [`ThreadedConfig::verify_workers`] worker
+    /// threads between the actor outboxes and the router plane.
+    pub fn set_preflight(&mut self, preflight: Arc<dyn Preflight<M>>) {
+        assert!(
+            self.last_report.is_none(),
+            "ThreadedRuntime preflight must be installed before the run"
+        );
+        self.preflight = Some(preflight);
     }
 
     /// Wall-clock duration of the completed run.
@@ -343,6 +559,10 @@ where
         ThreadedRuntime::set_tamper(self, tamper);
     }
 
+    fn set_preflight(&mut self, preflight: Arc<dyn Preflight<M>>) {
+        ThreadedRuntime::set_preflight(self, preflight);
+    }
+
     fn run_until_stopped(&mut self, stop: &mut dyn FnMut() -> bool) -> RuntimeReport {
         // Already ran: report the recorded outcome unchanged.
         if let Some(report) = &self.last_report {
@@ -350,7 +570,8 @@ where
         }
         let actors = std::mem::take(&mut self.pending);
         let mut tamper = self.tamper.take();
-        let run = run_router(actors, &self.config, stop, &mut tamper);
+        let preflight = self.preflight.take();
+        let run = run_router(actors, &self.config, stop, &mut tamper, preflight);
         self.finished.extend(run.actors);
         self.stats = run.stats.clone();
         self.elapsed = run.elapsed;
@@ -421,14 +642,15 @@ fn run_router<M>(
     config: &ThreadedConfig,
     stop: &mut dyn FnMut() -> bool,
     tamper: &mut Option<Box<dyn Tamper<M>>>,
+    preflight: Option<Arc<dyn Preflight<M>>>,
 ) -> RouterRun<M>
 where
     M: Clone + Send + Labeled + 'static,
 {
     if config.effective_router_shards() <= 1 {
-        run_router_single(actors, config, stop, tamper)
+        run_router_single(actors, config, stop, tamper, preflight)
     } else {
-        run_router_sharded(actors, config, stop, tamper)
+        run_router_sharded(actors, config, stop, tamper, preflight)
     }
 }
 
@@ -439,6 +661,7 @@ fn run_router_single<M>(
     config: &ThreadedConfig,
     stop: &mut dyn FnMut() -> bool,
     tamper: &mut Option<Box<dyn Tamper<M>>>,
+    preflight: Option<Arc<dyn Preflight<M>>>,
 ) -> RouterRun<M>
 where
     M: Clone + Send + Labeled + 'static,
@@ -446,6 +669,16 @@ where
     let start = Instant::now();
     let (router_tx, router_rx) = unbounded::<RouterMsg<M>>();
     let shutdown = Arc::new(AtomicBool::new(false));
+
+    // With a preflight installed, actor traffic flows through the stage
+    // pool; sticky workers feed the same FIFO router channel, so each
+    // sender's sends still precede its halt there.
+    let unstaged = Outbox::Single(router_tx.clone());
+    let (actor_outbox, stage_handles) = match preflight {
+        Some(stage) => stage_front(&unstaged, stage, config),
+        None => (unstaged.clone(), Vec::new()),
+    };
+    drop(unstaged);
 
     // Inbox per actor.
     let mut inboxes: BTreeMap<ProcessId, Sender<(ProcessId, M)>> = BTreeMap::new();
@@ -456,12 +689,13 @@ where
         let id = actor.id();
         let (tx, rx) = bounded::<(ProcessId, M)>(4096);
         inboxes.insert(id, tx);
-        let outbox = Outbox::Single(router_tx.clone());
+        let outbox = actor_outbox.clone();
         let shutdown = shutdown.clone();
         handles.push(thread::spawn(move || {
             actor_loop(actor, rx, outbox, shutdown, start)
         }));
     }
+    drop(actor_outbox);
     drop(router_tx);
 
     // Router loop on this thread.
@@ -556,6 +790,10 @@ where
         let actor = handle.join().expect("actor thread panicked");
         out.insert(actor.id(), actor);
     }
+    // Stage workers exit once every actor has dropped its staged outbox.
+    for handle in stage_handles {
+        handle.join().expect("stage worker panicked");
+    }
     RouterRun {
         actors: out,
         stats,
@@ -571,7 +809,7 @@ where
 /// than `now` so this loop terminates; the wall timeout bounds total
 /// retrying. A disconnected receiver means the actor halted — dropping
 /// mirrors the simulator discarding events for halted actors.
-fn deliver_due<M>(
+fn deliver_due<M: Labeled>(
     heap: &mut BinaryHeap<Pending<M>>,
     seq: &mut u64,
     inboxes: &BTreeMap<ProcessId, Sender<(ProcessId, M)>>,
@@ -582,8 +820,12 @@ fn deliver_due<M>(
     while heap.peek().is_some_and(|p| p.due <= now) {
         let p = heap.pop().expect("peeked");
         if let Some(tx) = inboxes.get(&p.to) {
+            let payload = p.msg.payload_units();
             match tx.try_send((p.from, p.msg)) {
-                Ok(()) => stats.messages_delivered += 1,
+                Ok(()) => {
+                    stats.messages_delivered += 1;
+                    stats.record_delivery_payload(payload);
+                }
                 Err(TrySendError::Full((from, msg))) => {
                     *seq += 1;
                     heap.push(Pending {
@@ -774,6 +1016,7 @@ fn run_router_sharded<M>(
     config: &ThreadedConfig,
     stop: &mut dyn FnMut() -> bool,
     tamper: &mut Option<Box<dyn Tamper<M>>>,
+    preflight: Option<Arc<dyn Preflight<M>>>,
 ) -> RouterRun<M>
 where
     M: Clone + Send + Labeled + 'static,
@@ -800,6 +1043,22 @@ where
     let ids: Vec<ProcessId> = actors.iter().map(|a| a.id()).collect();
     let tamper_shard = tamper.is_some().then_some(0);
 
+    // With a preflight installed, actor traffic (sends *and* halts) flows
+    // through the stage pool; a sender's halt rides its sticky worker, so
+    // when the coordinator observes it, every pre-halt send has already
+    // reached the shard channels — the existing shutdown drain then
+    // accounts for anything still queued there.
+    let unstaged = Outbox::Sharded {
+        shards: shard_txs.clone(),
+        tamper_shard,
+        halt: halt_tx.clone(),
+    };
+    let (actor_outbox, stage_handles) = match preflight {
+        Some(stage) => stage_front(&unstaged, stage, config),
+        None => (unstaged.clone(), Vec::new()),
+    };
+    drop(unstaged);
+
     let mut actor_rxs = Vec::new();
     for actor in &actors {
         let (tx, rx) = bounded::<(ProcessId, M)>(4096);
@@ -807,16 +1066,13 @@ where
         actor_rxs.push(rx);
     }
     for (actor, rx) in actors.into_iter().zip(actor_rxs) {
-        let outbox = Outbox::Sharded {
-            shards: shard_txs.clone(),
-            tamper_shard,
-            halt: halt_tx.clone(),
-        };
+        let outbox = actor_outbox.clone();
         let shutdown = shutdown.clone();
         actor_handles.push(thread::spawn(move || {
             actor_loop(actor, rx, outbox, shutdown, start)
         }));
     }
+    drop(actor_outbox);
     drop(halt_tx);
 
     let mut shard_handles = Vec::with_capacity(shard_count);
@@ -881,6 +1137,10 @@ where
     for handle in actor_handles {
         let actor = handle.join().expect("actor thread panicked");
         out.insert(actor.id(), actor);
+    }
+    // Stage workers exit once every actor has dropped its staged outbox.
+    for handle in stage_handles {
+        handle.join().expect("stage worker panicked");
     }
     RouterRun {
         actors: out,
@@ -1056,6 +1316,12 @@ mod tests {
                 Msg::Pong => "PONG",
             }
         }
+        fn payload_units(&self) -> u64 {
+            match self {
+                Msg::Ping => 3,
+                Msg::Pong => 1,
+            }
+        }
     }
 
     struct Node {
@@ -1145,7 +1411,110 @@ mod tests {
             assert_eq!(report.stats.label_count("PONG"), 1, "shards={shards}");
             assert_eq!(report.stats.messages_sent, 2, "shards={shards}");
             assert_eq!(report.stats.messages_delivered, 2, "shards={shards}");
+            // Delivered payload is counted once per delivery and conserved
+            // across the shard merge.
+            assert_eq!(report.stats.payload_delivered_units, 4, "shards={shards}");
         }
+    }
+
+    #[test]
+    fn staged_pingpong_runs_preflight_and_preserves_stats() {
+        use std::sync::atomic::AtomicU64;
+
+        struct CountStage(Arc<AtomicU64>);
+        impl Preflight<Msg> for CountStage {
+            fn preflight(&self, _from: ProcessId, _to: ProcessId, _msg: &Msg) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        // Single and sharded router planes, pinned and auto pool sizes.
+        // (1, 0) resolves to one auto worker on every box — the inline
+        // degenerate stage — so the preflight-visibility and stats
+        // assertions cover that path deterministically too.
+        for (shards, workers) in [(1, 0), (1, 1), (1, 3), (4, 2), (4, 0)] {
+            let seen = Arc::new(AtomicU64::new(0));
+            let board = Board::new();
+            let mut rt: ThreadedRuntime<Msg> = ThreadedRuntime::new(ThreadedConfig {
+                wall_timeout: Duration::from_secs(5),
+                router_shards: shards,
+                verify_workers: workers,
+                ..ThreadedConfig::default()
+            });
+            for actor in pingpong_actors(&board) {
+                rt.add_actor(actor);
+            }
+            ThreadedRuntime::set_preflight(&mut rt, Arc::new(CountStage(seen.clone())));
+            let report = rt.run_to_completion();
+            assert!(
+                report.all_halted,
+                "shards={shards} workers={workers}: {report:?}"
+            );
+            // The stage saw every send exactly once, and the router-plane
+            // stats are unchanged by staging.
+            assert_eq!(seen.load(Ordering::Relaxed), 2, "workers={workers}");
+            assert_eq!(report.stats.messages_sent, 2, "workers={workers}");
+            assert_eq!(report.stats.messages_delivered, 2, "workers={workers}");
+            assert_eq!(report.stats.label_count("PING"), 1);
+            assert_eq!(report.stats.label_count("PONG"), 1);
+            assert_eq!(report.stats.payload_delivered_units, 4);
+        }
+    }
+
+    #[test]
+    fn selective_stage_bypasses_unwanted_messages() {
+        use std::sync::atomic::AtomicU64;
+
+        // Wants only PING: the PONG reply must bypass the worker pool and
+        // still deliver, with the router-plane stats unchanged.
+        struct PingStage(Arc<AtomicU64>);
+        impl Preflight<Msg> for PingStage {
+            fn preflight(&self, _from: ProcessId, _to: ProcessId, msg: &Msg) {
+                assert!(matches!(msg, Msg::Ping), "bypassed message reached stage");
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+            fn wants(&self, msg: &Msg) -> bool {
+                matches!(msg, Msg::Ping)
+            }
+        }
+
+        for (shards, workers) in [(1, 1), (4, 2)] {
+            let seen = Arc::new(AtomicU64::new(0));
+            let board = Board::new();
+            let mut rt: ThreadedRuntime<Msg> = ThreadedRuntime::new(ThreadedConfig {
+                wall_timeout: Duration::from_secs(5),
+                router_shards: shards,
+                verify_workers: workers,
+                ..ThreadedConfig::default()
+            });
+            for actor in pingpong_actors(&board) {
+                rt.add_actor(actor);
+            }
+            ThreadedRuntime::set_preflight(&mut rt, Arc::new(PingStage(seen.clone())));
+            let report = rt.run_to_completion();
+            assert!(
+                report.all_halted,
+                "shards={shards} workers={workers}: {report:?}"
+            );
+            assert_eq!(seen.load(Ordering::Relaxed), 1, "stage saw only the PING");
+            assert_eq!(report.stats.messages_sent, 2);
+            assert_eq!(report.stats.messages_delivered, 2);
+            assert_eq!(report.stats.payload_delivered_units, 4);
+        }
+    }
+
+    #[test]
+    fn verify_workers_auto_tracks_router_shards() {
+        let config = ThreadedConfig::default();
+        assert_eq!(
+            config.effective_verify_workers(),
+            config.effective_router_shards()
+        );
+        let pinned = ThreadedConfig {
+            verify_workers: 7,
+            ..ThreadedConfig::default()
+        };
+        assert_eq!(pinned.effective_verify_workers(), 7);
     }
 
     #[test]

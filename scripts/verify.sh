@@ -7,8 +7,9 @@
 #                              # adversary_sweep grid, the family_sweep
 #                              # (each graph family once at modest n), the
 #                              # delta-gossip discovery_equivalence sweep,
-#                              # and the router_shards parity sweep as
-#                              # early gates before the full test run
+#                              # the router_shards parity sweep, and the
+#                              # verify_pipeline parity/determinism suite
+#                              # as early gates before the full test run
 #
 # CI ↔ verify.sh contract (.github/workflows/ci.yml relies on this):
 #   * every gate propagates its exit code — the script runs under
@@ -56,6 +57,8 @@ else
     cargo test -q --test discovery_equivalence
     echo "==> cargo test -q --test router_shards (quick gate)"
     cargo test -q --test router_shards
+    echo "==> cargo test -q --test verify_pipeline (quick gate)"
+    cargo test -q --test verify_pipeline
 fi
 
 echo "==> cargo test -q"
