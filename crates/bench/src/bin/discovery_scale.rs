@@ -28,7 +28,13 @@
 //!
 //! `--json <path>` leaves the machine-readable artifact `scripts/bench.sh`
 //! merges into `BENCH_discovery.json`; the flat `regression` keys in it
-//! are what `bench.sh --check-regression` compares.
+//! are what `bench.sh --check-regression` compares. `--obs` additionally
+//! runs the n=100 sim cells observed and lands their virtual-time phase
+//! scalars (`obs_phase_{spd_fixpoint,sink_identified,decided}_<family>`)
+//! in the regression object — deterministic per seed, so they gate hard
+//! where the wall scalars can only advise — plus the full per-family
+//! [`ObsReport`]s as a `<json>.obs.json` sibling (see
+//! `docs/OBSERVABILITY.md`).
 //!
 //! Determinism knobs for CI↔laptop comparability (`scripts/bench.sh`
 //! forwards both): `BENCH_SEED=<u64>` offsets every scenario seed
@@ -39,13 +45,14 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use cupft_bench::{header, json_path_from_args, write_json, Json};
+use cupft_bench::{header, json_path_from_args, obs_json, write_json, Json};
 use cupft_core::{ProtocolMode, RuntimeKind, Scenario};
 use cupft_detector::SystemSetup;
 use cupft_discovery::{DiscoveryActor, DiscoveryMsg, DiscoveryState, GossipMode};
 use cupft_graph::{DiGraph, GraphFamily, KnowledgeView, ProcessId};
 use cupft_net::sim::Simulation;
 use cupft_net::{DelayPolicy, SimConfig};
+use cupft_obs::{ObsReport, PhaseMark};
 
 const FAULT_THRESHOLD: usize = 1;
 const SWEEP_SIZES: [usize; 3] = [12, 18, 24];
@@ -62,6 +69,16 @@ fn seed_offset() -> u64 {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0)
+}
+
+/// `--obs` flag: run the n=100 sim cells observed ([`Scenario::with_observe`])
+/// and emit their virtual-time phase scalars (`obs_phase_*`) into the
+/// regression object, plus the full per-family [`ObsReport`]s as a
+/// `<json>.obs.json` sibling artifact. Virtual time is byte-deterministic
+/// per seed, so — unlike the advisory `e2e_wall_seconds_*` scalars — these
+/// gate hard in `bench.sh --check-regression`.
+fn obs_enabled() -> bool {
+    std::env::args().any(|a| a == "--obs")
 }
 
 /// `--shards <n>` override for the threaded cells' router shard count.
@@ -245,6 +262,8 @@ struct CellResult {
     /// decisions equal it (the same verdict printed and recorded in the
     /// row — computed once).
     matches_sim: Option<bool>,
+    /// The cell's observability snapshot when it ran with `observe`.
+    obs: Option<ObsReport>,
 }
 
 fn run_e2e_cell(
@@ -254,8 +273,12 @@ fn run_e2e_cell(
     kind: RuntimeKind,
     shards: Option<usize>,
     sim_decisions: Option<&Decisions>,
+    observe: bool,
 ) -> CellResult {
     let mut scenario = scenario.clone();
+    if observe {
+        scenario = scenario.with_observe(true);
+    }
     if kind == RuntimeKind::Threaded {
         if let Some(shards) = shards {
             scenario = scenario.with_router_shards(shards);
@@ -316,12 +339,19 @@ fn run_e2e_cell(
     if let Some(matches) = matches_sim {
         fields.push(("decisions_match_sim".to_string(), Json::Bool(matches)));
     }
+    if let Some(obs) = &outcome.obs {
+        fields.push((
+            "obs_complete_timelines".to_string(),
+            Json::U64(obs.complete_timelines() as u64),
+        ));
+    }
     CellResult {
         solved,
         wall,
         row: Json::Obj(fields),
         decisions: outcome.decisions,
         matches_sim,
+        obs: outcome.obs,
     }
 }
 
@@ -339,7 +369,15 @@ fn shard_axis_section(rows: &mut Vec<Json>) {
     scenario.discovery_period = 100;
     scenario.view_timeout_base = 4_000;
     scenario = scenario.with_threaded_wall_timeout(std::time::Duration::from_secs(600));
-    let sim = run_e2e_cell(&family, &scenario, actual_n, RuntimeKind::Sim, None, None);
+    let sim = run_e2e_cell(
+        &family,
+        &scenario,
+        actual_n,
+        RuntimeKind::Sim,
+        None,
+        None,
+        false,
+    );
     assert!(sim.solved, "shard axis: sim cell must solve consensus");
     for shards in SHARD_AXIS {
         let cell = run_e2e_cell(
@@ -349,6 +387,7 @@ fn shard_axis_section(rows: &mut Vec<Json>) {
             RuntimeKind::Threaded,
             Some(shards),
             Some(&sim.decisions),
+            false,
         );
         assert!(
             cell.solved,
@@ -360,9 +399,11 @@ fn shard_axis_section(rows: &mut Vec<Json>) {
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
+    let obs = obs_enabled();
     println!(
-        "Delta-gossip discovery scale series (f = {FAULT_THRESHOLD}{})",
-        if full { ", --full" } else { "" }
+        "Delta-gossip discovery scale series (f = {FAULT_THRESHOLD}{}{})",
+        if full { ", --full" } else { "" },
+        if obs { ", --obs" } else { "" },
     );
 
     header("Sweep: delivered SETPDS payload, full-S_PD baseline vs delta gossip");
@@ -390,6 +431,10 @@ fn main() {
     // `bench.sh --check-regression` can advise on each family's
     // trajectory instead of only the blended total.
     let mut e2e_wall_by_family: BTreeMap<String, f64> = BTreeMap::new();
+    // `--obs`: per-family (phase scalars, full report) from the observed
+    // n=100 sim cells. Virtual-time marks, so deterministic per seed.
+    let mut obs_scalars: Vec<(String, Json)> = Vec::new();
+    let mut obs_families: Vec<(String, Json)> = Vec::new();
     let mut sizes: Vec<usize> = E2E_SIZES.to_vec();
     if full {
         sizes.extend(E2E_FULL_SIZES);
@@ -398,7 +443,45 @@ fn main() {
         for &n in &sizes {
             let (scenario, actual_n) = e2e_scenario(&family, n);
             let family_key = family.name().replace('-', "_");
-            let sim = run_e2e_cell(&family, &scenario, actual_n, RuntimeKind::Sim, None, None);
+            let observe = obs && n == E2E_SIZES[0];
+            let sim = run_e2e_cell(
+                &family,
+                &scenario,
+                actual_n,
+                RuntimeKind::Sim,
+                None,
+                None,
+                observe,
+            );
+            if let Some(report) = &sim.obs {
+                let deciders = sim.decisions.values().filter(|d| d.is_some()).count();
+                assert_eq!(
+                    report.complete_timelines(),
+                    deciders,
+                    "{family_key}@n{actual_n}: every deciding node must carry all five phase marks"
+                );
+                assert_eq!(
+                    report.clock_domain.name(),
+                    "virtual",
+                    "{family_key}@n{actual_n}: sim obs must be on the virtual clock"
+                );
+                println!(
+                    "      obs: {deciders} complete timelines, decided by t={}, S_PD fixpoint by t={}",
+                    report.phase_max(PhaseMark::Decided).unwrap_or(0),
+                    report.phase_max(PhaseMark::SpdFixpoint).unwrap_or(0),
+                );
+                for (key, mark) in [
+                    ("spd_fixpoint", PhaseMark::SpdFixpoint),
+                    ("sink_identified", PhaseMark::SinkIdentified),
+                    ("decided", PhaseMark::Decided),
+                ] {
+                    let at = report.phase_max(mark).unwrap_or_else(|| {
+                        panic!("{family_key}@n{actual_n}: no node reached phase {key}")
+                    });
+                    obs_scalars.push((format!("obs_phase_{key}_{family_key}"), Json::U64(at)));
+                }
+                obs_families.push((family_key.clone(), obs_json(report)));
+            }
             all_solved &= sim.solved;
             e2e_wall_total += sim.wall;
             *e2e_wall_by_family.entry(family_key.clone()).or_default() += sim.wall;
@@ -418,6 +501,7 @@ fn main() {
                 RuntimeKind::Threaded,
                 Some(threaded_shards),
                 Some(&sim.decisions),
+                false,
             );
             all_solved &= threaded.solved;
             all_match_sim &= threaded.matches_sim.unwrap_or(false);
@@ -461,6 +545,14 @@ fn main() {
                     ),
                     ("sweep_payload_ratio".to_string(), Json::F64(total_ratio)),
                     (
+                        "e2e_wall_note".to_string(),
+                        Json::str(
+                            "e2e_wall_seconds_* are advisory-only (cross-machine wall clock); \
+                             the obs_phase_* virtual-time scalars are the canonical \
+                             deterministic latency trajectory",
+                        ),
+                    ),
+                    (
                         "e2e_wall_seconds_total".to_string(),
                         Json::F64(e2e_wall_total),
                     ),
@@ -468,9 +560,18 @@ fn main() {
                 for (family, wall) in &e2e_wall_by_family {
                     fields.push((format!("e2e_wall_seconds_{family}"), Json::F64(*wall)));
                 }
+                for (key, value) in &obs_scalars {
+                    fields.push((key.clone(), value.clone()));
+                }
                 Json::Obj(fields)
             }),
         ]);
         write_json(&path, &doc);
+        if !obs_families.is_empty() {
+            // Full per-family ObsReports ride beside the main artifact —
+            // bench.sh publishes the sibling as OBS_discovery.json.
+            let obs_path = path.with_extension("obs.json");
+            write_json(&obs_path, &Json::Obj(obs_families));
+        }
     }
 }

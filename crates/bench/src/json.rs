@@ -12,6 +12,7 @@ use std::path::Path;
 
 use crate::Row;
 use cupft_core::{SuiteReport, SuiteVerdict};
+use cupft_obs::{Histogram, ObsReport, PhaseMark};
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -125,9 +126,87 @@ pub fn row_json(row: &Row) -> Json {
     ])
 }
 
-/// One suite verdict as a JSON row.
+/// One suite verdict as a JSON row; observed runs carry their
+/// [`ObsReport`] under an `"obs"` key.
 pub fn verdict_json(verdict: &SuiteVerdict) -> Json {
-    row_json(&Row::from_outcome(&verdict.label, &verdict.outcome))
+    let mut row = row_json(&Row::from_outcome(&verdict.label, &verdict.outcome));
+    if let (Json::Obj(pairs), Some(obs)) = (&mut row, &verdict.outcome.obs) {
+        pairs.push(("obs".to_string(), obs_json(obs)));
+    }
+    row
+}
+
+/// One histogram as a summary object (count/sum/extremes/quantiles). The
+/// raw bucket array is omitted: quantiles are already bucket-derived, and
+/// the summary keeps artifacts diffable by eye.
+fn hist_json(h: &Histogram) -> Json {
+    Json::obj([
+        ("count", Json::U64(h.count())),
+        ("sum", Json::U64(h.sum())),
+        ("min", Json::U64(h.min().unwrap_or(0))),
+        ("max", Json::U64(h.max().unwrap_or(0))),
+        ("p50", Json::U64(h.p50())),
+        ("p99", Json::U64(h.p99())),
+        ("p999", Json::U64(h.p999())),
+    ])
+}
+
+/// A whole [`ObsReport`] as JSON. Deterministic given a deterministic
+/// report: every map is a `BTreeMap` (sorted keys) and numbers are
+/// integers, so a byte-equal report serializes to byte-equal JSON — the
+/// property the `--quick`-gated determinism test asserts.
+pub fn obs_json(report: &ObsReport) -> Json {
+    let scalar_map = |m: &std::collections::BTreeMap<String, u64>| {
+        Json::Obj(m.iter().map(|(k, v)| (k.clone(), Json::U64(*v))).collect())
+    };
+    let timelines = Json::Obj(
+        report
+            .timelines
+            .iter()
+            .map(|(node, t)| {
+                let marks = PhaseMark::all()
+                    .iter()
+                    .filter_map(|&m| t.get(m).map(|at| (m.name().to_string(), Json::U64(at))))
+                    .collect();
+                (node.to_string(), Json::Obj(marks))
+            })
+            .collect(),
+    );
+    let events = Json::Arr(
+        report
+            .events
+            .iter()
+            .map(|e| {
+                Json::obj([
+                    ("at", Json::U64(e.at)),
+                    ("node", Json::U64(e.node)),
+                    ("what", Json::str(e.what.clone())),
+                ])
+            })
+            .collect(),
+    );
+    Json::obj([
+        ("clock_domain", Json::str(report.clock_domain.name())),
+        ("counters", scalar_map(&report.counters)),
+        ("gauges", scalar_map(&report.gauges)),
+        (
+            "histograms",
+            Json::Obj(
+                report
+                    .histograms
+                    .iter()
+                    .map(|(k, h)| (k.clone(), hist_json(h)))
+                    .collect(),
+            ),
+        ),
+        ("timelines", timelines),
+        (
+            "complete_timelines",
+            Json::U64(report.complete_timelines() as u64),
+        ),
+        ("events", events),
+        ("events_dropped", Json::U64(report.events_dropped)),
+    ])
 }
 
 /// A whole suite report: per-cell rows plus aggregates.

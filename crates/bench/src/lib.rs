@@ -28,7 +28,9 @@ pub mod json;
 use cupft_core::{run_scenario, ConsensusCheck, Scenario, ScenarioOutcome, SuiteReport};
 use cupft_graph::ProcessSet;
 
-pub use json::{json_path_from_args, row_json, suite_json, verdict_json, write_json, Json};
+pub use json::{
+    json_path_from_args, obs_json, row_json, suite_json, verdict_json, write_json, Json,
+};
 
 /// One printed experiment row.
 #[derive(Debug, Clone)]

@@ -2,6 +2,7 @@
 //! algorithm (Sink, Core, or the naive guesser).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use cupft_committee::{view_of_timer, Committee, CommitteeMsg, Replica, ReplicaConfig, Value};
 use cupft_crypto::{KeyRegistry, SigningKey};
@@ -10,6 +11,7 @@ use cupft_discovery::{DiscoveryState, GossipMode, DISCOVERY_TICK};
 use cupft_graph::{CandidateSearch, ProcessId, ProcessSet};
 use cupft_net::threaded::Board;
 use cupft_net::{Actor, Context, Time};
+use cupft_obs::{PhaseMark, Recorder};
 
 use crate::detect::{CoreDetector, Detection, NaiveSinkGuesser, SinkDetector};
 use crate::msgs::NodeMsg;
@@ -63,6 +65,12 @@ pub struct NodeConfig {
     /// topologies whose qualified core is embedded in a larger strongly
     /// connected component.
     pub search: CandidateSearch,
+    /// Observability recorder (see [`cupft_obs`]): when set, the node
+    /// stamps its [`PhaseMark`] timeline (first gossip → `S_PD` fixpoint →
+    /// sink identified → view installed → decided) and records discovery /
+    /// detection instruments. `None` (the default) records nothing — the
+    /// per-event cost of the disabled path is one `Option` check.
+    pub recorder: Option<Arc<Recorder>>,
 }
 
 impl Default for NodeConfig {
@@ -75,6 +83,7 @@ impl Default for NodeConfig {
             full_gossip: false,
             shared_verify: true,
             search: CandidateSearch::default(),
+            recorder: None,
         }
     }
 }
@@ -257,15 +266,35 @@ impl Node {
         self.config.crash_at.is_some_and(|t| now >= t)
     }
 
+    /// Stamps one phase-timeline mark when a recorder is attached.
+    fn mark(&self, mark: PhaseMark, at: Time) {
+        if let Some(rec) = &self.config.recorder {
+            rec.mark(self.id.raw(), mark, at);
+        }
+    }
+
     fn send_discovery_round(&mut self, ctx: &mut Context<NodeMsg>) {
+        let mut sent = 0u64;
         for (to, msg) in self.discovery.tick() {
             ctx.send(to, NodeMsg::Discovery(msg));
+            sent += 1;
+        }
+        if let Some(rec) = &self.config.recorder {
+            rec.counter_add("discovery_ticks", 1);
+            rec.hist_record("discovery_round_msgs", sent);
         }
     }
 
     fn try_detect(&mut self, ctx: &mut Context<NodeMsg>, on_tick: bool) {
         if self.detection.is_some() {
             return;
+        }
+        if let Some(rec) = &self.config.recorder {
+            rec.counter_add("detect_attempts", 1);
+            rec.hist_record(
+                "detect_view_known",
+                self.discovery.view().known().len() as u64,
+            );
         }
         let view = self.discovery.view();
         let found = match self.config.mode {
@@ -307,6 +336,7 @@ impl Node {
 
     fn adopt_detection(&mut self, detection: Detection, ctx: &mut Context<NodeMsg>) {
         self.detection_time = Some(ctx.now());
+        self.mark(PhaseMark::SinkIdentified, ctx.now());
         let committee = Committee::new(detection.members.clone(), detection.threshold);
         let is_member = detection.members.contains(&self.id);
         self.detection = Some(detection);
@@ -322,6 +352,9 @@ impl Node {
             );
             let fx = replica.start();
             self.replica = Some(replica);
+            // View 0 is installed the moment the replica starts; learners
+            // install the committee (their "view") at adoption too.
+            self.mark(PhaseMark::ViewInstalled, ctx.now());
             self.apply_replica_effects(fx, ctx);
             // Drain committee messages that arrived before identification.
             let backlog = std::mem::take(&mut self.committee_backlog);
@@ -335,6 +368,7 @@ impl Node {
             }
         } else {
             self.phase = Phase::Learning;
+            self.mark(PhaseMark::ViewInstalled, ctx.now());
             self.send_learning_round(ctx);
         }
     }
@@ -367,6 +401,7 @@ impl Node {
             return; // Integrity: decide at most once
         }
         self.decided_time = Some(ctx.now());
+        self.mark(PhaseMark::Decided, ctx.now());
         if let Some(board) = &self.board {
             board.publish(self.id, value.to_vec());
         }
@@ -410,6 +445,7 @@ impl Actor<NodeMsg> for Node {
         if self.crashed(ctx.now()) {
             return;
         }
+        self.mark(PhaseMark::FirstGossip, ctx.now());
         self.send_discovery_round(ctx);
         self.try_detect(ctx, true);
         ctx.set_timer(DISCOVERY_TICK, self.config.discovery_period);
@@ -430,8 +466,14 @@ impl Actor<NodeMsg> for Node {
                 // message. Detection stays a pure function of the view, so
                 // batching attempts per tick changes *when* a node
                 // identifies (by < one period), never *what*.
-                if self.discovery.take_changed() && self.phase == Phase::Discovering {
-                    self.detect_dirty = true;
+                if self.discovery.take_changed() {
+                    // Last write wins in the timeline: the final view
+                    // change this node ever absorbs *is* its local `S_PD`
+                    // fixpoint time.
+                    self.mark(PhaseMark::SpdFixpoint, ctx.now());
+                    if self.phase == Phase::Discovering {
+                        self.detect_dirty = true;
+                    }
                 }
             }
             NodeMsg::Committee(m) => match &mut self.replica {

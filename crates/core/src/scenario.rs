@@ -19,6 +19,7 @@ use cupft_graph::{DiGraph, ProcessId, ProcessSet};
 use cupft_net::sim::Simulation;
 use cupft_net::threaded::{Board, ThreadedConfig, ThreadedRuntime};
 use cupft_net::{DelayPolicy, NetStats, Preflight, Runtime, SimConfig, Time};
+use cupft_obs::{ObsReport, Recorder};
 
 use crate::byzantine::{ByzantineActor, ByzantineStrategy};
 use crate::msgs::NodeMsg;
@@ -82,6 +83,14 @@ pub struct Scenario {
     /// pool — every process verifies every certificate itself, exactly
     /// the pre-pipeline code paths. `Some(k)` pins a `k`-worker pool.
     pub verify_pool: Option<usize>,
+    /// Attach an observability [`Recorder`] to the run (off by default).
+    /// On the simulator the recorder runs in the **virtual** clock domain
+    /// — two runs of the same scenario produce byte-identical
+    /// [`ObsReport`]s — and on the threaded runtime in the wall domain (a
+    /// profile, not a trace). Observation never changes protocol
+    /// behavior: decisions, detections, and [`NetStats`] are identical
+    /// with the flag on or off.
+    pub observe: bool,
 }
 
 impl Scenario {
@@ -110,6 +119,7 @@ impl Scenario {
             threaded_wall_timeout: None,
             router_shards: None,
             verify_pool: None,
+            observe: false,
         }
     }
 
@@ -173,6 +183,13 @@ impl Scenario {
     /// the pinned `Some(0)` serial baseline).
     pub fn pipelined_verify(&self) -> bool {
         self.verify_pool != Some(0)
+    }
+
+    /// Switches structured-event observation on or off (see
+    /// [`Scenario::observe`]).
+    pub fn with_observe(mut self, observe: bool) -> Self {
+        self.observe = observe;
+        self
     }
 
     /// Selects the full-`S_PD` baseline dissemination for correct nodes
@@ -251,6 +268,10 @@ pub struct ScenarioOutcome {
     pub end_time: Time,
     /// Network statistics.
     pub stats: NetStats,
+    /// Observability snapshot, present iff [`Scenario::observe`] was on.
+    /// Taken *after* the run's certificate-pool gauges are dumped, so it
+    /// is a superset of the [`cupft_net::RuntimeReport`]'s own snapshot.
+    pub obs: Option<ObsReport>,
     allowed_values: BTreeSet<Vec<u8>>,
 }
 
@@ -400,6 +421,7 @@ fn populate<R: Runtime<NodeMsg>>(
     scenario: &Scenario,
     setup: &SystemSetup,
     board: &Board<Vec<u8>>,
+    recorder: Option<&Arc<Recorder>>,
     runtime: &mut R,
 ) -> ProcessSet {
     for v in scenario.graph.vertices() {
@@ -422,6 +444,7 @@ fn populate<R: Runtime<NodeMsg>>(
                 crash_at: scenario.crashes.get(&v).copied(),
                 full_gossip: scenario.full_gossip,
                 shared_verify: scenario.pipelined_verify(),
+                recorder: recorder.cloned(),
                 ..NodeConfig::default()
             };
             let mut node = Node::from_setup(setup, v, scenario.value_of(v), config)
@@ -485,6 +508,7 @@ fn collect<R: Runtime<NodeMsg>>(
         decided_times,
         end_time,
         stats: runtime.stats().clone(),
+        obs: None,
         allowed_values: scenario.allowed_values(),
     }
 }
@@ -503,19 +527,36 @@ pub fn run_scenario_on<R: Runtime<NodeMsg>>(
 ) -> ScenarioOutcome {
     let setup = SystemSetup::new(&scenario.graph);
     let board: Board<Vec<u8>> = Board::new();
-    let correct = populate(scenario, &setup, &board, runtime);
+    let recorder = scenario.observe.then(|| Arc::new(Recorder::new()));
+    let correct = populate(scenario, &setup, &board, recorder.as_ref(), runtime);
     if let Some(spec) = &scenario.tamper {
         runtime.set_tamper(spec.build());
     }
     if scenario.pipelined_verify() {
-        runtime.set_preflight(Arc::new(NodeVerifyStage(VerifyStage::new(
-            setup.pool().clone(),
-            setup.registry().clone(),
-        ))));
+        let mut stage = VerifyStage::new(setup.pool().clone(), setup.registry().clone());
+        if let Some(rec) = &recorder {
+            stage = stage.with_recorder(rec.clone());
+        }
+        runtime.set_preflight(Arc::new(NodeVerifyStage(stage)));
+    }
+    if let Some(rec) = &recorder {
+        runtime.set_recorder(rec.clone());
     }
     let expected = correct.len();
     let report = runtime.run_until_stopped(&mut || board.len() >= expected);
-    collect(scenario, &correct, report.end_time, runtime)
+    let obs = recorder.map(|rec| {
+        // Dump the shared certificate pool's end-of-run state as gauges,
+        // then snapshot — this snapshot supersedes the RuntimeReport's.
+        let pool = setup.pool();
+        rec.gauge_set("cert_pool_len", pool.len() as u64);
+        rec.gauge_set("cert_forged_records", pool.forged_records());
+        rec.gauge_set("cert_memo_hits", pool.memo_hits());
+        rec.gauge_set("cert_memo_misses", pool.memo_misses());
+        rec.snapshot()
+    });
+    let mut outcome = collect(scenario, &correct, report.end_time, runtime);
+    outcome.obs = obs;
+    outcome
 }
 
 /// Runs a scenario to completion (all correct decided) or to the horizon

@@ -226,6 +226,12 @@ pub struct CertPool {
     /// rejected fingerprint, no matter how many processes (or worker
     /// threads) race to verify the same forgery.
     forged_records: AtomicU64,
+    /// Verification requests answered from the verdict memo (no HMAC
+    /// work). Together with [`Self::memo_misses`] this is the memo's
+    /// hit-rate instrument, surfaced as observability gauges.
+    memo_hits: AtomicU64,
+    /// Verification requests that had to fall through to the HMAC check.
+    memo_misses: AtomicU64,
 }
 
 impl CertPool {
@@ -295,8 +301,10 @@ impl CertPool {
     /// result so no other process pays for this fingerprint again.
     pub fn verify_cert(&self, cert: &PdCertificate, registry: &KeyRegistry) -> bool {
         if let Some(ok) = self.verdict(cert.fingerprint()) {
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
             return ok;
         }
+        self.memo_misses.fetch_add(1, Ordering::Relaxed);
         let ok = cert.verify(registry);
         self.record_verdict(cert.fingerprint(), ok)
     }
@@ -317,6 +325,10 @@ impl CertPool {
                 }
             }
         }
+        self.memo_hits
+            .fetch_add((certs.len() - misses.len()) as u64, Ordering::Relaxed);
+        self.memo_misses
+            .fetch_add(misses.len() as u64, Ordering::Relaxed);
         if misses.is_empty() {
             return out;
         }
@@ -337,6 +349,17 @@ impl CertPool {
     /// notwithstanding.
     pub fn forged_records(&self) -> u64 {
         self.forged_records.load(Ordering::Relaxed)
+    }
+
+    /// Verification requests answered from the verdict memo.
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits.load(Ordering::Relaxed)
+    }
+
+    /// Verification requests that fell through to the HMAC check — one
+    /// per *first sight* of a fingerprint, absent races.
+    pub fn memo_misses(&self) -> u64 {
+        self.memo_misses.load(Ordering::Relaxed)
     }
 }
 
@@ -546,6 +569,27 @@ mod tests {
         // Warm run: all memo hits, identical verdicts.
         assert_eq!(pool.verify_batch(&bundle, setup.registry()), verdicts);
         assert_eq!(pool.forged_records(), 1);
+    }
+
+    #[test]
+    fn pool_counts_memo_hits_and_misses() {
+        let g = DiGraph::from_edges([(1, 2), (2, 1)]);
+        let setup = SystemSetup::new(&g);
+        let pool = setup.pool();
+        let a = setup.shared_certificate_for(p(1)).unwrap();
+        let b = setup.shared_certificate_for(p(2)).unwrap();
+        assert_eq!((pool.memo_hits(), pool.memo_misses()), (0, 0));
+        // Cold single verify: one miss; warm re-verify: one hit.
+        assert!(pool.verify_cert(&a, setup.registry()));
+        assert!(pool.verify_cert(&a, setup.registry()));
+        assert_eq!((pool.memo_hits(), pool.memo_misses()), (1, 1));
+        // Batch with one warm and one cold entry splits accordingly.
+        let bundle = vec![a.clone(), b.clone()];
+        assert_eq!(pool.verify_batch(&bundle, setup.registry()), [true, true]);
+        assert_eq!((pool.memo_hits(), pool.memo_misses()), (2, 2));
+        // Fully warm batch is all hits.
+        assert_eq!(pool.verify_batch(&bundle, setup.registry()), [true, true]);
+        assert_eq!((pool.memo_hits(), pool.memo_misses()), (4, 2));
     }
 
     #[test]

@@ -99,6 +99,7 @@ use cupft_detector::CertPool;
 use cupft_graph::ProcessId;
 use cupft_net::threaded::Board;
 use cupft_net::{Actor, Context, Preflight};
+use cupft_obs::Recorder;
 
 /// The stateless half of the certificate-verification pipeline: a
 /// [`Preflight`] that settles the verdict of every certificate aboard an
@@ -111,13 +112,27 @@ use cupft_net::{Actor, Context, Preflight};
 pub struct VerifyStage {
     pool: Arc<CertPool>,
     registry: KeyRegistry,
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl VerifyStage {
     /// Creates a stage over the run's shared pool and key registry
     /// (both typically borrowed from one `SystemSetup`).
     pub fn new(pool: Arc<CertPool>, registry: KeyRegistry) -> Self {
-        VerifyStage { pool, registry }
+        VerifyStage {
+            pool,
+            registry,
+            recorder: None,
+        }
+    }
+
+    /// Attaches an observability recorder: each wanted bundle records a
+    /// `verify_bundles` count and a `verify_batch_certs` bundle-size
+    /// histogram. Both are functions of the message flow, not the clock,
+    /// so they are deterministic on the simulator.
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// The shared pool the stage warms.
@@ -129,6 +144,10 @@ impl VerifyStage {
 impl Preflight<DiscoveryMsg> for VerifyStage {
     fn preflight(&self, _from: ProcessId, _to: ProcessId, msg: &DiscoveryMsg) {
         if let DiscoveryMsg::SetPds { certs, .. } = msg {
+            if let Some(rec) = &self.recorder {
+                rec.counter_add("verify_bundles", 1);
+                rec.hist_record("verify_batch_certs", certs.len() as u64);
+            }
             // Batch settlement: one memo probe pass plus one registry read
             // lock for the whole bundle. Idempotent — re-running on a
             // clone of the bundle is all memo hits.

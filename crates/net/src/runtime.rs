@@ -26,6 +26,7 @@
 use std::sync::Arc;
 
 use cupft_graph::ProcessId;
+use cupft_obs::{ObsReport, Recorder};
 
 use crate::actor::Actor;
 use crate::stage::Preflight;
@@ -48,6 +49,10 @@ pub struct RuntimeReport {
     pub events: u64,
     /// Network statistics of the run.
     pub stats: NetStats,
+    /// Observability snapshot, present when a recorder was installed via
+    /// [`Runtime::set_recorder`]. `None` (the unobserved default) keeps
+    /// report equality comparisons exactly as before.
+    pub obs: Option<ObsReport>,
 }
 
 /// A substrate that can execute a set of [`Actor`]s to completion.
@@ -83,6 +88,16 @@ pub trait Runtime<M: 'static> {
     /// contract.
     fn set_preflight(&mut self, preflight: Arc<dyn Preflight<M>>) {
         let _ = preflight;
+    }
+
+    /// Installs an observability recorder (see [`cupft_obs`]). Must be
+    /// called before the run starts; installing a second recorder
+    /// replaces the first. Substrates that support observation override
+    /// this — the default quietly ignores the recorder, which is always
+    /// correct: observation is best-effort by contract and must never
+    /// change protocol behavior.
+    fn set_recorder(&mut self, recorder: Arc<Recorder>) {
+        let _ = recorder;
     }
 
     /// Drives the system until every actor halts, `stop` returns `true`,

@@ -5,6 +5,7 @@ use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::Arc;
 
 use cupft_graph::ProcessId;
+use cupft_obs::{ObsReport, Recorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -62,6 +63,11 @@ pub struct RunReport {
     pub events: u64,
     /// Network statistics.
     pub stats: NetStats,
+    /// Observability snapshot, present when a recorder was installed via
+    /// [`Simulation::set_recorder`]. In the simulator every value in the
+    /// snapshot is in the virtual clock domain and therefore a pure
+    /// function of configuration + seed.
+    pub obs: Option<ObsReport>,
 }
 
 enum EventKind<M> {
@@ -96,6 +102,11 @@ pub struct Simulation<M> {
     trace: Option<Vec<TraceEntry>>,
     tamper: Option<Box<dyn Tamper<M>>>,
     preflight: Option<Arc<dyn Preflight<M>>>,
+    recorder: Option<Arc<Recorder>>,
+    /// The virtual tick currently being profiled and how many events it
+    /// has processed so far (only maintained while a recorder is set).
+    tick_now: Time,
+    tick_events: u64,
 }
 
 struct OrderedEvent<M>(Event<M>);
@@ -133,6 +144,9 @@ impl<M: Clone + Labeled + 'static> Simulation<M> {
             trace: None,
             tamper: None,
             preflight: None,
+            recorder: None,
+            tick_now: 0,
+            tick_events: 0,
         }
     }
 
@@ -151,6 +165,18 @@ impl<M: Clone + Labeled + 'static> Simulation<M> {
     /// preflight installed.
     pub fn set_preflight(&mut self, preflight: Arc<dyn Preflight<M>>) {
         self.preflight = Some(preflight);
+    }
+
+    /// Installs an observability recorder and switches its clock to the
+    /// **virtual** domain: every timestamp the recorder hands out from
+    /// here on is a simulated tick, so observed traces are byte-identical
+    /// across same-seed runs. The simulator feeds the recorder its
+    /// event-loop profile (events per tick, queue depth, tick advance —
+    /// the ROADMAP Open-Item-5 surface); observation never touches the
+    /// RNG stream, the event order, or the stats.
+    pub fn set_recorder(&mut self, recorder: Arc<Recorder>) {
+        recorder.clock().set_virtual();
+        self.recorder = Some(recorder);
     }
 
     /// Enables delivery tracing: every delivered message is recorded as a
@@ -255,6 +281,21 @@ impl<M: Clone + Labeled + 'static> Simulation<M> {
         }
         self.now = self.now.max(event.time);
         self.events_processed += 1;
+        if let Some(rec) = &self.recorder {
+            if self.now != self.tick_now {
+                // A new distinct virtual instant: flush the profile of
+                // the tick just drained. All three series are virtual
+                // quantities, so the profile is deterministic.
+                rec.hist_record("sim_events_per_tick", self.tick_events);
+                rec.hist_record("sim_tick_advance", self.now - self.tick_now);
+                rec.counter_add("sim_ticks", 1);
+                rec.clock().advance_virtual(self.now);
+                self.tick_now = self.now;
+                self.tick_events = 0;
+            }
+            self.tick_events += 1;
+            rec.hist_record("sim_queue_depth", self.queue.len() as u64);
+        }
 
         if self.halted.get(&event.target).copied().unwrap_or(true) {
             return true; // drop events for halted/unknown actors
@@ -279,6 +320,17 @@ impl<M: Clone + Labeled + 'static> Simulation<M> {
                         });
                     }
                     if let Some(stage) = &self.preflight {
+                        if let Some(rec) = &self.recorder {
+                            if stage.wants(&msg) {
+                                // The virtual stage runs synchronously at
+                                // the delivery event, so queue wait is
+                                // zero *by construction* — recorded so the
+                                // histogram exists deterministically and
+                                // reads identically to the threaded one.
+                                rec.counter_add("stage_bundles", 1);
+                                rec.hist_record("stage_queue_wait_us", 0);
+                            }
+                        }
                         stage.preflight(from, event.target, &msg);
                     }
                     actor.on_message(from, msg, &mut ctx);
@@ -338,15 +390,33 @@ impl<M: Clone + Labeled + 'static> Simulation<M> {
         }
     }
 
+    /// Flushes the in-progress tick profile and snapshots the recorder,
+    /// if one is installed. Called when a report is built; resets the
+    /// partial-tick accumulator so a resumed (phased) run never
+    /// double-counts the boundary tick.
+    fn obs_snapshot(&mut self) -> Option<ObsReport> {
+        let rec = self.recorder.as_ref()?;
+        if self.tick_events > 0 {
+            rec.hist_record("sim_events_per_tick", self.tick_events);
+            rec.counter_add("sim_ticks", 1);
+            self.tick_events = 0;
+            self.tick_now = self.now;
+        }
+        rec.clock().advance_virtual(self.now);
+        Some(rec.snapshot())
+    }
+
     /// Runs until no progress is possible (all halted, horizon reached, or
     /// no events left).
     pub fn run(&mut self) -> RunReport {
         while self.step() {}
+        let obs = self.obs_snapshot();
         RunReport {
             end_time: self.now,
             all_halted: self.halted.values().all(|&h| h),
             events: self.events_processed,
             stats: self.stats.clone(),
+            obs,
         }
     }
 
@@ -389,14 +459,20 @@ impl<M: Clone + Labeled + 'static> Runtime<M> for Simulation<M> {
         Simulation::set_preflight(self, preflight);
     }
 
+    fn set_recorder(&mut self, recorder: Arc<Recorder>) {
+        Simulation::set_recorder(self, recorder);
+    }
+
     fn run_until_stopped(&mut self, stop: &mut dyn FnMut() -> bool) -> RuntimeReport {
         let stopped = self.run_until(|_| stop());
+        let obs = self.obs_snapshot();
         RuntimeReport {
             all_halted: self.halted.values().all(|&h| h),
             stopped,
             end_time: self.now,
             events: self.events_processed,
             stats: self.stats.clone(),
+            obs,
         }
     }
 

@@ -110,8 +110,13 @@ impl fmt::Display for NetStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "sent={} delivered={} payload={} timers={}",
-            self.messages_sent, self.messages_delivered, self.payload_units, self.timers_fired
+            "sent={} delivered={} dropped={} payload={} payload_delivered={} timers={}",
+            self.messages_sent,
+            self.messages_delivered,
+            self.messages_dropped,
+            self.payload_units,
+            self.payload_delivered_units,
+            self.timers_fired
         )?;
         for (label, count) in &self.by_label {
             write!(f, " {label}={count}")?;
@@ -139,6 +144,20 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("PING=2"));
         assert!(text.contains("sent=3"));
+    }
+
+    #[test]
+    fn display_includes_drop_and_delivery_payload_counters() {
+        let mut s = NetStats::default();
+        s.record_send("SETPDS", 5);
+        s.record_send("SETPDS", 3);
+        s.record_drop(3);
+        s.record_delivery_payload(5);
+        s.messages_delivered = 1;
+        let text = s.to_string();
+        assert!(text.contains("dropped=1"), "{text}");
+        assert!(text.contains("payload_delivered=5"), "{text}");
+        assert!(text.contains("sent=2 delivered=1"), "{text}");
     }
 
     #[test]

@@ -58,6 +58,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use cupft_graph::ProcessId;
+use cupft_obs::{Histogram, Recorder};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -212,6 +213,9 @@ enum StageMsg<M> {
         from: ProcessId,
         to: ProcessId,
         msg: M,
+        /// When the send entered the worker's queue — the stage
+        /// queue-wait histogram is `recv time − enqueued` (wall domain).
+        enqueued: Instant,
     },
     Halted(ProcessId),
 }
@@ -261,6 +265,7 @@ enum Outbox<M> {
     Inline {
         inner: Box<Outbox<M>>,
         preflight: Arc<dyn Preflight<M>>,
+        recorder: Option<Arc<Recorder>>,
     },
 }
 
@@ -286,9 +291,14 @@ impl<M> Clone for Outbox<M> {
                 inner: inner.clone(),
                 preflight: preflight.clone(),
             },
-            Outbox::Inline { inner, preflight } => Outbox::Inline {
+            Outbox::Inline {
+                inner,
+                preflight,
+                recorder,
+            } => Outbox::Inline {
                 inner: inner.clone(),
                 preflight: preflight.clone(),
+                recorder: recorder.clone(),
             },
         }
     }
@@ -329,14 +339,23 @@ impl<M: Labeled> Outbox<M> {
             } => {
                 if preflight.wants(&msg) {
                     let idx = worker_of(from, workers.len());
-                    let _ = workers[idx].send(StageMsg::Send { from, to, msg });
+                    let _ = workers[idx].send(StageMsg::Send {
+                        from,
+                        to,
+                        msg,
+                        enqueued: Instant::now(),
+                    });
                 } else {
                     inner.send(from, to, msg);
                 }
             }
-            Outbox::Inline { inner, preflight } => {
+            Outbox::Inline {
+                inner,
+                preflight,
+                recorder,
+            } => {
                 if preflight.wants(&msg) {
-                    preflight.preflight(from, to, &msg);
+                    run_preflight(preflight.as_ref(), recorder, from, to, &msg, None);
                 }
                 inner.send(from, to, msg);
             }
@@ -366,17 +385,59 @@ impl<M: Labeled> Outbox<M> {
     }
 }
 
+/// Runs the preflight once, recording queue-wait and service-time
+/// histograms (wall microseconds) when a recorder is installed.
+/// `enqueued = None` is the inline degenerate stage: queue wait is zero
+/// by construction, recorded anyway so both stage shapes produce the
+/// same histogram set.
+fn run_preflight<M>(
+    preflight: &dyn Preflight<M>,
+    recorder: &Option<Arc<Recorder>>,
+    from: ProcessId,
+    to: ProcessId,
+    msg: &M,
+    enqueued: Option<Instant>,
+) {
+    match recorder {
+        Some(rec) => {
+            let wait = enqueued.map_or(0, |at| at.elapsed().as_micros() as u64);
+            rec.hist_record("stage_queue_wait_us", wait);
+            let served = Instant::now();
+            preflight.preflight(from, to, msg);
+            rec.hist_record("stage_service_us", served.elapsed().as_micros() as u64);
+            rec.counter_add("stage_bundles", 1);
+        }
+        None => preflight.preflight(from, to, msg),
+    }
+}
+
 /// One stage worker's loop: run the preflight on each send, then forward
 /// it (and halt notices, in order) on the wrapped unstaged outbox. Exits
 /// when every actor sharing the worker has dropped its sender.
-fn stage_loop<M>(rx: Receiver<StageMsg<M>>, inner: Outbox<M>, preflight: Arc<dyn Preflight<M>>)
-where
+fn stage_loop<M>(
+    rx: Receiver<StageMsg<M>>,
+    inner: Outbox<M>,
+    preflight: Arc<dyn Preflight<M>>,
+    recorder: Option<Arc<Recorder>>,
+) where
     M: Clone + Send + Labeled + 'static,
 {
     while let Ok(stage_msg) = rx.recv() {
         match stage_msg {
-            StageMsg::Send { from, to, msg } => {
-                preflight.preflight(from, to, &msg);
+            StageMsg::Send {
+                from,
+                to,
+                msg,
+                enqueued,
+            } => {
+                run_preflight(
+                    preflight.as_ref(),
+                    &recorder,
+                    from,
+                    to,
+                    &msg,
+                    Some(enqueued),
+                );
                 inner.send(from, to, msg);
             }
             StageMsg::Halted(id) => inner.halted(id),
@@ -393,6 +454,7 @@ fn stage_front<M>(
     inner: &Outbox<M>,
     preflight: Arc<dyn Preflight<M>>,
     config: &ThreadedConfig,
+    recorder: Option<Arc<Recorder>>,
 ) -> (Outbox<M>, Vec<thread::JoinHandle<()>>)
 where
     M: Clone + Send + Labeled + 'static,
@@ -403,11 +465,12 @@ where
             Outbox::Inline {
                 inner: Box::new(inner.clone()),
                 preflight,
+                recorder,
             },
             Vec::new(),
         )
     } else {
-        spawn_stage_pool(inner, preflight, workers)
+        spawn_stage_pool(inner, preflight, workers, recorder)
     }
 }
 
@@ -418,6 +481,7 @@ fn spawn_stage_pool<M>(
     inner: &Outbox<M>,
     preflight: Arc<dyn Preflight<M>>,
     worker_count: usize,
+    recorder: Option<Arc<Recorder>>,
 ) -> (Outbox<M>, Vec<thread::JoinHandle<()>>)
 where
     M: Clone + Send + Labeled + 'static,
@@ -429,7 +493,10 @@ where
         worker_txs.push(tx);
         let inner = inner.clone();
         let preflight = preflight.clone();
-        handles.push(thread::spawn(move || stage_loop(rx, inner, preflight)));
+        let recorder = recorder.clone();
+        handles.push(thread::spawn(move || {
+            stage_loop(rx, inner, preflight, recorder)
+        }));
     }
     (
         Outbox::Staged {
@@ -439,6 +506,32 @@ where
         },
         handles,
     )
+}
+
+/// Router-plane observability accumulators, kept local to each router
+/// loop (no synchronization on the hot path) and merged deterministically
+/// — shard-index order — into the run's [`Recorder`] after the loop
+/// exits.
+#[derive(Default)]
+struct RouterObs {
+    /// Inbox channel depth sampled once per loop iteration.
+    inbox_depth: Histogram,
+    /// Delay-wheel (pending heap) size sampled once per loop iteration.
+    wheel_depth: Histogram,
+    /// Deliveries re-pushed because the destination inbox was full.
+    deferrals: u64,
+}
+
+impl RouterObs {
+    /// Folds this accumulator into `recorder` under the router metric
+    /// names. Histogram merge is exact and commutative; callers still
+    /// merge in shard-index order so the event of merging is itself
+    /// deterministic.
+    fn merge_into(&self, recorder: &Recorder) {
+        recorder.merge_hist("router_inbox_depth", &self.inbox_depth);
+        recorder.merge_hist("router_wheel_depth", &self.wheel_depth);
+        recorder.counter_add("router_deferrals", self.deferrals);
+    }
 }
 
 struct Pending<M> {
@@ -484,6 +577,7 @@ pub struct ThreadedRuntime<M> {
     elapsed: Duration,
     tamper: Option<Box<dyn Tamper<M>>>,
     preflight: Option<Arc<dyn Preflight<M>>>,
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl<M> ThreadedRuntime<M> {
@@ -498,6 +592,7 @@ impl<M> ThreadedRuntime<M> {
             elapsed: Duration::ZERO,
             tamper: None,
             preflight: None,
+            recorder: None,
         }
     }
 
@@ -521,6 +616,19 @@ impl<M> ThreadedRuntime<M> {
             "ThreadedRuntime preflight must be installed before the run"
         );
         self.preflight = Some(preflight);
+    }
+
+    /// Installs an observability recorder (see [`cupft_obs`]). The
+    /// recorder stays in the **wall** clock domain: stage and router
+    /// metrics are recorded in wall microseconds / raw depths, so a
+    /// threaded obs report is a profile, not a deterministic trace —
+    /// use the simulator for byte-reproducible observation.
+    pub fn set_recorder(&mut self, recorder: Arc<Recorder>) {
+        assert!(
+            self.last_report.is_none(),
+            "ThreadedRuntime recorder must be installed before the run"
+        );
+        self.recorder = Some(recorder);
     }
 
     /// Wall-clock duration of the completed run.
@@ -563,6 +671,10 @@ where
         ThreadedRuntime::set_preflight(self, preflight);
     }
 
+    fn set_recorder(&mut self, recorder: Arc<Recorder>) {
+        ThreadedRuntime::set_recorder(self, recorder);
+    }
+
     fn run_until_stopped(&mut self, stop: &mut dyn FnMut() -> bool) -> RuntimeReport {
         // Already ran: report the recorded outcome unchanged.
         if let Some(report) = &self.last_report {
@@ -571,16 +683,36 @@ where
         let actors = std::mem::take(&mut self.pending);
         let mut tamper = self.tamper.take();
         let preflight = self.preflight.take();
-        let run = run_router(actors, &self.config, stop, &mut tamper, preflight);
+        let recorder = self.recorder.clone();
+        let run = run_router(
+            actors,
+            &self.config,
+            stop,
+            &mut tamper,
+            preflight,
+            recorder.clone(),
+        );
         self.finished.extend(run.actors);
         self.stats = run.stats.clone();
         self.elapsed = run.elapsed;
+        let obs = recorder.map(|rec| {
+            rec.gauge_set(
+                "router_shards",
+                self.config.effective_router_shards() as u64,
+            );
+            rec.gauge_set(
+                "verify_workers",
+                self.config.effective_verify_workers() as u64,
+            );
+            rec.snapshot()
+        });
         let report = RuntimeReport {
             all_halted: run.all_halted,
             stopped: run.stopped,
             end_time: run.elapsed.as_millis() as Time,
             events: run.stats.messages_delivered,
             stats: run.stats,
+            obs,
         };
         self.last_report = Some(report.clone());
         report
@@ -643,14 +775,15 @@ fn run_router<M>(
     stop: &mut dyn FnMut() -> bool,
     tamper: &mut Option<Box<dyn Tamper<M>>>,
     preflight: Option<Arc<dyn Preflight<M>>>,
+    recorder: Option<Arc<Recorder>>,
 ) -> RouterRun<M>
 where
     M: Clone + Send + Labeled + 'static,
 {
     if config.effective_router_shards() <= 1 {
-        run_router_single(actors, config, stop, tamper, preflight)
+        run_router_single(actors, config, stop, tamper, preflight, recorder)
     } else {
-        run_router_sharded(actors, config, stop, tamper, preflight)
+        run_router_sharded(actors, config, stop, tamper, preflight, recorder)
     }
 }
 
@@ -662,6 +795,7 @@ fn run_router_single<M>(
     stop: &mut dyn FnMut() -> bool,
     tamper: &mut Option<Box<dyn Tamper<M>>>,
     preflight: Option<Arc<dyn Preflight<M>>>,
+    recorder: Option<Arc<Recorder>>,
 ) -> RouterRun<M>
 where
     M: Clone + Send + Labeled + 'static,
@@ -675,7 +809,7 @@ where
     // sender's sends still precede its halt there.
     let unstaged = Outbox::Single(router_tx.clone());
     let (actor_outbox, stage_handles) = match preflight {
-        Some(stage) => stage_front(&unstaged, stage, config),
+        Some(stage) => stage_front(&unstaged, stage, config, recorder.clone()),
         None => (unstaged.clone(), Vec::new()),
     };
     drop(unstaged);
@@ -706,6 +840,7 @@ where
     let mut rng = StdRng::seed_from_u64(config.seed);
     let deadline = start + config.wall_timeout;
     let mut stopped = false;
+    let mut obs = RouterObs::default();
 
     loop {
         if halted.values().all(|&h| h) {
@@ -724,8 +859,20 @@ where
         if now >= deadline {
             break;
         }
+        if recorder.is_some() {
+            obs.inbox_depth.record(router_rx.len() as u64);
+            obs.wheel_depth.record(heap.len() as u64);
+        }
         // Deliver everything due.
-        deliver_due(&mut heap, &mut seq, &inboxes, &mut stats, now, config);
+        deliver_due(
+            &mut heap,
+            &mut seq,
+            &inboxes,
+            &mut stats,
+            now,
+            config,
+            &mut obs.deferrals,
+        );
         let wait = heap
             .peek()
             .map(|p| p.due.saturating_duration_since(now))
@@ -794,6 +941,9 @@ where
     for handle in stage_handles {
         handle.join().expect("stage worker panicked");
     }
+    if let Some(rec) = &recorder {
+        obs.merge_into(rec);
+    }
     RouterRun {
         actors: out,
         stats,
@@ -816,6 +966,7 @@ fn deliver_due<M: Labeled>(
     stats: &mut NetStats,
     now: Instant,
     config: &ThreadedConfig,
+    deferred: &mut u64,
 ) {
     while heap.peek().is_some_and(|p| p.due <= now) {
         let p = heap.pop().expect("peeked");
@@ -827,6 +978,7 @@ fn deliver_due<M: Labeled>(
                     stats.record_delivery_payload(payload);
                 }
                 Err(TrySendError::Full((from, msg))) => {
+                    *deferred += 1;
                     *seq += 1;
                     heap.push(Pending {
                         due: now + config.min_delay.max(Duration::from_millis(1)),
@@ -856,13 +1008,17 @@ struct ShardTask<M> {
 /// One router shard's loop: schedule sends through the delay wheel,
 /// deliver due messages into inboxes, run the tamper (tamper shard only)
 /// and forward post-disposition messages to their destination shard.
-/// Returns the shard's private [`NetStats`] for the deterministic merge.
+/// Returns the shard's private [`NetStats`] and observability
+/// accumulators for the deterministic (shard-index order) merge.
+/// `observe` gates the per-iteration depth sampling so unobserved runs
+/// pay nothing beyond a branch.
 fn shard_loop<M>(
     task: ShardTask<M>,
     config: &ThreadedConfig,
     shutdown: &AtomicBool,
     start: Instant,
-) -> NetStats
+    observe: bool,
+) -> (NetStats, RouterObs)
 where
     M: Clone + Send + Labeled + 'static,
 {
@@ -889,6 +1045,7 @@ where
         .saturating_sub(config.min_delay)
         .as_millis() as u64;
     let deadline = start + config.wall_timeout;
+    let mut obs = RouterObs::default();
 
     let schedule = |heap: &mut BinaryHeap<Pending<M>>,
                     seq: &mut u64,
@@ -951,7 +1108,19 @@ where
         if now >= deadline {
             break;
         }
-        deliver_due(&mut heap, &mut seq, &inboxes, &mut stats, now, config);
+        if observe {
+            obs.inbox_depth.record(rx.len() as u64);
+            obs.wheel_depth.record(heap.len() as u64);
+        }
+        deliver_due(
+            &mut heap,
+            &mut seq,
+            &inboxes,
+            &mut stats,
+            now,
+            config,
+            &mut obs.deferrals,
+        );
         let wait = heap
             .peek()
             .map(|p| p.due.saturating_duration_since(now))
@@ -1004,7 +1173,7 @@ where
             Err(RecvTimeoutError::Disconnected) => break,
         }
     }
-    stats
+    (stats, obs)
 }
 
 /// The sharded router plane (`router_shards >= 2`): N shard threads own
@@ -1017,6 +1186,7 @@ fn run_router_sharded<M>(
     stop: &mut dyn FnMut() -> bool,
     tamper: &mut Option<Box<dyn Tamper<M>>>,
     preflight: Option<Arc<dyn Preflight<M>>>,
+    recorder: Option<Arc<Recorder>>,
 ) -> RouterRun<M>
 where
     M: Clone + Send + Labeled + 'static,
@@ -1054,7 +1224,7 @@ where
         halt: halt_tx.clone(),
     };
     let (actor_outbox, stage_handles) = match preflight {
-        Some(stage) => stage_front(&unstaged, stage, config),
+        Some(stage) => stage_front(&unstaged, stage, config, recorder.clone()),
         None => (unstaged.clone(), Vec::new()),
     };
     drop(unstaged);
@@ -1087,8 +1257,9 @@ where
         };
         let config = config.clone();
         let shutdown = shutdown.clone();
+        let observe = recorder.is_some();
         shard_handles.push(thread::spawn(move || {
-            shard_loop(task, &config, &shutdown, start)
+            shard_loop(task, &config, &shutdown, start, observe)
         }));
     }
     drop(shard_txs);
@@ -1125,12 +1296,16 @@ where
 
     let all_halted = halted.values().all(|&h| h);
     shutdown.store(true, Ordering::SeqCst);
-    // Merge shard stats in index order: deterministic given the per-shard
-    // outcomes, and conserving every counter (see `NetStats::merge`).
+    // Merge shard stats (and shard obs) in index order: deterministic
+    // given the per-shard outcomes, and conserving every counter (see
+    // `NetStats::merge`, `Histogram::merge`).
     let mut stats = NetStats::default();
     for handle in shard_handles {
-        let shard_stats = handle.join().expect("router shard panicked");
+        let (shard_stats, shard_obs) = handle.join().expect("router shard panicked");
         stats.merge(&shard_stats);
+        if let Some(rec) = &recorder {
+            shard_obs.merge_into(rec);
+        }
     }
     drop(inboxes);
     let mut out = BTreeMap::new();

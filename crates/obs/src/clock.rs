@@ -1,0 +1,111 @@
+//! The two-domain clock behind every [`crate::Recorder`].
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Which time domain a clock (and therefore a report) runs in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockDomain {
+    /// Simulated ticks, advanced explicitly by the discrete-event
+    /// simulator. Deterministic: a pure function of scenario + seed.
+    Virtual,
+    /// Monotonic wall time in microseconds since the clock was created.
+    /// Used by the threaded runtime; never comparable across machines.
+    Wall,
+}
+
+impl ClockDomain {
+    /// Stable lowercase name used in JSON exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClockDomain::Virtual => "virtual",
+            ClockDomain::Wall => "wall",
+        }
+    }
+}
+
+/// A clock that starts in the wall domain and can be switched to the
+/// virtual domain by a deterministic driver (the simulator does this in
+/// its `set_recorder`).
+///
+/// All operations are lock-free atomics: reading the clock from a hot
+/// path costs two relaxed loads.
+#[derive(Debug)]
+pub struct Clock {
+    virtual_domain: AtomicBool,
+    virtual_now: AtomicU64,
+    start: Instant,
+}
+
+impl Clock {
+    /// A new clock in the wall domain, with `now() == 0` at creation.
+    pub fn new() -> Self {
+        Clock {
+            virtual_domain: AtomicBool::new(false),
+            virtual_now: AtomicU64::new(0),
+            start: Instant::now(),
+        }
+    }
+
+    /// Switches the clock into the virtual domain (idempotent). After
+    /// this, [`Clock::now`] reports whatever the driver last passed to
+    /// [`Clock::advance_virtual`].
+    pub fn set_virtual(&self) {
+        self.virtual_domain.store(true, Ordering::Relaxed);
+    }
+
+    /// The domain the clock currently reports in.
+    pub fn domain(&self) -> ClockDomain {
+        if self.virtual_domain.load(Ordering::Relaxed) {
+            ClockDomain::Virtual
+        } else {
+            ClockDomain::Wall
+        }
+    }
+
+    /// Advances the virtual clock to `to` (monotonic: a lower value is a
+    /// no-op). Only meaningful in the virtual domain; harmless otherwise.
+    pub fn advance_virtual(&self, to: u64) {
+        self.virtual_now.fetch_max(to, Ordering::Relaxed);
+    }
+
+    /// Current time: virtual ticks in the virtual domain, monotonic
+    /// microseconds since creation in the wall domain.
+    pub fn now(&self) -> u64 {
+        match self.domain() {
+            ClockDomain::Virtual => self.virtual_now.load(Ordering::Relaxed),
+            ClockDomain::Wall => self.start.elapsed().as_micros() as u64,
+        }
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_in_wall_domain() {
+        let clock = Clock::new();
+        assert_eq!(clock.domain(), ClockDomain::Wall);
+        assert_eq!(clock.domain().name(), "wall");
+    }
+
+    #[test]
+    fn virtual_domain_is_driver_controlled_and_monotonic() {
+        let clock = Clock::new();
+        clock.set_virtual();
+        assert_eq!(clock.domain(), ClockDomain::Virtual);
+        assert_eq!(clock.now(), 0);
+        clock.advance_virtual(42);
+        assert_eq!(clock.now(), 42);
+        clock.advance_virtual(17); // going backwards is a no-op
+        assert_eq!(clock.now(), 42);
+        assert_eq!(clock.domain().name(), "virtual");
+    }
+}

@@ -1,0 +1,248 @@
+//! Fixed-bucket log2 histograms: integer-only quantiles, no floats in
+//! the hot path, mergeable across shards like `NetStats::merge`.
+
+/// Number of buckets: one for the value `0` plus one per bit length of a
+/// `u64` (bucket `k ≥ 1` covers `[2^(k-1), 2^k - 1]`).
+pub const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Recording is O(1) (a `leading_zeros` and two adds), quantile queries
+/// walk at most [`BUCKETS`] counters, and [`Histogram::merge`] is exact:
+/// a merged histogram is indistinguishable from one that saw every
+/// sample itself (the property `tests/proptest_obs.rs` checks at the
+/// repo root).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros()) as usize
+        }
+    }
+
+    /// Inclusive upper bound of bucket `index`.
+    fn bucket_upper(index: usize) -> u64 {
+        match index {
+            0 => 0,
+            64 => u64::MAX,
+            k => (1u64 << k) - 1,
+        }
+    }
+
+    /// Records one sample. The running sum saturates at `u64::MAX`
+    /// rather than wrapping (quantiles never consult it).
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The `num/den` quantile as the inclusive upper bound of the bucket
+    /// holding the rank-`⌈count·num/den⌉` sample, clamped to the observed
+    /// `[min, max]` range (so a single-sample histogram reports that
+    /// sample exactly). Returns `0` for an empty histogram.
+    ///
+    /// Integer-only: rank arithmetic runs in `u128`, so `num/den` up to
+    /// `u64::MAX` samples cannot overflow.
+    pub fn quantile(&self, num: u64, den: u64) -> u64 {
+        assert!(den > 0, "quantile denominator must be nonzero");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as u128 * num as u128).div_ceil(den as u128)).max(1);
+        let mut cumulative: u128 = 0;
+        for (index, &bucket) in self.counts.iter().enumerate() {
+            cumulative += bucket as u128;
+            if cumulative >= rank {
+                return Self::bucket_upper(index).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (`quantile(1, 2)`).
+    pub fn p50(&self) -> u64 {
+        self.quantile(1, 2)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(99, 100)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(999, 1000)
+    }
+
+    /// Folds `other` into `self`. Exact, commutative, and associative —
+    /// the same conservation contract as `NetStats::merge`, so per-shard
+    /// histograms can be merged in shard-index order into one report.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_samples_is_fully_defined() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.p999(), 0);
+    }
+
+    #[test]
+    fn single_sample_reports_itself_at_every_quantile() {
+        for value in [0u64, 1, 7, 1 << 40, u64::MAX] {
+            let mut h = Histogram::new();
+            h.record(value);
+            assert_eq!(h.count(), 1);
+            assert_eq!(h.min(), Some(value));
+            assert_eq!(h.max(), Some(value));
+            assert_eq!(h.p50(), value, "p50 of single sample {value}");
+            assert_eq!(h.p999(), value, "p999 of single sample {value}");
+        }
+    }
+
+    #[test]
+    fn u64_max_lands_in_the_top_bucket_and_sum_saturates() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates instead of wrapping");
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.p99(), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_power_of_two_aligned() {
+        // 0 is its own bucket; [2^(k-1), 2^k - 1] share bucket k.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(255), 8);
+        assert_eq!(Histogram::bucket_index(256), 9);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_upper(0), 0);
+        assert_eq!(Histogram::bucket_upper(8), 255);
+        assert_eq!(Histogram::bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 100] {
+            h.record(v);
+        }
+        // rank(p50) = 3 → third sample (3) lives in bucket 2, upper 3.
+        assert_eq!(h.p50(), 3);
+        // p99 → rank 5 → bucket of 100 is 7, upper 127, clamped to max.
+        assert_eq!(h.p99(), 100);
+    }
+
+    #[test]
+    fn merge_conserves_count_sum_and_extremes() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in [3u64, 9, 1024] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [0u64, 77, u64::MAX] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(
+            a, whole,
+            "merge must equal one histogram seeing all samples"
+        );
+        // Merging an empty histogram in either direction changes nothing.
+        let empty = Histogram::new();
+        let before = a.clone();
+        a.merge(&empty);
+        assert_eq!(a, before);
+        let mut from_empty = Histogram::new();
+        from_empty.merge(&before);
+        assert_eq!(from_empty, before);
+    }
+}

@@ -1,0 +1,51 @@
+//! Observability layer for the BFT-CUPFT reproduction: a structured-event
+//! recorder, a metrics registry, and per-node **phase timelines**.
+//!
+//! The paper's protocol is a pipeline — participant discovery →
+//! sink/core identification → consensus — but `NetStats` only observes its
+//! endpoints (message counters and one end-to-end scalar). This crate adds
+//! the middle: per-phase marks, fixed-bucket log2 latency histograms, and
+//! an event ring, all behind an `Option<Arc<Recorder>>` so a run that does
+//! not observe pays nothing but a pointer-null check.
+//!
+//! # Clock domains
+//!
+//! A [`Recorder`] owns one [`Clock`] that serves both execution
+//! substrates:
+//!
+//! * **virtual** — the deterministic simulator drives the clock from its
+//!   own event time ([`Clock::advance_virtual`]), so every recorded
+//!   timestamp is a simulated tick and two same-seed runs produce
+//!   *byte-identical* reports;
+//! * **wall** — the threaded runtime leaves the clock in its initial wall
+//!   domain, where [`Clock::now`] is monotonic microseconds since the
+//!   recorder was created. Wall reports are for profiling, never for
+//!   regression gating.
+//!
+//! Which domain a report was recorded under is stamped on
+//! [`ObsReport::clock_domain`].
+//!
+//! # Determinism contract
+//!
+//! On the simulator, everything the recorder stores is a pure function of
+//! the scenario and seed: phase marks carry explicit simulated
+//! timestamps, histograms count virtual quantities (events per tick,
+//! queue depths, certificate units), and the event ring is appended in
+//! event-loop order. Wall-clock quantities are recorded **only** by the
+//! threaded runtime, under its own metric names. The root
+//! `tests/obs_determinism.rs` holds both halves of the contract: sim
+//! reports are byte-identical across runs, and observation never changes
+//! decisions, views, or `NetStats` on either substrate.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod clock;
+mod hist;
+mod recorder;
+mod report;
+
+pub use clock::{Clock, ClockDomain};
+pub use hist::{Histogram, BUCKETS};
+pub use recorder::{Recorder, DEFAULT_EVENT_CAPACITY};
+pub use report::{ObsEvent, ObsReport, PhaseMark, PhaseTimeline};

@@ -15,17 +15,21 @@
 #                     family sweep, end-to-end consensus at
 #                     n=100/500/1000 on both runtimes (threaded cells on
 #                     the sharded router, decisions checked against sim),
-#                     and the router-shard axis
+#                     and the router-shard axis; also publishes the
+#                     per-family ObsReport sibling as OBS_discovery.json
+#                     beside it (observed sim cells, virtual clock)
 #
 #   scripts/bench.sh [--shards N] --check-regression [FRESH_DISCOVERY_JSON]
 #       (options may be combined in any order ahead of positionals)
 #       Compares discovery_scale regression scalars against the committed
-#       BENCH_discovery.json: fails when the (deterministic) sweep SETPDS
-#       payload grows >25% or the payload ratio falls below the 10x
-#       floor; the end-to-end wall scalars — the blended total and the
-#       per-family e2e_wall_seconds_<family> breakdown — are reported
-#       advisory-only (wall clocks don't compare across machines).
-#       Without the optional
+#       BENCH_discovery.json: fails when a deterministic scalar — the
+#       sweep SETPDS payload or any obs_phase_* virtual-time phase scalar
+#       from the observed sim cells — grows >25%, or the payload ratio
+#       falls below the 10x floor; the end-to-end wall scalars — the
+#       blended total and the per-family e2e_wall_seconds_<family>
+#       breakdown — are reported advisory-only (wall clocks don't compare
+#       across machines; the obs_phase_* scalars are the canonical
+#       deterministic latency trajectory). Without the optional
 #       argument the script builds and runs discovery_scale itself; CI
 #       passes the artifact it already regenerated so the expensive run
 #       happens once.
@@ -79,16 +83,20 @@ if [[ "$check_regression" -eq 1 ]]; then
         fresh="$tmp/fresh.json"
         echo "==> cargo build --release -p cupft-bench --bin discovery_scale"
         cargo build --release -q -p cupft-bench --bin discovery_scale
-        echo "==> discovery_scale --json ${shards_args[*]-} (fresh run for regression check)"
-        ./target/release/discovery_scale --json "$fresh" \
+        echo "==> discovery_scale --json --obs ${shards_args[*]-} (fresh run for regression check)"
+        ./target/release/discovery_scale --json "$fresh" --obs \
             ${shards_args[@]+"${shards_args[@]}"} > "$tmp/fresh.txt"
     fi
     fail=0
-    # Deterministic counters gate hard; the wall-clock scalar is advisory
+    # Deterministic scalars gate hard: the sweep payload counters plus
+    # every obs_phase_* virtual-time phase scalar the committed artifact
+    # carries (observed sim cells run on the virtual clock, so these are
+    # machine-independent). The wall-clock scalars below are advisory
     # only (the committed artifact was measured on a different machine, so
     # a hard wall-time gate would fail on slower hardware with zero code
     # change).
-    for key in sweep_delta_payload; do
+    obs_keys="$(grep -o '"obs_phase_[a-z_0-9]*"' "$committed" | tr -d '"' | sort -u)"
+    for key in sweep_delta_payload $obs_keys; do
         old="$(scalar "$committed" "$key")"
         new="$(scalar "$fresh" "$key")"
         [[ -n "$old" && -n "$new" ]] || { echo "bench.sh: key $key missing (old='$old' new='$new')"; fail=1; continue; }
@@ -141,15 +149,20 @@ cargo build --release -p cupft-bench --bins
 # merge <out-file> <bin...>: run each bin with --json and merge the
 # artifacts into one {"<bin>": ...} document. BENCH_SEED (if set) reaches
 # the binaries through the environment; discovery_scale additionally
-# receives the --shards override.
+# receives the --shards override plus --obs, so the merged artifact
+# carries the deterministic obs_phase_* scalars and the full per-family
+# ObsReports land beside it (published as OBS_discovery.json below).
 merge() {
     local out="$1"
     shift
     local bins=("$@")
     for bin in "${bins[@]}"; do
         local extra=()
-        if [[ "$bin" == "discovery_scale" && "${#shards_args[@]}" -gt 0 ]]; then
-            extra=("${shards_args[@]}")
+        if [[ "$bin" == "discovery_scale" ]]; then
+            extra=(--obs)
+            if [[ "${#shards_args[@]}" -gt 0 ]]; then
+                extra+=("${shards_args[@]}")
+            fi
         fi
         echo "==> $bin --json ${extra[*]-}"
         cargo run --release -q -p cupft-bench --bin "$bin" -- --json "$tmp/$bin.json" \
@@ -172,3 +185,10 @@ merge() {
 merge "$adversary_out" table1 fig1 fig4 adversary_grid
 merge "$graph_out" graph_scale
 merge "$discovery_out" discovery_scale
+
+# Publish the per-family ObsReport sibling discovery_scale left beside its
+# --json artifact (virtual-clock, byte-deterministic per seed) next to the
+# merged document — CI's bench job uploads the whole directory.
+obs_out="$(dirname "$discovery_out")/OBS_discovery.json"
+cp "$tmp/discovery_scale.obs.json" "$obs_out"
+echo "bench.sh: wrote $obs_out ($(wc -c < "$obs_out") bytes)"

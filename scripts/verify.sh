@@ -7,9 +7,12 @@
 #                              # adversary_sweep grid, the family_sweep
 #                              # (each graph family once at modest n), the
 #                              # delta-gossip discovery_equivalence sweep,
-#                              # the router_shards parity sweep, and the
-#                              # verify_pipeline parity/determinism suite
-#                              # as early gates before the full test run
+#                              # the router_shards parity sweep, the
+#                              # verify_pipeline parity/determinism suite,
+#                              # and the obs_determinism observability
+#                              # suite (byte-identical observed traces, no
+#                              # observer effect) as early gates before
+#                              # the full test run
 #
 # CI ↔ verify.sh contract (.github/workflows/ci.yml relies on this):
 #   * every gate propagates its exit code — the script runs under
@@ -59,6 +62,8 @@ else
     cargo test -q --test router_shards
     echo "==> cargo test -q --test verify_pipeline (quick gate)"
     cargo test -q --test verify_pipeline
+    echo "==> cargo test -q --test obs_determinism (quick gate)"
+    cargo test -q --test obs_determinism
 fi
 
 echo "==> cargo test -q"

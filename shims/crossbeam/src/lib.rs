@@ -8,7 +8,9 @@
 
 /// Multi-producer channels (shim for `crossbeam::channel`).
 pub mod channel {
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::mpsc;
+    use std::sync::Arc;
     use std::time::Duration;
 
     pub use std::sync::mpsc::{RecvTimeoutError, SendError, TryRecvError};
@@ -38,11 +40,17 @@ pub mod channel {
     }
 
     /// The sending half of a channel.
-    pub struct Sender<T>(Inner<T>);
+    pub struct Sender<T> {
+        inner: Inner<T>,
+        depth: Arc<AtomicUsize>,
+    }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            Sender {
+                inner: self.inner.clone(),
+                depth: self.depth.clone(),
+            }
         }
     }
 
@@ -50,55 +58,100 @@ pub mod channel {
         /// Sends, blocking on a full bounded channel. Errors only when all
         /// receivers have been dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            match &self.0 {
+            // Count before the send so the receiver's decrement (which can
+            // only follow a completed send) never underflows; undo on
+            // failure.
+            self.depth.fetch_add(1, Ordering::Relaxed);
+            let result = match &self.inner {
                 Inner::Unbounded(tx) => tx.send(value),
                 Inner::Bounded(tx) => tx.send(value),
+            };
+            if result.is_err() {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
             }
+            result
         }
 
         /// Non-blocking send: fails with [`TrySendError::Full`] instead of
         /// waiting on a full bounded channel.
         pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
-            match &self.0 {
+            self.depth.fetch_add(1, Ordering::Relaxed);
+            let result = match &self.inner {
                 Inner::Unbounded(tx) => tx.send(value).map_err(|e| TrySendError::Disconnected(e.0)),
                 Inner::Bounded(tx) => tx.try_send(value).map_err(|e| match e {
                     mpsc::TrySendError::Full(v) => TrySendError::Full(v),
                     mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
                 }),
+            };
+            if result.is_err() {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
             }
+            result
         }
     }
 
     /// The receiving half of a channel.
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    pub struct Receiver<T> {
+        rx: mpsc::Receiver<T>,
+        depth: Arc<AtomicUsize>,
+    }
 
     impl<T> Receiver<T> {
         /// Blocks until a message arrives or every sender is dropped.
         pub fn recv(&self) -> Result<T, mpsc::RecvError> {
-            self.0.recv()
+            let value = self.rx.recv()?;
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            Ok(value)
         }
 
         /// Blocks for at most `timeout`.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            self.0.recv_timeout(timeout)
+            let value = self.rx.recv_timeout(timeout)?;
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            Ok(value)
         }
 
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.0.try_recv()
+            let value = self.rx.try_recv()?;
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            Ok(value)
         }
+
+        /// Number of messages currently queued (approximate under
+        /// concurrent sends, exact once senders quiesce) — the subset of
+        /// crossbeam's `len()` the router-shard instrumentation samples.
+        pub fn len(&self) -> usize {
+            self.depth.load(Ordering::Relaxed)
+        }
+
+        /// Whether the queue is empty (same caveat as [`Self::len`]).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    fn pair<T>(tx: Inner<T>, rx: mpsc::Receiver<T>) -> (Sender<T>, Receiver<T>) {
+        let depth = Arc::new(AtomicUsize::new(0));
+        (
+            Sender {
+                inner: tx,
+                depth: depth.clone(),
+            },
+            Receiver { rx, depth },
+        )
     }
 
     /// Creates a channel of unbounded capacity.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender(Inner::Unbounded(tx)), Receiver(rx))
+        pair(Inner::Unbounded(tx), rx)
     }
 
     /// Creates a channel holding at most `cap` in-flight messages.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender(Inner::Bounded(tx)), Receiver(rx))
+        pair(Inner::Bounded(tx), rx)
     }
 
     #[cfg(test)]
@@ -125,6 +178,24 @@ pub mod channel {
             assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
             assert_eq!(rx.recv().unwrap(), 1);
             tx.try_send(3).unwrap();
+        }
+
+        #[test]
+        fn len_tracks_queued_messages() {
+            let (tx, rx) = unbounded::<u32>();
+            assert!(rx.is_empty());
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.len(), 2);
+            rx.recv().unwrap();
+            assert_eq!(rx.len(), 1);
+            rx.try_recv().unwrap();
+            assert!(rx.is_empty());
+            // Failed sends must not leak depth.
+            let (tx2, rx2) = bounded::<u32>(1);
+            tx2.try_send(1).unwrap();
+            assert!(tx2.try_send(2).is_err());
+            assert_eq!(rx2.len(), 1);
         }
 
         #[test]

@@ -18,4 +18,5 @@ pub use cupft_detector as detector;
 pub use cupft_discovery as discovery;
 pub use cupft_graph as graph;
 pub use cupft_net as net;
+pub use cupft_obs as obs;
 pub use cupft_rrb as rrb;
