@@ -26,6 +26,12 @@
 //! * **Shrinking** ([`shrink`](fn@shrink)) — given a violating assignment,
 //!   deterministically search for a minimal failing variant by pruning
 //!   strategy combinators and fault sets.
+//! * **Churn** ([`churn`]) — dynamic-membership schedules
+//!   ([`ChurnSpec`]: late joins, silent departures, crash-recoveries) as
+//!   the same kind of shrinkable data tree, with weakened invariants
+//!   (churn-agreement, join-convergence, recovery-consistency) checked by
+//!   [`TraceChecker::with_churn`] over [`TraceEventKind::Knowledge`]
+//!   samples, and a dedicated [`shrink_churn`] minimizer.
 //!
 //! `cupft_core` wires these into the `Scenario` runner (recorded runs, a
 //! strategy grid axis, and a shrink driver); see `tests/adversary_catch.rs`
@@ -35,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod invariant;
 pub mod sched;
 pub mod shrink;
@@ -42,14 +49,19 @@ pub mod spec;
 pub mod strategy;
 pub mod trace;
 
-pub use invariant::{Invariant, TraceChecker, Violation};
+pub use churn::{
+    churn_candidates, churn_size, shrink_churn, ChurnEvent, ChurnShrinkOutcome, ChurnSpec,
+};
+pub use invariant::{ChurnContext, Invariant, TraceChecker, Violation};
 pub use sched::TamperSpec;
 pub use shrink::{assignment_size, shrink, Assignment, ShrinkOutcome};
 pub use spec::StrategySpec;
 pub use strategy::{
     DelayRelease, FlipAfter, Mute, Strategy, StrategyActor, TargetSubset, FLIP_TICK, RELEASE_TICK,
 };
-pub use trace::{ExecutionTrace, RecordingTamper, SendLog, TraceEvent, TraceEventKind};
+pub use trace::{
+    ExecutionTrace, KnowledgeMoment, RecordingTamper, SendLog, TraceEvent, TraceEventKind,
+};
 
 /// Formats a process set compactly (`{1,2,3}`) — the shared formatter
 /// behind every spec/strategy/tamper label, so display names cannot

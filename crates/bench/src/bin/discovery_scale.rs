@@ -25,6 +25,14 @@
 //! 3. **Router shard axis** — one Erdős–Rényi topology run threaded at
 //!    `router_shards ∈ {1, 2, 4}` (1 = the classic single-router loop),
 //!    for cross-PR wall-clock comparison of the shard split itself.
+//! 4. **Churn axis** — the n=100 cells of two families re-run under a
+//!    seeded join + crash-rejoin [`ChurnSpec`] (a periphery vertex joins
+//!    late, another crashes and rejoins from its snapshot), on both
+//!    runtimes with threaded decisions checked against sim. Under
+//!    `--obs` the sim cells land `obs_phase_*_churn_<family>`
+//!    virtual-time scalars in the regression object — hard-gated like
+//!    the stable-membership phase scalars — plus an advisory
+//!    `e2e_wall_seconds_churn` wall total.
 //!
 //! `--json <path>` leaves the machine-readable artifact `scripts/bench.sh`
 //! merges into `BENCH_discovery.json`; the flat `regression` keys in it
@@ -46,7 +54,7 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use cupft_bench::{header, json_path_from_args, obs_json, write_json, Json};
-use cupft_core::{ProtocolMode, RuntimeKind, Scenario};
+use cupft_core::{ChurnEvent, ChurnSpec, ProtocolMode, RuntimeKind, Scenario};
 use cupft_detector::SystemSetup;
 use cupft_discovery::{DiscoveryActor, DiscoveryMsg, DiscoveryState, GossipMode};
 use cupft_graph::{DiGraph, GraphFamily, KnowledgeView, ProcessId};
@@ -397,6 +405,128 @@ fn shard_axis_section(rows: &mut Vec<Json>) {
     }
 }
 
+/// Churn axis: the n=100 cells of two families re-run under a seeded
+/// join + crash-rejoin schedule on both runtimes (threaded decisions
+/// checked against sim). Returns the axis's wall total; under `observe`
+/// the sim cells' phase scalars land in `scalars` as
+/// `obs_phase_{phase}_churn_{family}` (virtual clock, so they hard-gate
+/// in `bench.sh --check-regression` alongside the stable-membership
+/// ones).
+fn churn_section(rows: &mut Vec<Json>, scalars: &mut Vec<(String, Json)>, observe: bool) -> f64 {
+    let mut wall = 0.0;
+    let n = E2E_SIZES[0];
+    for family in [
+        GraphFamily::k_diamond(100, FAULT_THRESHOLD),
+        GraphFamily::erdos_renyi(100, FAULT_THRESHOLD),
+    ] {
+        let scaled = family.scaled(n);
+        let sample = scaled
+            .generate(n as u64)
+            .unwrap_or_else(|e| panic!("{}: {e}", scaled.label()));
+        let actual_n = sample.system.graph.vertex_count();
+        // Churn the two highest periphery (non-sink) IDs — the planted
+        // committee must stay intact; fall back to the highest IDs
+        // outright if strong connectivity qualified the whole graph.
+        let mut candidates: Vec<u64> = sample
+            .system
+            .graph
+            .vertices()
+            .filter(|v| !sample.system.sink.contains(v))
+            .map(|v| v.raw())
+            .collect();
+        if candidates.len() < 2 {
+            candidates = sample.system.graph.vertices().map(|v| v.raw()).collect();
+        }
+        candidates.sort_unstable();
+        let recoverer = candidates.pop().expect("graph has vertices");
+        let joiner = candidates.pop().expect("graph has ≥2 vertices");
+        let seed_peer = sample
+            .system
+            .graph
+            .vertices()
+            .map(|v| v.raw())
+            .min()
+            .expect("graph has vertices");
+        let spec = ChurnSpec::new(vec![
+            ChurnEvent::JoinAt {
+                tick: 400,
+                node: ProcessId::new(joiner),
+                seed_peers: cupft_graph::process_set([seed_peer]),
+            },
+            ChurnEvent::CrashRecoverAt {
+                tick: 200,
+                node: ProcessId::new(recoverer),
+                down_for: 400,
+            },
+        ]);
+        let churn_label = spec.label();
+        let scenario = Scenario::new(
+            sample.system.graph,
+            ProtocolMode::KnownThreshold(FAULT_THRESHOLD),
+        )
+        .with_seed(1 + seed_offset())
+        .with_policy(psync())
+        .with_horizon(2_000_000)
+        .with_churn(spec);
+        let family_key = family.name().replace('-', "_");
+
+        let sim = run_e2e_cell(
+            &family,
+            &scenario,
+            actual_n,
+            RuntimeKind::Sim,
+            None,
+            None,
+            observe,
+        );
+        assert!(sim.solved, "churn axis: {family_key} sim cell must solve");
+        if let Some(report) = &sim.obs {
+            // The schedule demonstrably executed: one join, one crash,
+            // one recovery, visible in the deterministic obs counters.
+            assert_eq!(report.counter("churn_joins"), 1);
+            assert_eq!(report.counter("churn_crashes"), 1);
+            assert_eq!(report.counter("churn_recoveries"), 1);
+            for (key, mark) in [
+                ("spd_fixpoint", PhaseMark::SpdFixpoint),
+                ("sink_identified", PhaseMark::SinkIdentified),
+                ("decided", PhaseMark::Decided),
+            ] {
+                let at = report
+                    .phase_max(mark)
+                    .unwrap_or_else(|| panic!("churn axis: {family_key} reached no {key} phase"));
+                scalars.push((format!("obs_phase_{key}_churn_{family_key}"), Json::U64(at)));
+            }
+        }
+        wall += sim.wall;
+        let threaded = run_e2e_cell(
+            &family,
+            &scenario,
+            actual_n,
+            RuntimeKind::Threaded,
+            None,
+            Some(&sim.decisions),
+            false,
+        );
+        assert!(
+            threaded.solved,
+            "churn axis: {family_key} threaded cell must solve"
+        );
+        assert!(
+            threaded.matches_sim.unwrap_or(false),
+            "churn axis: {family_key} threaded decisions must equal sim"
+        );
+        wall += threaded.wall;
+        for cell in [sim, threaded] {
+            let Json::Obj(mut fields) = cell.row else {
+                unreachable!("run_e2e_cell rows are objects")
+            };
+            fields.push(("churn".to_string(), Json::str(&churn_label)));
+            rows.push(Json::Obj(fields));
+        }
+    }
+    wall
+}
+
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let obs = obs_enabled();
@@ -520,6 +650,10 @@ fn main() {
     let mut shard_rows = Vec::new();
     shard_axis_section(&mut shard_rows);
 
+    header("Churn axis (join + crash-rejoin at n=100, both runtimes)");
+    let mut churn_rows = Vec::new();
+    let churn_wall = churn_section(&mut churn_rows, &mut obs_scalars, obs);
+
     println!();
     println!("Expected shape: sweep payload drops ≥10x because delta replies carry only");
     println!("unseen certificates and synced pairs stop polling; end-to-end n=1000 runs on");
@@ -533,6 +667,7 @@ fn main() {
             ("sweep", Json::Arr(sweep_rows)),
             ("e2e", Json::Arr(e2e_rows)),
             ("shard_axis", Json::Arr(shard_rows)),
+            ("churn", Json::Arr(churn_rows)),
             ("regression", {
                 let mut fields = vec![
                     (
@@ -556,6 +691,7 @@ fn main() {
                         "e2e_wall_seconds_total".to_string(),
                         Json::F64(e2e_wall_total),
                     ),
+                    ("e2e_wall_seconds_churn".to_string(), Json::F64(churn_wall)),
                 ];
                 for (family, wall) in &e2e_wall_by_family {
                     fields.push((format!("e2e_wall_seconds_{family}"), Json::F64(*wall)));

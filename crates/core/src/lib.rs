@@ -32,15 +32,18 @@ pub mod scenario;
 pub mod suite;
 
 pub use byzantine::{build_strategy, ByzantineActor, ByzantineStrategy};
-pub use cupft_adversary::TamperSpec;
+pub use cupft_adversary::{ChurnEvent, ChurnSpec, TamperSpec};
 pub use detect::{CoreDetector, Detection, NaiveSinkGuesser, SinkDetector};
 pub use msgs::NodeMsg;
-pub use node::{Node, NodeConfig, Phase, ProtocolMode};
+pub use node::{
+    Node, NodeConfig, Phase, ProtocolMode, CHURN_CRASH_TICK, CHURN_JOIN_TICK, CHURN_LEAVE_TICK,
+    CHURN_RECOVER_TICK,
+};
 pub use scenario::{
     run_scenario, run_scenario_on, run_scenario_recorded, run_scenario_traced, ConsensusCheck,
-    RuntimeKind, Scenario, ScenarioOutcome,
+    NodeStatus, RuntimeKind, Scenario, ScenarioOutcome,
 };
 pub use suite::{
-    FaultCase, GraphCase, PolicyCase, ScenarioGrid, ScenarioSuite, StrategyCase, SuiteEntry,
-    SuiteReport, SuiteVerdict,
+    ChurnCase, FaultCase, GraphCase, PolicyCase, ScenarioGrid, ScenarioSuite, StrategyCase,
+    SuiteEntry, SuiteReport, SuiteVerdict,
 };

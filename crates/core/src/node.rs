@@ -16,6 +16,21 @@ use cupft_obs::{PhaseMark, Recorder};
 use crate::detect::{CoreDetector, Detection, NaiveSinkGuesser, SinkDetector};
 use crate::msgs::NodeMsg;
 
+/// Timer kind for a scheduled late join (see [`NodeConfig::join_at`]).
+/// The churn timer kinds live below the committee view-timer base and
+/// away from [`DISCOVERY_TICK`], so the three timer namespaces never
+/// collide.
+pub const CHURN_JOIN_TICK: u64 = 0xC4A1;
+/// Timer kind for a scheduled silent departure
+/// (see [`NodeConfig::leave_at`]).
+pub const CHURN_LEAVE_TICK: u64 = 0xC4A2;
+/// Timer kind for a scheduled crash of a crash-recovering node
+/// (see [`NodeConfig::crash_recover`]).
+pub const CHURN_CRASH_TICK: u64 = 0xC4A3;
+/// Timer kind for the recovery of a crashed node, armed by the crash
+/// handler with the configured down time.
+pub const CHURN_RECOVER_TICK: u64 = 0xC4A4;
+
 /// Which identification algorithm the node runs before consensus.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProtocolMode {
@@ -71,6 +86,29 @@ pub struct NodeConfig {
     /// detection instruments. `None` (the default) records nothing — the
     /// per-event cost of the disabled path is one `Option` check.
     pub recorder: Option<Arc<Recorder>>,
+    /// If set, the node is a *late joiner*: it stays dormant (sending and
+    /// receiving nothing) until this tick, then bootstraps discovery from
+    /// [`NodeConfig::seed_peers`] and participates normally.
+    pub join_at: Option<Time>,
+    /// Out-of-band bootstrap hints for a late joiner: processes seeded
+    /// into `S_known` (without a PD record) at join time, so the joiner
+    /// has someone to poll even when its own PD is sparse.
+    pub seed_peers: ProcessSet,
+    /// If set, the node departs silently at this tick: it halts forever
+    /// with no goodbye message — indistinguishable, to the rest of the
+    /// system, from a crash.
+    pub leave_at: Option<Time>,
+    /// If set as `(crash_tick, down_for)`, the node crashes at
+    /// `crash_tick`, snapshots its durable discovery state
+    /// ([`DiscoveryState::to_bytes`]), stays down for `down_for` ticks,
+    /// then restores from the snapshot with a bumped membership epoch and
+    /// rejoins discovery.
+    pub crash_recover: Option<(Time, Time)>,
+    /// Test-only fault: a crash-recovering node restores from a *fresh*
+    /// discovery state instead of its snapshot, deliberately violating
+    /// recovery-consistency. Exists so the adversarial churn tests can
+    /// demonstrate the inject → flag → shrink loop on a real defect.
+    pub broken_recovery: bool,
 }
 
 impl Default for NodeConfig {
@@ -84,6 +122,11 @@ impl Default for NodeConfig {
             shared_verify: true,
             search: CandidateSearch::default(),
             recorder: None,
+            join_at: None,
+            seed_peers: ProcessSet::new(),
+            leave_at: None,
+            crash_recover: None,
+            broken_recovery: false,
         }
     }
 }
@@ -153,6 +196,19 @@ pub struct Node {
     /// Simulated time at which the node decided.
     pub decided_time: Option<Time>,
     board: Option<Board<Vec<u8>>>,
+
+    // Churn lifecycle (see the CHURN_* timer kinds).
+    awaiting_join: bool,
+    departed: bool,
+    down: bool,
+    recovered: bool,
+    crash_snapshot: Option<Vec<u8>>,
+    /// `(tick, S_received)` at the moment of a churn crash — the
+    /// recovery-consistency invariant's "before" sample.
+    pub crash_view: Option<(Time, ProcessSet)>,
+    /// `(tick, S_received)` right after restoring from the crash
+    /// snapshot — the invariant's "after" sample.
+    pub recovery_view: Option<(Time, ProcessSet)>,
 }
 
 impl Node {
@@ -205,6 +261,13 @@ impl Node {
             detection_time: None,
             decided_time: None,
             board: None,
+            awaiting_join: false,
+            departed: false,
+            down: false,
+            recovered: false,
+            crash_snapshot: None,
+            crash_view: None,
+            recovery_view: None,
         }
     }
 
@@ -262,8 +325,25 @@ impl Node {
         self.replica.as_ref().map(|r| r.view())
     }
 
+    /// Whether the node departed via a scheduled churn leave.
+    pub fn departed(&self) -> bool {
+        self.departed
+    }
+
+    /// Whether the node has been through a churn crash-recovery.
+    pub fn recovered(&self) -> bool {
+        self.recovered
+    }
+
     fn crashed(&self, now: Time) -> bool {
         self.config.crash_at.is_some_and(|t| now >= t)
+    }
+
+    /// Whether the node is currently outside the system: not yet joined,
+    /// silently departed, or down between a churn crash and its recovery.
+    /// A dormant node sends and receives nothing.
+    fn dormant(&self) -> bool {
+        self.awaiting_join || self.departed || self.down
     }
 
     /// Stamps one phase-timeline mark when a recorder is attached.
@@ -283,6 +363,106 @@ impl Node {
             rec.counter_add("discovery_ticks", 1);
             rec.hist_record("discovery_round_msgs", sent);
         }
+    }
+
+    /// Enters the system: stamps first gossip, sends the opening discovery
+    /// round, and arms the discovery tick. Runs at start for ordinary
+    /// nodes and at the join tick for late joiners.
+    fn begin_participation(&mut self, ctx: &mut Context<NodeMsg>) {
+        self.mark(PhaseMark::FirstGossip, ctx.now());
+        self.send_discovery_round(ctx);
+        self.try_detect(ctx, true);
+        ctx.set_timer(DISCOVERY_TICK, self.config.discovery_period);
+    }
+
+    fn churn_event(&self, what: &'static str, counter: &'static str, at: Time) {
+        if let Some(rec) = &self.config.recorder {
+            rec.event_at(self.id.raw(), what, at);
+            rec.counter_add(counter, 1);
+        }
+    }
+
+    fn on_churn_join(&mut self, ctx: &mut Context<NodeMsg>) {
+        if !self.awaiting_join {
+            return;
+        }
+        self.awaiting_join = false;
+        let seeds = self.config.seed_peers.clone();
+        self.discovery.seed_known(&seeds);
+        self.churn_event("churn_join", "churn_joins", ctx.now());
+        self.begin_participation(ctx);
+    }
+
+    fn on_churn_leave(&mut self, ctx: &mut Context<NodeMsg>) {
+        self.departed = true;
+        self.churn_event("churn_leave", "churn_leaves", ctx.now());
+        ctx.halt();
+    }
+
+    fn on_churn_crash(&mut self, ctx: &mut Context<NodeMsg>) {
+        if self.dormant() {
+            return; // a crash tick cannot hit a node that is not up
+        }
+        let Some((_, down_for)) = self.config.crash_recover else {
+            return;
+        };
+        // Durable state: the discovery snapshot and the decision (a decided
+        // value is write-once and survives the crash — the decide-once
+        // guard makes contradicting it structurally impossible). Everything
+        // else is volatile and lost.
+        self.crash_snapshot = Some(self.discovery.to_bytes());
+        self.crash_view = Some((ctx.now(), self.discovery.view().received()));
+        self.detection = None;
+        self.committee = None;
+        self.replica = None;
+        self.committee_backlog.clear();
+        self.pending_requests = ProcessSet::new();
+        self.answers.clear();
+        self.naive_stable = None;
+        self.detect_dirty = false;
+        self.phase = Phase::Discovering;
+        self.down = true;
+        self.churn_event("churn_crash", "churn_crashes", ctx.now());
+        ctx.set_timer(CHURN_RECOVER_TICK, down_for.max(1));
+    }
+
+    fn on_churn_recover(&mut self, ctx: &mut Context<NodeMsg>) {
+        if !self.down {
+            return;
+        }
+        self.down = false;
+        self.recovered = true;
+        let snapshot = self.crash_snapshot.take().unwrap_or_default();
+        let pool = self.discovery.shared_pool().cloned();
+        let mut restored = if self.config.broken_recovery {
+            // Deliberate defect (test-only): forget everything learned
+            // before the crash and restart discovery from the bare PD.
+            let own_pd = self
+                .discovery
+                .view()
+                .pd_of(self.id)
+                .cloned()
+                .unwrap_or_default();
+            DiscoveryState::new(&self.key, self.registry.clone(), own_pd)
+                .with_gossip(Node::gossip_of(&self.config))
+        } else {
+            DiscoveryState::from_bytes(&snapshot, self.registry.clone())
+                .expect("crash snapshot was produced by to_bytes")
+        };
+        if let Some(pool) = pool {
+            restored = restored.with_shared_pool(pool);
+        }
+        // New incarnation: peers' sync-skip memo must not suppress the
+        // rejoined node, and its own peer memos are gone with the restore.
+        restored.bump_epoch();
+        self.recovery_view = Some((ctx.now(), restored.view().received()));
+        self.discovery = restored;
+        self.phase = Phase::Discovering;
+        self.detect_dirty = true;
+        self.churn_event("churn_recover", "churn_recoveries", ctx.now());
+        self.send_discovery_round(ctx);
+        self.try_detect(ctx, true);
+        ctx.set_timer(DISCOVERY_TICK, self.config.discovery_period);
     }
 
     fn try_detect(&mut self, ctx: &mut Context<NodeMsg>, on_tick: bool) {
@@ -338,7 +518,12 @@ impl Node {
         self.detection_time = Some(ctx.now());
         self.mark(PhaseMark::SinkIdentified, ctx.now());
         let committee = Committee::new(detection.members.clone(), detection.threshold);
-        let is_member = detection.members.contains(&self.id);
+        // A recovered node never resumes the replica role: per-view vote
+        // state is volatile, so a member that crashed mid-consensus could
+        // equivocate against its own pre-crash votes if it restarted the
+        // replica. It rejoins passively and adopts the committee's
+        // decision through the ⌈(|S|+1)/2⌉ learning backstop instead.
+        let is_member = detection.members.contains(&self.id) && !self.recovered;
         self.detection = Some(detection);
         self.committee = Some(committee.clone());
         if is_member {
@@ -445,14 +630,24 @@ impl Actor<NodeMsg> for Node {
         if self.crashed(ctx.now()) {
             return;
         }
-        self.mark(PhaseMark::FirstGossip, ctx.now());
-        self.send_discovery_round(ctx);
-        self.try_detect(ctx, true);
-        ctx.set_timer(DISCOVERY_TICK, self.config.discovery_period);
+        if let Some(at) = self.config.leave_at {
+            ctx.set_timer(CHURN_LEAVE_TICK, at.saturating_sub(ctx.now()));
+        }
+        if let Some((at, _)) = self.config.crash_recover {
+            ctx.set_timer(CHURN_CRASH_TICK, at.saturating_sub(ctx.now()));
+        }
+        if let Some(at) = self.config.join_at {
+            // Dormant until the join tick: no first-gossip mark, no
+            // discovery round, and every delivery is swallowed.
+            self.awaiting_join = true;
+            ctx.set_timer(CHURN_JOIN_TICK, at.saturating_sub(ctx.now()));
+            return;
+        }
+        self.begin_participation(ctx);
     }
 
     fn on_message(&mut self, from: ProcessId, msg: NodeMsg, ctx: &mut Context<NodeMsg>) {
-        if self.crashed(ctx.now()) {
+        if self.crashed(ctx.now()) || self.dormant() {
             return;
         }
         match msg {
@@ -501,6 +696,21 @@ impl Actor<NodeMsg> for Node {
 
     fn on_timer(&mut self, timer: u64, ctx: &mut Context<NodeMsg>) {
         if self.crashed(ctx.now()) {
+            return;
+        }
+        // Churn timers fire *through* dormancy: the join tick is what ends
+        // the pre-join dormancy, and the recover tick is what ends the
+        // down window.
+        match timer {
+            CHURN_JOIN_TICK => return self.on_churn_join(ctx),
+            CHURN_LEAVE_TICK => return self.on_churn_leave(ctx),
+            CHURN_CRASH_TICK => return self.on_churn_crash(ctx),
+            CHURN_RECOVER_TICK => return self.on_churn_recover(ctx),
+            _ => {}
+        }
+        if self.dormant() {
+            // Pre-crash discovery/view timers landing in the down window
+            // (or before a join) die here; recovery re-arms its own tick.
             return;
         }
         match timer {
@@ -569,6 +779,103 @@ mod tests {
         assert!(node.decision().is_none());
         assert!(node.detection().is_none());
         assert_eq!(node.id(), ProcessId::new(1));
+    }
+
+    fn test_node(config: NodeConfig) -> Node {
+        let mut registry = KeyRegistry::new();
+        let key = registry.register(1);
+        Node::new(
+            key,
+            registry,
+            [ProcessId::new(2)].into_iter().collect(),
+            Value::from_static(b"v"),
+            config,
+        )
+    }
+
+    #[test]
+    fn late_joiner_is_dormant_until_join_tick() {
+        let mut node = test_node(NodeConfig {
+            join_at: Some(100),
+            seed_peers: [ProcessId::new(3)].into_iter().collect(),
+            ..NodeConfig::default()
+        });
+        let mut ctx = Context::new(0, ProcessId::new(1));
+        node.on_start(&mut ctx);
+        assert!(ctx.queued_sends().is_empty(), "dormant joiner sent");
+        assert_eq!(ctx.queued_timers(), &[(CHURN_JOIN_TICK, 100)]);
+        // Deliveries before the join tick are swallowed.
+        let mut ctx = Context::new(10, ProcessId::new(1));
+        node.on_message(ProcessId::new(2), NodeMsg::GetDecidedVal, &mut ctx);
+        assert!(ctx.queued_sends().is_empty());
+        // The join tick seeds knowledge and opens discovery.
+        let mut ctx = Context::new(100, ProcessId::new(1));
+        node.on_timer(CHURN_JOIN_TICK, &mut ctx);
+        assert!(!ctx.queued_sends().is_empty(), "joiner did not gossip");
+        assert!(node.discovery().view().known().contains(&ProcessId::new(3)));
+    }
+
+    #[test]
+    fn leaver_halts_at_leave_tick() {
+        let mut node = test_node(NodeConfig {
+            leave_at: Some(50),
+            ..NodeConfig::default()
+        });
+        let mut ctx = Context::new(0, ProcessId::new(1));
+        node.on_start(&mut ctx);
+        assert!(ctx.queued_timers().contains(&(CHURN_LEAVE_TICK, 50)));
+        let mut ctx = Context::new(50, ProcessId::new(1));
+        node.on_timer(CHURN_LEAVE_TICK, &mut ctx);
+        assert!(ctx.is_halted());
+        assert!(node.departed());
+    }
+
+    #[test]
+    fn crash_recovery_restores_the_pre_crash_view() {
+        let mut node = test_node(NodeConfig {
+            crash_recover: Some((30, 50)),
+            ..NodeConfig::default()
+        });
+        let mut ctx = Context::new(0, ProcessId::new(1));
+        node.on_start(&mut ctx);
+        let mut ctx = Context::new(30, ProcessId::new(1));
+        node.on_timer(CHURN_CRASH_TICK, &mut ctx);
+        assert_eq!(ctx.queued_timers(), &[(CHURN_RECOVER_TICK, 50)]);
+        let (crash_at, crash_set) = node.crash_view.clone().expect("crash sampled");
+        assert_eq!(crash_at, 30);
+        // Down: deliveries are swallowed.
+        let mut ctx = Context::new(40, ProcessId::new(1));
+        node.on_message(ProcessId::new(2), NodeMsg::GetDecidedVal, &mut ctx);
+        assert!(ctx.queued_sends().is_empty());
+        // Recovery restores the snapshot view exactly.
+        let mut ctx = Context::new(80, ProcessId::new(1));
+        node.on_timer(CHURN_RECOVER_TICK, &mut ctx);
+        assert!(node.recovered());
+        let (rec_at, rec_set) = node.recovery_view.clone().expect("recovery sampled");
+        assert_eq!(rec_at, 80);
+        assert_eq!(rec_set, crash_set);
+        assert!(!ctx.queued_sends().is_empty(), "rejoiner did not gossip");
+    }
+
+    #[test]
+    fn broken_recovery_loses_the_pre_crash_view() {
+        let mut node = test_node(NodeConfig {
+            crash_recover: Some((30, 50)),
+            broken_recovery: true,
+            ..NodeConfig::default()
+        });
+        let mut ctx = Context::new(0, ProcessId::new(1));
+        node.on_start(&mut ctx);
+        // Absorb a PD record so there is something to lose — simulate by
+        // learning a peer directly through the crash/recover cycle check:
+        // the restored state must start from the bare own PD again.
+        let mut ctx = Context::new(30, ProcessId::new(1));
+        node.on_timer(CHURN_CRASH_TICK, &mut ctx);
+        let mut ctx = Context::new(80, ProcessId::new(1));
+        node.on_timer(CHURN_RECOVER_TICK, &mut ctx);
+        assert!(node.recovered());
+        // Fresh state: only the node's own record is present.
+        assert_eq!(node.discovery().view().received().len(), 1);
     }
 
     #[test]

@@ -10,7 +10,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cupft_adversary::{
-    ExecutionTrace, RecordingTamper, SendLog, TamperSpec, TraceChecker, TraceEvent, TraceEventKind,
+    ChurnContext, ChurnSpec, ExecutionTrace, KnowledgeMoment, RecordingTamper, SendLog, TamperSpec,
+    TraceChecker, TraceEvent, TraceEventKind,
 };
 use cupft_committee::Value;
 use cupft_detector::SystemSetup;
@@ -55,6 +56,16 @@ pub struct Scenario {
     /// Optional network-level adversary (installed on either substrate via
     /// the [`cupft_net::Tamper`] hook).
     pub tamper: Option<TamperSpec>,
+    /// Optional dynamic-membership schedule ([`ChurnSpec`]): late joins,
+    /// silent departures, crash-recoveries, executed at the actor level so
+    /// both substrates honor the same schedule identically. Events naming
+    /// Byzantine processes are ignored — churn is a correct-process model.
+    pub churn: Option<ChurnSpec>,
+    /// Test-only fault switch: crash-recovering nodes restore a *fresh*
+    /// discovery state instead of their snapshot (see
+    /// [`NodeConfig::broken_recovery`]) — the planted defect the
+    /// adversarial churn tests catch and shrink.
+    pub broken_recovery: bool,
     /// Simulator configuration (seed, horizon, delay policy).
     pub sim: SimConfig,
     /// Discovery tick period.
@@ -104,6 +115,8 @@ impl Scenario {
             crashes: BTreeMap::new(),
             values: BTreeMap::new(),
             tamper: None,
+            churn: None,
+            broken_recovery: false,
             sim: SimConfig {
                 seed: 0,
                 max_time: 200_000,
@@ -152,6 +165,19 @@ impl Scenario {
     /// within-model discipline).
     pub fn with_tamper(mut self, tamper: TamperSpec) -> Self {
         self.tamper = Some(tamper);
+        self
+    }
+
+    /// Installs a dynamic-membership schedule (see [`Scenario::churn`]).
+    pub fn with_churn(mut self, churn: ChurnSpec) -> Self {
+        self.churn = Some(churn);
+        self
+    }
+
+    /// Switches the planted recovery defect on (see
+    /// [`Scenario::broken_recovery`]); test-only.
+    pub fn with_broken_recovery(mut self, broken: bool) -> Self {
+        self.broken_recovery = broken;
         self
     }
 
@@ -251,6 +277,62 @@ impl Scenario {
     pub fn trace_checker(&self) -> TraceChecker {
         TraceChecker::new(self.correct(), self.allowed_values())
     }
+
+    /// The correct processes scheduled to depart under this scenario's
+    /// churn (empty without churn). A departed process is still *correct*
+    /// — it just may leave before deciding, so the stop condition and the
+    /// termination verdict excuse it.
+    pub fn leavers(&self) -> ProcessSet {
+        self.churn
+            .as_ref()
+            .map(ChurnSpec::leavers)
+            .unwrap_or_default()
+    }
+
+    /// A [`TraceChecker`] armed with the weakened churn invariants
+    /// (churn-agreement, join-convergence, recovery-consistency) for this
+    /// scenario's churn schedule, judged against `outcome`.
+    ///
+    /// The join-convergence reference knowledge is the intersection of the
+    /// final `S_received` views of the *stable* correct processes (no
+    /// scheduled join, departure, or crash) — what every joiner alive past
+    /// the fixpoint must also have pulled through gossip. With no stable
+    /// process the reference is empty and the invariant is vacuous.
+    pub fn churn_trace_checker(&self, outcome: &ScenarioOutcome) -> TraceChecker {
+        let spec = self.churn.clone().unwrap_or_default();
+        let joiners = spec.joiners();
+        let leavers = spec.leavers();
+        let recoverers = spec.recoverers();
+        let mut reference: Option<ProcessSet> = None;
+        for (id, view) in &outcome.final_views {
+            if joiners.contains(id) || leavers.contains(id) || recoverers.contains(id) {
+                continue;
+            }
+            reference = Some(match reference {
+                None => view.clone(),
+                Some(acc) => acc.iter().filter(|p| view.contains(p)).copied().collect(),
+            });
+        }
+        self.trace_checker().with_churn(ChurnContext {
+            joiners,
+            leavers,
+            recoverers,
+            reference_knowledge: reference.unwrap_or_default(),
+        })
+    }
+}
+
+/// A correct process's terminal status in one run — distinguishes "never
+/// decided" from "departed before deciding", which a bare `Option<Vec<u8>>`
+/// decision cannot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeStatus {
+    /// The process decided (possibly before a later departure).
+    Decided,
+    /// The process departed via scheduled churn without deciding.
+    Departed,
+    /// The process neither decided nor departed within the horizon.
+    Undecided,
 }
 
 /// Per-process observations of one run.
@@ -258,6 +340,14 @@ impl Scenario {
 pub struct ScenarioOutcome {
     /// Decisions of the correct processes (`None` = undecided at horizon).
     pub decisions: BTreeMap<ProcessId, Option<Vec<u8>>>,
+    /// Terminal status per correct process (see [`NodeStatus`]).
+    pub statuses: BTreeMap<ProcessId, NodeStatus>,
+    /// `(tick, S_received)` sampled at each churn crash.
+    pub crash_views: BTreeMap<ProcessId, (Time, ProcessSet)>,
+    /// `(tick, S_received)` sampled right after each churn recovery.
+    pub recovery_views: BTreeMap<ProcessId, (Time, ProcessSet)>,
+    /// Final `S_received` view per correct process.
+    pub final_views: BTreeMap<ProcessId, ProcessSet>,
     /// Sink/core sets identified by the correct processes.
     pub detections: BTreeMap<ProcessId, Option<ProcessSet>>,
     /// Identification times.
@@ -303,7 +393,12 @@ impl ScenarioOutcome {
             self.decisions.values().flatten().cloned().collect();
         ConsensusCheck {
             agreement: decided_values.len() <= 1,
-            termination: self.decisions.values().all(|d| d.is_some()),
+            // Under churn, a process that departed before deciding is
+            // excused from termination (it is not "every correct process
+            // *eventually* decides" material once it has left the system);
+            // without churn every status is Decided/Undecided and this is
+            // the classic all-decided check.
+            termination: self.statuses.values().all(|s| *s != NodeStatus::Undecided),
             validity: decided_values
                 .iter()
                 .all(|v| self.allowed_values.contains(v)),
@@ -435,6 +530,8 @@ fn populate<R: Runtime<NodeMsg>>(
                 scenario.discovery_period,
             )));
         } else {
+            let churn = scenario.churn.as_ref();
+            let join = churn.and_then(|c| c.join_of(v));
             let config = NodeConfig {
                 mode: scenario.mode,
                 discovery_period: scenario.discovery_period,
@@ -445,14 +542,23 @@ fn populate<R: Runtime<NodeMsg>>(
                 full_gossip: scenario.full_gossip,
                 shared_verify: scenario.pipelined_verify(),
                 recorder: recorder.cloned(),
+                join_at: join.map(|(tick, _)| tick),
+                seed_peers: join.map(|(_, seeds)| seeds.clone()).unwrap_or_default(),
+                leave_at: churn.and_then(|c| c.leave_of(v)),
+                crash_recover: churn.and_then(|c| c.crash_recover_of(v)),
+                broken_recovery: scenario.broken_recovery,
                 ..NodeConfig::default()
             };
             let mut node = Node::from_setup(setup, v, scenario.value_of(v), config)
                 .expect("vertex registered");
-            if !scenario.crashes.contains_key(&v) {
+            let is_leaver = churn.is_some_and(|c| c.leave_of(v).is_some());
+            if !scenario.crashes.contains_key(&v) && !is_leaver {
                 // Only *correct* nodes report to the board: the stop
                 // condition counts board entries against the correct set,
                 // and a crash-faulty node may decide before its crash tick.
+                // A scheduled leaver is excused the same way — it may
+                // decide before departing, but the run must not stop (or
+                // keep waiting) on its account.
                 node = node.with_board(board.clone());
             }
             runtime.add_actor(Box::new(node));
@@ -491,18 +597,41 @@ fn collect<R: Runtime<NodeMsg>>(
     runtime: &R,
 ) -> ScenarioOutcome {
     let mut decisions = BTreeMap::new();
+    let mut statuses = BTreeMap::new();
+    let mut crash_views = BTreeMap::new();
+    let mut recovery_views = BTreeMap::new();
+    let mut final_views = BTreeMap::new();
     let mut detections = BTreeMap::new();
     let mut detection_times = BTreeMap::new();
     let mut decided_times = BTreeMap::new();
     for &id in correct {
         let node: &Node = runtime.actor_as(id).expect("correct actors are Nodes");
         decisions.insert(id, node.decision().map(|v| v.to_vec()));
+        let status = if node.decision().is_some() {
+            NodeStatus::Decided
+        } else if node.departed() {
+            NodeStatus::Departed
+        } else {
+            NodeStatus::Undecided
+        };
+        statuses.insert(id, status);
+        if let Some(sample) = &node.crash_view {
+            crash_views.insert(id, sample.clone());
+        }
+        if let Some(sample) = &node.recovery_view {
+            recovery_views.insert(id, sample.clone());
+        }
+        final_views.insert(id, node.discovery().view().received());
         detections.insert(id, node.detection().map(|d| d.members.clone()));
         detection_times.insert(id, node.detection_time);
         decided_times.insert(id, node.decided_time);
     }
     ScenarioOutcome {
         decisions,
+        statuses,
+        crash_views,
+        recovery_views,
+        final_views,
         detections,
         detection_times,
         decided_times,
@@ -542,7 +671,10 @@ pub fn run_scenario_on<R: Runtime<NodeMsg>>(
     if let Some(rec) = &recorder {
         runtime.set_recorder(rec.clone());
     }
-    let expected = correct.len();
+    // Scheduled leavers are not wired to the board (they may depart before
+    // deciding), so the stop condition counts only the staying correct set.
+    let leavers = scenario.leavers();
+    let expected = correct.iter().filter(|v| !leavers.contains(v)).count();
     let report = runtime.run_until_stopped(&mut || board.len() >= expected);
     let obs = recorder.map(|rec| {
         // Dump the shared certificate pool's end-of-run state as gauges,
@@ -629,7 +761,44 @@ pub fn run_scenario_recorded(scenario: &Scenario) -> (ScenarioOutcome, Execution
             kind: TraceEventKind::Decided { process, value },
         })
         .collect();
-    let trace = ExecutionTrace::assemble(log.take(), deliveries, decisions);
+    let mut trace = ExecutionTrace::assemble(log.take(), deliveries, decisions);
+    if scenario.churn.is_some() {
+        // Knowledge samples feed the weakened churn invariants; they are
+        // only merged for churn scenarios so churn-free trace fingerprints
+        // stay exactly what they were before the churn axis existed.
+        let mut samples = Vec::new();
+        for (&id, (time, view)) in &outcome.crash_views {
+            samples.push(TraceEvent {
+                time: *time,
+                kind: TraceEventKind::Knowledge {
+                    process: id,
+                    received: view.clone(),
+                    moment: KnowledgeMoment::AtCrash,
+                },
+            });
+        }
+        for (&id, (time, view)) in &outcome.recovery_views {
+            samples.push(TraceEvent {
+                time: *time,
+                kind: TraceEventKind::Knowledge {
+                    process: id,
+                    received: view.clone(),
+                    moment: KnowledgeMoment::AtRecovery,
+                },
+            });
+        }
+        for (&id, view) in &outcome.final_views {
+            samples.push(TraceEvent {
+                time: outcome.end_time,
+                kind: TraceEventKind::Knowledge {
+                    process: id,
+                    received: view.clone(),
+                    moment: KnowledgeMoment::Final,
+                },
+            });
+        }
+        trace = trace.with_knowledge(samples);
+    }
     (outcome, trace)
 }
 
@@ -765,6 +934,59 @@ mod tests {
             .filter(|e| matches!(e.kind, TraceEventKind::Sent { dropped: true, .. }))
             .count() as u64;
         assert_eq!(dropped, outcome.stats.messages_dropped);
+    }
+
+    #[test]
+    fn leaver_is_excused_from_termination() {
+        use cupft_adversary::ChurnEvent;
+        let fig = fig1b();
+        // Learner 7 departs before it can decide; the run must still stop
+        // (the board never waits on it) and termination must excuse it.
+        let scenario = Scenario::new(fig.graph().clone(), ProtocolMode::KnownThreshold(1))
+            .with_byzantine(4, ByzantineStrategy::Silent)
+            .with_churn(ChurnSpec::new(vec![ChurnEvent::LeaveAt {
+                tick: 5,
+                node: ProcessId::new(7),
+            }]));
+        let outcome = run_scenario(&scenario);
+        let check = outcome.check();
+        assert!(check.consensus_solved(), "{outcome:?}");
+        assert_eq!(
+            outcome.statuses[&ProcessId::new(7)],
+            crate::scenario::NodeStatus::Departed
+        );
+        assert!(outcome.decisions[&ProcessId::new(7)].is_none());
+    }
+
+    #[test]
+    fn churn_run_passes_weakened_invariants() {
+        use cupft_adversary::ChurnEvent;
+        let fig = fig1b();
+        // Learner 8 joins late; learner 5 crash-recovers mid-run.
+        let scenario = Scenario::new(fig.graph().clone(), ProtocolMode::KnownThreshold(1))
+            .with_byzantine(4, ByzantineStrategy::Silent)
+            .with_seed(3)
+            .with_churn(ChurnSpec::new(vec![
+                ChurnEvent::JoinAt {
+                    tick: 400,
+                    node: ProcessId::new(8),
+                    seed_peers: cupft_graph::process_set([5]),
+                },
+                ChurnEvent::CrashRecoverAt {
+                    tick: 300,
+                    node: ProcessId::new(5),
+                    down_for: 200,
+                },
+            ]));
+        let (outcome, trace) = run_scenario_recorded(&scenario);
+        assert!(outcome.check().consensus_solved(), "{outcome:?}");
+        // Knowledge samples rode into the trace (crash + recovery + finals).
+        assert!(trace.knowledge().count() >= outcome.final_views.len());
+        let violations = scenario.churn_trace_checker(&outcome).check(&trace);
+        assert!(violations.is_empty(), "{violations:?}");
+        // Same seed, same schedule → byte-identical trace.
+        let (_, replay) = run_scenario_recorded(&scenario);
+        assert_eq!(trace.fingerprint(), replay.fingerprint());
     }
 
     #[test]

@@ -40,6 +40,15 @@ impl Signature {
             tag: [0xde; DIGEST_LEN],
         }
     }
+
+    /// Rebuilds a signature from its wire parts (signer ID and raw tag).
+    ///
+    /// Used by deserialization layers (e.g. the `DiscoveryState` snapshot
+    /// codec): the resulting signature carries exactly the given bytes and
+    /// verifies iff the original did.
+    pub fn from_parts(signer: u64, tag: Digest) -> Self {
+        Signature { signer, tag }
+    }
 }
 
 impl fmt::Debug for Signature {

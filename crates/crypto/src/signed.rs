@@ -68,6 +68,21 @@ impl SignedPd {
         }
     }
 
+    /// Rebuilds a record from its wire parts, re-canonicalizing the PD
+    /// (sorted + deduplicated) so the encoding a verifier checks is the
+    /// same one [`Self::sign`] produced. Used by deserialization layers;
+    /// the attached signature is carried verbatim, so the rebuilt record
+    /// verifies iff the serialized one did.
+    pub fn from_parts(author: u64, mut pd: Vec<u64>, signature: Signature) -> Self {
+        pd.sort_unstable();
+        pd.dedup();
+        SignedPd {
+            author,
+            pd,
+            signature,
+        }
+    }
+
     /// The claimed author.
     pub fn author(&self) -> u64 {
         self.author
@@ -242,6 +257,23 @@ mod tests {
         drop(batch);
         assert!(good.verify(&reg));
         assert!(!bad.verify(&reg));
+    }
+
+    #[test]
+    fn from_parts_reconstructs_verifiable_record() {
+        let mut reg = KeyRegistry::new();
+        let key = reg.register(6);
+        let original = SignedPd::sign(&key, vec![1, 2, 9]);
+        let rebuilt = SignedPd::from_parts(
+            original.author(),
+            original.pd().to_vec(),
+            *original.signature(),
+        );
+        assert_eq!(rebuilt, original);
+        assert!(rebuilt.verify(&reg));
+        // A tampered PD no longer matches the carried signature.
+        let tampered = SignedPd::from_parts(original.author(), vec![1, 2], *original.signature());
+        assert!(!tampered.verify(&reg));
     }
 
     #[test]

@@ -115,6 +115,22 @@ impl PdCertificate {
         PdCertificate { inner, fp }
     }
 
+    /// Rebuilds a certificate from a deserialized [`SignedPd`] record.
+    ///
+    /// The fingerprint is recomputed from the record bytes, so a codec
+    /// round-trip (serialize → [`Self::from_signed`]) reproduces the
+    /// identical fingerprint — and the rebuilt certificate verifies iff
+    /// the serialized one did (the signature travels verbatim).
+    pub fn from_signed(inner: SignedPd) -> Self {
+        PdCertificate::from_inner(inner)
+    }
+
+    /// The record in wire-typed form (author, raw PD, signature) — the
+    /// counterpart of [`Self::from_signed`] for serialization layers.
+    pub fn as_signed(&self) -> &SignedPd {
+        &self.inner
+    }
+
     /// Signs `pd` as `key`'s participant detector output.
     pub fn sign(key: &SigningKey, pd: &ProcessSet) -> Self {
         let raw: Vec<u64> = pd.iter().map(|p| p.raw()).collect();
@@ -526,6 +542,22 @@ mod tests {
         let forged = PdCertificate::forge(p(1), &a.pd());
         assert_ne!(a.fingerprint(), forged.fingerprint());
         assert_ne!(a, forged);
+    }
+
+    #[test]
+    fn from_signed_roundtrips_fingerprint_and_verdict() {
+        let g = DiGraph::from_edges([(1, 2), (2, 1)]);
+        let setup = SystemSetup::new(&g);
+        let cert = setup.certificate_for(p(1)).unwrap();
+        let rebuilt = PdCertificate::from_signed(cert.as_signed().clone());
+        assert_eq!(rebuilt, cert);
+        assert_eq!(rebuilt.fingerprint(), cert.fingerprint());
+        assert!(rebuilt.verify(setup.registry()));
+        // Forged records survive the round-trip as forged.
+        let forged = PdCertificate::forge(p(2), &process_set([9]));
+        let forged2 = PdCertificate::from_signed(forged.as_signed().clone());
+        assert_eq!(forged2.fingerprint(), forged.fingerprint());
+        assert!(!forged2.verify(setup.registry()));
     }
 
     #[test]

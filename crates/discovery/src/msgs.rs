@@ -16,16 +16,27 @@ use cupft_net::Labeled;
 /// state can never equal a live process's state — every process holds at
 /// least its own certificate — so fabricated zero states merely disable
 /// suppression toward their sender.
+///
+/// The `epoch` is the owner's membership incarnation: it starts at 0 and is
+/// bumped each time the process crash-recovers (see
+/// `DiscoveryState::bump_epoch`). It participates in equality, so a
+/// rejoining peer that restored a stale-but-identical-looking `S_PD` can
+/// never be suppressed by the sync-skip optimization — its reported state
+/// stops matching anything recorded about its previous incarnation, and
+/// polling re-arms on both sides.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
 pub struct SyncState {
     /// Number of certificates held.
     pub count: u32,
     /// Wrapping sum of the held certificates' fingerprints.
     pub fp: u128,
+    /// The owner's membership incarnation (0 until a crash-recovery).
+    pub epoch: u32,
 }
 
 impl SyncState {
-    /// Folds one more certificate fingerprint into the state.
+    /// Folds one more certificate fingerprint into the state (the epoch is
+    /// untouched — it tracks incarnations, not set contents).
     pub fn add(&mut self, cert_fp: u128) {
         self.count += 1;
         self.fp = self.fp.wrapping_add(cert_fp);
@@ -127,5 +138,19 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.count, 2);
         assert_ne!(a, SyncState::default());
+    }
+
+    #[test]
+    fn sync_state_epoch_participates_in_equality() {
+        let mut a = SyncState::default();
+        a.add(10);
+        let mut b = a;
+        assert_eq!(a, b);
+        // Same certificate set, different incarnation: never equal, so the
+        // delta-gossip skip can never suppress a rejoined peer.
+        b.epoch += 1;
+        assert_ne!(a, b);
+        // The set summary itself is unchanged by the bump.
+        assert_eq!((a.count, a.fp), (b.count, b.fp));
     }
 }

@@ -104,6 +104,15 @@ impl KnowledgeView {
         self.pds.get(&p)
     }
 
+    /// Adds `p` to `S_known` without recording a PD: an out-of-band hint
+    /// rather than an Algorithm 1 step. Used when a late joiner is handed
+    /// seed peers to bootstrap gossip from, and when a restored snapshot
+    /// re-seeds identifiers that were known but whose PDs were never
+    /// received. Returns `true` if the view changed.
+    pub fn learn(&mut self, p: ProcessId) -> bool {
+        self.known.insert(p)
+    }
+
     /// Records a (signature-verified) PD for `author`.
     ///
     /// Mirrors Algorithm 1 lines 4–6: the author joins `S_received`, and

@@ -15,19 +15,24 @@
 #                     family sweep, end-to-end consensus at
 #                     n=100/500/1000 on both runtimes (threaded cells on
 #                     the sharded router, decisions checked against sim),
-#                     and the router-shard axis; also publishes the
-#                     per-family ObsReport sibling as OBS_discovery.json
-#                     beside it (observed sim cells, virtual clock)
+#                     the router-shard axis, and the churn axis (n=100
+#                     cells under a join + crash-rejoin ChurnSpec, both
+#                     runtimes, threaded decisions checked against sim);
+#                     also publishes the per-family ObsReport sibling as
+#                     OBS_discovery.json beside it (observed sim cells,
+#                     virtual clock)
 #
 #   scripts/bench.sh [--shards N] --check-regression [FRESH_DISCOVERY_JSON]
 #       (options may be combined in any order ahead of positionals)
 #       Compares discovery_scale regression scalars against the committed
 #       BENCH_discovery.json: fails when a deterministic scalar — the
 #       sweep SETPDS payload or any obs_phase_* virtual-time phase scalar
-#       from the observed sim cells — grows >25%, or the payload ratio
-#       falls below the 10x floor; the end-to-end wall scalars — the
-#       blended total and the per-family e2e_wall_seconds_<family>
-#       breakdown — are reported advisory-only (wall clocks don't compare
+#       from the observed sim cells, including the churn-axis
+#       obs_phase_*_churn_<family> keys — grows >25%, or the payload
+#       ratio falls below the 10x floor; the end-to-end wall scalars —
+#       the blended total, the per-family e2e_wall_seconds_<family>
+#       breakdown, and the churn-axis e2e_wall_seconds_churn total —
+#       are reported advisory-only (wall clocks don't compare
 #       across machines; the obs_phase_* scalars are the canonical
 #       deterministic latency trajectory). Without the optional
 #       argument the script builds and runs discovery_scale itself; CI

@@ -9,10 +9,13 @@
 #                              # delta-gossip discovery_equivalence sweep,
 #                              # the router_shards parity sweep, the
 #                              # verify_pipeline parity/determinism suite,
-#                              # and the obs_determinism observability
-#                              # suite (byte-identical observed traces, no
-#                              # observer effect) as early gates before
-#                              # the full test run
+#                              # the obs_determinism observability suite
+#                              # (byte-identical observed traces, no
+#                              # observer effect), and the churn gates
+#                              # (churn_invariants family×runtime sweep,
+#                              # proptest_churn snapshot/agreement
+#                              # properties) as early gates before the
+#                              # full test run
 #
 # CI ↔ verify.sh contract (.github/workflows/ci.yml relies on this):
 #   * every gate propagates its exit code — the script runs under
@@ -64,6 +67,10 @@ else
     cargo test -q --test verify_pipeline
     echo "==> cargo test -q --test obs_determinism (quick gate)"
     cargo test -q --test obs_determinism
+    echo "==> cargo test -q --test churn_invariants (quick gate)"
+    cargo test -q --test churn_invariants
+    echo "==> cargo test -q --test proptest_churn (quick gate)"
+    cargo test -q --test proptest_churn
 fi
 
 echo "==> cargo test -q"

@@ -1,0 +1,137 @@
+//! The end-to-end catch the churn layer exists for:
+//!
+//! 1. a churn schedule is injected with the test-only `broken_recovery`
+//!    flag set, so the crash-rejoin path restores a *fresh* discovery
+//!    state instead of the snapshot — the recovered node silently loses
+//!    its pre-crash knowledge;
+//! 2. the churn-armed checker flags the **RecoveryConsistency** violation
+//!    from the recorded trace's knowledge samples (crash view vs.
+//!    recovery view), not from re-inspecting actors;
+//! 3. [`shrink_churn`] reduces the failing schedule — crash event plus
+//!    decoy join and leave — to the minimal single-event reproducer, all
+//!    deterministic under the fixed seed;
+//! 4. the control run (same schedule, honest recovery) passes every
+//!    weakened invariant, so the flag is what the checker catches.
+
+use bft_cupft::adversary::{churn_size, shrink_churn, ChurnEvent, ChurnSpec, Invariant};
+use bft_cupft::core::{run_scenario_recorded, ProtocolMode, Scenario};
+use bft_cupft::graph::{fig1b, process_set, ProcessId};
+use bft_cupft::net::DelayPolicy;
+
+fn psync() -> DelayPolicy {
+    DelayPolicy::PartialSynchrony {
+        gst: 200,
+        delta: 10,
+        pre_gst_max: 120,
+    }
+}
+
+/// The injected schedule: the real culprit (a crash-rejoin of learner 5,
+/// late enough that 5 has gossiped knowledge worth losing, early enough
+/// that it fires before the run's last decision) buried between two
+/// decoys that perturb the run but cause no violation on their own.
+fn initial_spec() -> ChurnSpec {
+    ChurnSpec::new(vec![
+        ChurnEvent::JoinAt {
+            tick: 500,
+            node: ProcessId::new(8),
+            seed_peers: process_set([5, 6]),
+        },
+        ChurnEvent::CrashRecoverAt {
+            tick: 150,
+            node: ProcessId::new(5),
+            down_for: 100,
+        },
+        ChurnEvent::LeaveAt {
+            tick: 5,
+            node: ProcessId::new(7),
+        },
+    ])
+}
+
+fn scenario_with(spec: &ChurnSpec, broken: bool) -> Scenario {
+    Scenario::new(fig1b().graph().clone(), ProtocolMode::KnownThreshold(1))
+        .with_seed(7)
+        .with_policy(psync())
+        .with_horizon(50_000)
+        .with_churn(spec.clone())
+        .with_broken_recovery(broken)
+}
+
+/// The shrink oracle: does this schedule, under broken recovery, make the
+/// checker flag a RecoveryConsistency violation?
+fn violates_recovery(spec: &ChurnSpec) -> bool {
+    let scenario = scenario_with(spec, true);
+    let (outcome, trace) = run_scenario_recorded(&scenario);
+    scenario
+        .churn_trace_checker(&outcome)
+        .check(&trace)
+        .iter()
+        .any(|v| v.invariant == Invariant::RecoveryConsistency)
+}
+
+#[test]
+fn inject_flag_shrink_churn_end_to_end() {
+    let initial = initial_spec();
+
+    // 1+2: the recorded trace exhibits the knowledge regression and the
+    // checker flags exactly RecoveryConsistency — lost knowledge is a
+    // liveness wound, not a safety one, so consensus still solves and
+    // agreement holds.
+    let scenario = scenario_with(&initial, true);
+    let (outcome, trace) = run_scenario_recorded(&scenario);
+    assert!(
+        outcome.check().consensus_solved(),
+        "broken recovery costs knowledge, not safety: {outcome:?}"
+    );
+    let violations = scenario.churn_trace_checker(&outcome).check(&trace);
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.invariant == Invariant::RecoveryConsistency),
+        "checker must flag RecoveryConsistency from the trace: {violations:?}"
+    );
+    assert!(
+        violations
+            .iter()
+            .all(|v| v.invariant != Invariant::ChurnAgreement),
+        "no agreement violation: {violations:?}"
+    );
+
+    // 3: the shrinker strips both decoys and keeps the crash-rejoin —
+    // the minimal reproducer is the single culprit event, unsimplified.
+    let shrunk = shrink_churn(initial.clone(), &mut violates_recovery);
+    assert!(shrunk.shrank(), "decoys must be removable");
+    assert!(churn_size(&shrunk.minimal) < churn_size(&initial));
+    assert_eq!(
+        shrunk.minimal,
+        ChurnSpec::new(vec![ChurnEvent::CrashRecoverAt {
+            tick: 150,
+            node: ProcessId::new(5),
+            down_for: 100,
+        }]),
+        "minimal reproducer is the bare crash-rejoin"
+    );
+    assert!(violates_recovery(&shrunk.minimal));
+
+    // determinism: the whole record→check→shrink loop replays identically
+    let replay = shrink_churn(initial, &mut violates_recovery);
+    assert_eq!(replay, shrunk);
+    let (_, trace_b) = run_scenario_recorded(&scenario);
+    assert_eq!(trace.fingerprint(), trace_b.fingerprint());
+    assert_eq!(trace, trace_b);
+}
+
+#[test]
+fn honest_recovery_is_the_control() {
+    // Same schedule, honest recovery: every weakened invariant passes,
+    // so the broken_recovery flag is precisely what the checker catches.
+    let scenario = scenario_with(&initial_spec(), false);
+    let (outcome, trace) = run_scenario_recorded(&scenario);
+    assert!(outcome.check().consensus_solved());
+    let violations = scenario.churn_trace_checker(&outcome).check(&trace);
+    assert!(
+        violations.is_empty(),
+        "control must be clean: {violations:?}"
+    );
+}
