@@ -48,6 +48,7 @@ pub mod shrink;
 pub mod spec;
 pub mod strategy;
 pub mod trace;
+mod wire;
 
 pub use churn::{
     churn_candidates, churn_size, shrink_churn, ChurnEvent, ChurnShrinkOutcome, ChurnSpec,

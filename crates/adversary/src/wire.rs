@@ -1,0 +1,332 @@
+//! Wire codecs for the adversary control vocabulary.
+//!
+//! Tamper schedules, churn schedules, and Byzantine strategy specs are
+//! already *data* — that is the whole design of this crate — so giving
+//! them a wire form is what lets a multi-process experiment ship its
+//! adversarial configuration to node processes the same way the driver
+//! ships protocol parameters: encoded, framed, versioned. Nothing here
+//! changes the specs' semantics; the executable tampers and strategies
+//! are still compiled locally after decode.
+//!
+//! Layouts follow the workspace conventions ([`cupft_wire`] crate docs):
+//! big-endian integers, `u8` enum tags, `u64` count prefixes.
+
+use cupft_committee::Value;
+use cupft_graph::{ProcessId, ProcessSet};
+use cupft_wire::{Decode, Encode, Reader, WireError};
+
+use crate::churn::{ChurnEvent, ChurnSpec};
+use crate::sched::TamperSpec;
+use crate::spec::StrategySpec;
+
+impl Encode for TamperSpec {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            TamperSpec::ReorderWindow { window, seed } => {
+                out.push(0);
+                window.encode(out);
+                seed.encode(out);
+            }
+            TamperSpec::DelayFrom { senders, extra } => {
+                out.push(1);
+                senders.encode(out);
+                extra.encode(out);
+            }
+            TamperSpec::DropFrom { senders } => {
+                out.push(2);
+                senders.encode(out);
+            }
+            TamperSpec::Chain(parts) => {
+                out.push(3);
+                parts.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for TamperSpec {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(TamperSpec::ReorderWindow {
+                window: r.u64()?,
+                seed: r.u64()?,
+            }),
+            1 => Ok(TamperSpec::DelayFrom {
+                senders: ProcessSet::decode(r)?,
+                extra: r.u64()?,
+            }),
+            2 => Ok(TamperSpec::DropFrom {
+                senders: ProcessSet::decode(r)?,
+            }),
+            3 => Ok(TamperSpec::Chain(Vec::decode(r)?)),
+            tag => Err(WireError::BadTag {
+                ty: "TamperSpec",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Encode for ChurnEvent {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ChurnEvent::JoinAt {
+                tick,
+                node,
+                seed_peers,
+            } => {
+                out.push(0);
+                tick.encode(out);
+                node.encode(out);
+                seed_peers.encode(out);
+            }
+            ChurnEvent::LeaveAt { tick, node } => {
+                out.push(1);
+                tick.encode(out);
+                node.encode(out);
+            }
+            ChurnEvent::CrashRecoverAt {
+                tick,
+                node,
+                down_for,
+            } => {
+                out.push(2);
+                tick.encode(out);
+                node.encode(out);
+                down_for.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for ChurnEvent {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(ChurnEvent::JoinAt {
+                tick: r.u64()?,
+                node: ProcessId::decode(r)?,
+                seed_peers: ProcessSet::decode(r)?,
+            }),
+            1 => Ok(ChurnEvent::LeaveAt {
+                tick: r.u64()?,
+                node: ProcessId::decode(r)?,
+            }),
+            2 => Ok(ChurnEvent::CrashRecoverAt {
+                tick: r.u64()?,
+                node: ProcessId::decode(r)?,
+                down_for: r.u64()?,
+            }),
+            tag => Err(WireError::BadTag {
+                ty: "ChurnEvent",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Encode for ChurnSpec {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.events.encode(out);
+    }
+}
+
+impl Decode for ChurnSpec {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ChurnSpec::new(Vec::decode(r)?))
+    }
+}
+
+impl Encode for StrategySpec {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            StrategySpec::Silent => out.push(0),
+            StrategySpec::FakePd { claimed } => {
+                out.push(1);
+                claimed.encode(out);
+            }
+            StrategySpec::EquivocatePd { even, odd } => {
+                out.push(2);
+                even.encode(out);
+                odd.encode(out);
+            }
+            StrategySpec::ForgeUnsignedPd { victim, claimed } => {
+                out.push(3);
+                victim.encode(out);
+                claimed.encode(out);
+            }
+            StrategySpec::LieDecidedVal { value } => {
+                out.push(4);
+                value.encode(out);
+            }
+            StrategySpec::EquivocateValue {
+                committee,
+                value_a,
+                value_b,
+            } => {
+                out.push(5);
+                committee.encode(out);
+                value_a.encode(out);
+                value_b.encode(out);
+            }
+            StrategySpec::DelayRelease { until, inner } => {
+                out.push(6);
+                until.encode(out);
+                inner.encode(out);
+            }
+            StrategySpec::TargetSubset { targets, inner } => {
+                out.push(7);
+                targets.encode(out);
+                inner.encode(out);
+            }
+            StrategySpec::FlipAfter { at, before, after } => {
+                out.push(8);
+                at.encode(out);
+                before.encode(out);
+                after.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for StrategySpec {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(StrategySpec::Silent),
+            1 => Ok(StrategySpec::FakePd {
+                claimed: ProcessSet::decode(r)?,
+            }),
+            2 => Ok(StrategySpec::EquivocatePd {
+                even: ProcessSet::decode(r)?,
+                odd: ProcessSet::decode(r)?,
+            }),
+            3 => Ok(StrategySpec::ForgeUnsignedPd {
+                victim: ProcessId::decode(r)?,
+                claimed: ProcessSet::decode(r)?,
+            }),
+            4 => Ok(StrategySpec::LieDecidedVal {
+                value: Value::decode(r)?,
+            }),
+            5 => Ok(StrategySpec::EquivocateValue {
+                committee: ProcessSet::decode(r)?,
+                value_a: Value::decode(r)?,
+                value_b: Value::decode(r)?,
+            }),
+            6 => Ok(StrategySpec::DelayRelease {
+                until: r.u64()?,
+                inner: Box::new(StrategySpec::decode(r)?),
+            }),
+            7 => Ok(StrategySpec::TargetSubset {
+                targets: ProcessSet::decode(r)?,
+                inner: Box::new(StrategySpec::decode(r)?),
+            }),
+            8 => Ok(StrategySpec::FlipAfter {
+                at: r.u64()?,
+                before: Box::new(StrategySpec::decode(r)?),
+                after: Box::new(StrategySpec::decode(r)?),
+            }),
+            tag => Err(WireError::BadTag {
+                ty: "StrategySpec",
+                tag,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cupft_graph::process_set;
+    use cupft_wire::{decode_from_slice, encode_to_vec};
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = encode_to_vec(&v);
+        let back: T = decode_from_slice(&bytes).expect("decodes");
+        assert_eq!(back, v);
+        assert_eq!(encode_to_vec(&back), bytes);
+    }
+
+    #[test]
+    fn tamper_specs_roundtrip() {
+        roundtrip(TamperSpec::ReorderWindow {
+            window: 50,
+            seed: 7,
+        });
+        roundtrip(TamperSpec::Chain(vec![
+            TamperSpec::DelayFrom {
+                senders: process_set([1, 2]),
+                extra: 9,
+            },
+            TamperSpec::DropFrom {
+                senders: process_set([4]),
+            },
+        ]));
+    }
+
+    #[test]
+    fn churn_specs_roundtrip() {
+        roundtrip(ChurnSpec::default());
+        roundtrip(ChurnSpec::new(vec![
+            ChurnEvent::JoinAt {
+                tick: 100,
+                node: ProcessId::new(9),
+                seed_peers: process_set([1, 2]),
+            },
+            ChurnEvent::LeaveAt {
+                tick: 200,
+                node: ProcessId::new(3),
+            },
+            ChurnEvent::CrashRecoverAt {
+                tick: 150,
+                node: ProcessId::new(7),
+                down_for: 80,
+            },
+        ]));
+    }
+
+    #[test]
+    fn strategy_specs_roundtrip_recursively() {
+        roundtrip(StrategySpec::Silent);
+        roundtrip(StrategySpec::FlipAfter {
+            at: 400,
+            before: Box::new(StrategySpec::TargetSubset {
+                targets: process_set([1, 3]),
+                inner: Box::new(StrategySpec::EquivocateValue {
+                    committee: process_set([1, 2, 3, 4]),
+                    value_a: Value::from_static(b"a"),
+                    value_b: Value::from_static(b"b"),
+                }),
+            }),
+            after: Box::new(StrategySpec::DelayRelease {
+                until: 900,
+                inner: Box::new(StrategySpec::LieDecidedVal {
+                    value: Value::from_static(b"evil"),
+                }),
+            }),
+        });
+    }
+
+    #[test]
+    fn unknown_tags_reject() {
+        assert!(matches!(
+            decode_from_slice::<TamperSpec>(&[9]),
+            Err(WireError::BadTag {
+                ty: "TamperSpec",
+                ..
+            })
+        ));
+        assert!(matches!(
+            decode_from_slice::<ChurnEvent>(&[9]),
+            Err(WireError::BadTag {
+                ty: "ChurnEvent",
+                ..
+            })
+        ));
+        assert!(matches!(
+            decode_from_slice::<StrategySpec>(&[99]),
+            Err(WireError::BadTag {
+                ty: "StrategySpec",
+                ..
+            })
+        ));
+    }
+}

@@ -98,6 +98,58 @@ impl fmt::Display for Json {
     }
 }
 
+/// The binary sibling of the JSON text form: `tag:u8` (0 = Bool, 1 =
+/// U64, 2 = F64 as raw IEEE-754 bits, 3 = Str, 4 = Arr, 5 = Obj)
+/// followed by the value, on the workspace wire conventions. Artifacts
+/// that used to exist only as display text can now ride the same framed
+/// byte streams as protocol messages (and round-trip losslessly — the
+/// text form collapses non-finite floats to `null`, the binary form
+/// preserves their exact bits).
+impl cupft_wire::Encode for Json {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Json::Bool(b) => {
+                out.push(0);
+                b.encode(out);
+            }
+            Json::U64(n) => {
+                out.push(1);
+                n.encode(out);
+            }
+            Json::F64(x) => {
+                out.push(2);
+                x.to_bits().encode(out);
+            }
+            Json::Str(s) => {
+                out.push(3);
+                s.encode(out);
+            }
+            Json::Arr(items) => {
+                out.push(4);
+                items.encode(out);
+            }
+            Json::Obj(pairs) => {
+                out.push(5);
+                pairs.encode(out);
+            }
+        }
+    }
+}
+
+impl cupft_wire::Decode for Json {
+    fn decode(r: &mut cupft_wire::Reader<'_>) -> Result<Self, cupft_wire::WireError> {
+        match r.u8()? {
+            0 => Ok(Json::Bool(bool::decode(r)?)),
+            1 => Ok(Json::U64(r.u64()?)),
+            2 => Ok(Json::F64(f64::from_bits(r.u64()?))),
+            3 => Ok(Json::Str(String::decode(r)?)),
+            4 => Ok(Json::Arr(Vec::decode(r)?)),
+            5 => Ok(Json::Obj(Vec::decode(r)?)),
+            tag => Err(cupft_wire::WireError::BadTag { ty: "Json", tag }),
+        }
+    }
+}
+
 /// One experiment row as JSON (the machine-readable twin of
 /// [`Row::print`]).
 pub fn row_json(row: &Row) -> Json {
@@ -284,5 +336,36 @@ mod tests {
     #[test]
     fn non_finite_floats_become_null() {
         assert_eq!(Json::F64(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn binary_sibling_roundtrips_nested_values() {
+        let v = Json::obj([
+            ("name", Json::str("tab\"le")),
+            ("n", Json::U64(3)),
+            ("ok", Json::Bool(true)),
+            ("xs", Json::Arr(vec![Json::U64(1), Json::F64(0.5)])),
+        ]);
+        let bytes = cupft_wire::encode_to_vec(&v);
+        let back: Json = cupft_wire::decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(cupft_wire::encode_to_vec(&back), bytes);
+    }
+
+    #[test]
+    fn binary_sibling_preserves_infinities_exactly() {
+        // The text form degrades non-finite floats to null; the binary
+        // form carries the exact bits.
+        let bytes = cupft_wire::encode_to_vec(&Json::F64(f64::INFINITY));
+        let back: Json = cupft_wire::decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, Json::F64(f64::INFINITY));
+    }
+
+    #[test]
+    fn binary_sibling_rejects_unknown_tag() {
+        assert!(matches!(
+            cupft_wire::decode_from_slice::<Json>(&[9]),
+            Err(cupft_wire::WireError::BadTag { ty: "Json", .. })
+        ));
     }
 }

@@ -1,10 +1,11 @@
 //! Committee protocol messages and their signed canonical encodings.
 
 use bytes::Bytes;
-use cupft_crypto::sha256::{digest, Digest};
+use cupft_crypto::sha256::{digest, Digest, DIGEST_LEN};
 use cupft_crypto::{KeyRegistry, SignedValue, SigningKey};
 use cupft_graph::ProcessId;
 use cupft_net::Labeled;
+use cupft_wire::{Decode, Encode, Reader, WireError};
 
 use crate::quorum::Committee;
 
@@ -12,10 +13,12 @@ use crate::quorum::Committee;
 pub type Value = Bytes;
 
 /// Signing domains (domain separation prevents cross-phase replay).
-const D_PREPREPARE: &str = "cupft-preprepare";
-const D_PREPARE: &str = "cupft-prepare";
-const D_COMMIT: &str = "cupft-commit";
-const D_VIEWCHANGE: &str = "cupft-viewchange";
+/// Shared with [`cupft_crypto::domains`] so the wire codec can intern
+/// decoded domains back onto the same statics.
+const D_PREPREPARE: &str = cupft_crypto::domains::PREPREPARE;
+const D_PREPARE: &str = cupft_crypto::domains::PREPARE;
+const D_COMMIT: &str = cupft_crypto::domains::COMMIT;
+const D_VIEWCHANGE: &str = cupft_crypto::domains::VIEWCHANGE;
 
 fn encode_view_value(view: u64, value: &Value) -> Bytes {
     let mut out = Vec::with_capacity(8 + value.len());
@@ -258,6 +261,122 @@ impl Labeled for CommitteeMsg {
             CommitteeMsg::Prepare { .. } => "PREPARE",
             CommitteeMsg::Commit { .. } => "COMMIT",
             CommitteeMsg::ViewChange(_) => "VIEWCHANGE",
+        }
+    }
+}
+
+fn decode_digest(r: &mut Reader<'_>) -> Result<Digest, WireError> {
+    Ok(r.take(DIGEST_LEN)?.try_into().expect("digest length"))
+}
+
+impl Encode for PreparedCert {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.view.encode(out);
+        self.value.encode(out);
+        self.prepares.encode(out);
+    }
+}
+
+impl Decode for PreparedCert {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(PreparedCert {
+            view: r.u64()?,
+            value: Value::decode(r)?,
+            prepares: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Encode for ViewChangeRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.new_view.encode(out);
+        self.prepared.encode(out);
+        self.signed.encode(out);
+    }
+}
+
+impl Decode for ViewChangeRecord {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ViewChangeRecord {
+            new_view: r.u64()?,
+            prepared: Option::decode(r)?,
+            signed: SignedValue::decode(r)?,
+        })
+    }
+}
+
+/// Wire form: `tag:u8` (0 = `PREPREPARE`, 1 = `PREPARE`, 2 = `COMMIT`,
+/// 3 = `VIEWCHANGE`) followed by the variant fields; digests travel as
+/// raw 32-byte strings. Decoding restores structure only — authenticity
+/// is still [`CommitteeMsg::verify`]'s job, exactly as for a locally
+/// constructed message.
+impl Encode for CommitteeMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            CommitteeMsg::PrePrepare {
+                view,
+                value,
+                signed,
+                justification,
+            } => {
+                out.push(0);
+                view.encode(out);
+                value.encode(out);
+                signed.encode(out);
+                justification.encode(out);
+            }
+            CommitteeMsg::Prepare {
+                view,
+                digest,
+                signed,
+            } => {
+                out.push(1);
+                view.encode(out);
+                out.extend_from_slice(digest);
+                signed.encode(out);
+            }
+            CommitteeMsg::Commit {
+                view,
+                digest,
+                signed,
+            } => {
+                out.push(2);
+                view.encode(out);
+                out.extend_from_slice(digest);
+                signed.encode(out);
+            }
+            CommitteeMsg::ViewChange(vc) => {
+                out.push(3);
+                vc.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for CommitteeMsg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(CommitteeMsg::PrePrepare {
+                view: r.u64()?,
+                value: Value::decode(r)?,
+                signed: SignedValue::decode(r)?,
+                justification: Vec::decode(r)?,
+            }),
+            1 => Ok(CommitteeMsg::Prepare {
+                view: r.u64()?,
+                digest: decode_digest(r)?,
+                signed: SignedValue::decode(r)?,
+            }),
+            2 => Ok(CommitteeMsg::Commit {
+                view: r.u64()?,
+                digest: decode_digest(r)?,
+                signed: SignedValue::decode(r)?,
+            }),
+            3 => Ok(CommitteeMsg::ViewChange(ViewChangeRecord::decode(r)?)),
+            tag => Err(WireError::BadTag {
+                ty: "CommitteeMsg",
+                tag,
+            }),
         }
     }
 }

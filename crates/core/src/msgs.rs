@@ -3,13 +3,14 @@
 use cupft_committee::{CommitteeMsg, Value};
 use cupft_discovery::DiscoveryMsg;
 use cupft_net::Labeled;
+use cupft_wire::{Decode, Encode, Reader, WireError};
 
 /// Every message a BFT-CUP / BFT-CUPFT node can send or receive.
 ///
 /// One message universe per simulation keeps the actor roster
 /// heterogeneous (honest nodes, Byzantine strategies, naive guessers) while
 /// staying statically typed.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NodeMsg {
     /// Algorithm 1 traffic.
     Discovery(DiscoveryMsg),
@@ -35,6 +36,41 @@ impl Labeled for NodeMsg {
         match self {
             NodeMsg::Discovery(m) => m.payload_units(),
             _ => 0,
+        }
+    }
+}
+
+/// Wire form: `tag:u8` (0 = Discovery, 1 = Committee, 2 = GetDecidedVal,
+/// 3 = DecidedVal) followed by the inner message's own encoding. This is
+/// the payload type of every socket-runtime frame.
+impl Encode for NodeMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            NodeMsg::Discovery(m) => {
+                out.push(0);
+                m.encode(out);
+            }
+            NodeMsg::Committee(m) => {
+                out.push(1);
+                m.encode(out);
+            }
+            NodeMsg::GetDecidedVal => out.push(2),
+            NodeMsg::DecidedVal(v) => {
+                out.push(3);
+                v.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for NodeMsg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(NodeMsg::Discovery(DiscoveryMsg::decode(r)?)),
+            1 => Ok(NodeMsg::Committee(CommitteeMsg::decode(r)?)),
+            2 => Ok(NodeMsg::GetDecidedVal),
+            3 => Ok(NodeMsg::DecidedVal(Value::decode(r)?)),
+            tag => Err(WireError::BadTag { ty: "NodeMsg", tag }),
         }
     }
 }

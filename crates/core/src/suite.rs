@@ -133,6 +133,9 @@ impl ScenarioSuite {
         let cap = match kind {
             RuntimeKind::Sim => hw,
             RuntimeKind::Threaded => hw.min(4),
+            // Socket scenarios additionally hold TCP listeners, writer,
+            // and reader threads, so fan out even more conservatively.
+            RuntimeKind::Socket => hw.min(2),
         };
         self.workers.unwrap_or(cap).min(self.entries.len()).max(1)
     }

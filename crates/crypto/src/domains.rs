@@ -1,0 +1,50 @@
+//! The closed set of domain-separation labels signed values live under.
+//!
+//! [`crate::SignedValue`] stores its domain as a `&'static str` so that
+//! signing and verification sites can use literal labels with no
+//! allocation. The wire codec, however, receives domains as bytes off
+//! the network — [`intern`] maps those bytes back onto the one static
+//! table, which simultaneously (a) restores the `&'static str`
+//! representation and (b) rejects values signed under domains this build
+//! has never heard of, before any signature check runs.
+//!
+//! Adding a protocol message domain means adding it here; the wire
+//! round-trip proptests cover every listed domain automatically.
+
+/// Committee pre-prepare votes (leader proposals).
+pub const PREPREPARE: &str = "cupft-preprepare";
+/// Committee prepare votes.
+pub const PREPARE: &str = "cupft-prepare";
+/// Committee commit votes.
+pub const COMMIT: &str = "cupft-commit";
+/// Committee view-change records.
+pub const VIEWCHANGE: &str = "cupft-viewchange";
+
+/// Every domain a wire decoder will accept, in a fixed order.
+pub const ALL: &[&str] = &[PREPREPARE, PREPARE, COMMIT, VIEWCHANGE];
+
+/// Maps raw domain bytes back onto the static table, or `None` for a
+/// domain this build does not know.
+pub fn intern(s: &str) -> Option<&'static str> {
+    ALL.iter().find(|d| **d == s).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interns_known_domains() {
+        for d in ALL {
+            let owned = d.to_string();
+            let interned: &'static str = intern(&owned).expect("known domain");
+            assert_eq!(interned, *d);
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_domains() {
+        assert_eq!(intern("cupft-decide"), None);
+        assert_eq!(intern(""), None);
+    }
+}

@@ -31,11 +31,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod domains;
 pub mod hmac;
 pub mod sha256;
 
 mod keys;
 mod signed;
+mod wire;
 
 pub use keys::{BatchVerifier, KeyRegistry, Signature, SigningKey};
 pub use signed::{SignedPd, SignedValue};

@@ -151,6 +151,31 @@ impl SignedValue {
         }
     }
 
+    /// Rebuilds a signed value from its wire parts. The domain must
+    /// already be interned (see [`crate::domains::intern`]) so the
+    /// rebuilt value compares equal to what the signer produced; the
+    /// signature is carried verbatim, so the rebuilt value verifies iff
+    /// the serialized one did.
+    pub fn from_parts(
+        signer: u64,
+        domain: &'static str,
+        payload: Bytes,
+        signature: Signature,
+    ) -> Self {
+        SignedValue {
+            signer,
+            domain,
+            payload,
+            signature,
+        }
+    }
+
+    /// The attached signature — exposed so serialization layers can carry
+    /// it verbatim.
+    pub fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
     /// The signer's raw ID.
     pub fn signer(&self) -> u64 {
         self.signer

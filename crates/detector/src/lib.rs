@@ -201,6 +201,22 @@ impl Hash for PdCertificate {
     }
 }
 
+/// Wire form: exactly the inner [`SignedPd`] record — the fingerprint is
+/// derived state and never travels (a peer-supplied fingerprint would be
+/// an unverified claim; recomputing it on decode keeps the memoization
+/// sound).
+impl cupft_wire::Encode for PdCertificate {
+    fn encode(&self, out: &mut Vec<u8>) {
+        cupft_wire::Encode::encode(&self.inner, out);
+    }
+}
+
+impl cupft_wire::Decode for PdCertificate {
+    fn decode(r: &mut cupft_wire::Reader<'_>) -> Result<Self, cupft_wire::WireError> {
+        <SignedPd as cupft_wire::Decode>::decode(r).map(PdCertificate::from_signed)
+    }
+}
+
 /// A shared, thread-safe interning pool of [`PdCertificate`]s keyed by
 /// fingerprint.
 ///

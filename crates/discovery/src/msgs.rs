@@ -5,6 +5,7 @@ use std::sync::Arc;
 use cupft_detector::PdCertificate;
 use cupft_graph::ProcessSet;
 use cupft_net::Labeled;
+use cupft_wire::{put_len, Decode, Encode, Reader, WireError};
 
 /// A compact summary of one process's certificate set (`S_PD`): the member
 /// count plus the commutative 128-bit sum of the certificates'
@@ -90,6 +91,74 @@ impl Labeled for DiscoveryMsg {
         match self {
             DiscoveryMsg::GetPds { .. } => 0,
             DiscoveryMsg::SetPds { certs, .. } => certs.len() as u64,
+        }
+    }
+}
+
+impl Encode for SyncState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.count.encode(out);
+        self.fp.encode(out);
+        self.epoch.encode(out);
+    }
+}
+
+impl Decode for SyncState {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SyncState {
+            count: r.u32()?,
+            fp: r.u128()?,
+            epoch: r.u32()?,
+        })
+    }
+}
+
+/// Wire form: `tag:u8` (0 = `GETPDS`, 1 = `SETPDS`) followed by the
+/// variant fields. The `Arc` sharing wrappers are a process-local
+/// optimization and do not travel: decode rebuilds fresh bundles, and
+/// every certificate's fingerprint is recomputed from its record bytes.
+impl Encode for DiscoveryMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            DiscoveryMsg::GetPds { have, state } => {
+                out.push(0);
+                have.encode(out);
+                state.encode(out);
+            }
+            DiscoveryMsg::SetPds { certs, state } => {
+                out.push(1);
+                put_len(out, certs.len());
+                for cert in certs.iter() {
+                    cert.encode(out);
+                }
+                state.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for DiscoveryMsg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(DiscoveryMsg::GetPds {
+                have: Arc::decode(r)?,
+                state: SyncState::decode(r)?,
+            }),
+            1 => {
+                let count = r.len_prefix()?;
+                let mut certs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    certs.push(Arc::new(PdCertificate::decode(r)?));
+                }
+                Ok(DiscoveryMsg::SetPds {
+                    certs: certs.into(),
+                    state: SyncState::decode(r)?,
+                })
+            }
+            tag => Err(WireError::BadTag {
+                ty: "DiscoveryMsg",
+                tag,
+            }),
         }
     }
 }

@@ -3,19 +3,24 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use cupft_crypto::sha256::DIGEST_LEN;
-use cupft_crypto::{KeyRegistry, Signature, SignedPd, SigningKey};
+use cupft_crypto::{KeyRegistry, SigningKey};
 use cupft_detector::{CertPool, PdCertificate};
 use cupft_graph::{KnowledgeView, ProcessId, ProcessSet};
+use cupft_wire::{put_len, Decode, Encode, Reader};
 
 use crate::msgs::{DiscoveryMsg, SyncState};
 
 /// Timer kind used by discovery actors for the periodic round.
 pub const DISCOVERY_TICK: u64 = 0xD15C;
 
-/// Magic + version header of the [`DiscoveryState`] snapshot codec.
-/// Bump the trailing byte when the layout changes.
-const SNAPSHOT_HEADER: &[u8; 8] = b"CUPFTSS\x01";
+/// Magic bytes opening every [`DiscoveryState`] snapshot.
+const SNAPSHOT_MAGIC: &[u8; 7] = b"CUPFTSS";
+
+/// Snapshot layout version (the byte after the magic — historically the
+/// `\x01` of the original `CUPFTSS\x01` header, now an explicit version
+/// field). Bump when the layout changes; [`DiscoveryState::from_bytes`]
+/// rejects versions it does not speak.
+const SNAPSHOT_VERSION: u8 = 1;
 
 /// How a [`DiscoveryState`] disseminates its certificate set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -396,7 +401,11 @@ impl DiscoveryState {
 
     /// Serializes the durable core of the state — identity, gossip mode,
     /// membership epoch, `S_known`, and the verified certificate set — as a
-    /// versioned, length-prefixed byte string (hand-rolled; no serde).
+    /// versioned, length-prefixed byte string built from the
+    /// [`cupft_wire::Encode`] codecs (hand-rolled; no serde). The layout
+    /// is byte-for-byte what this codec produced before the wire traits
+    /// existed: the traits adopted the snapshot's conventions, not the
+    /// other way around.
     ///
     /// Volatile fields (per-peer sync reports, verdict memos, forgery
     /// counters, the shared pool handle) are deliberately excluded: a
@@ -406,28 +415,18 @@ impl DiscoveryState {
     /// `to_bytes ∘ from_bytes` is the identity on byte strings.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + self.certs.len() * 96);
-        out.extend_from_slice(SNAPSHOT_HEADER);
-        out.extend_from_slice(&self.id.raw().to_be_bytes());
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        out.push(SNAPSHOT_VERSION);
+        self.id.encode(&mut out);
         out.push(match self.mode {
             GossipMode::Delta => 0,
             GossipMode::Full => 1,
         });
-        out.extend_from_slice(&self.sync.epoch.to_be_bytes());
-        let known = self.view.known();
-        out.extend_from_slice(&(known.len() as u64).to_be_bytes());
-        for p in known {
-            out.extend_from_slice(&p.raw().to_be_bytes());
-        }
-        out.extend_from_slice(&(self.certs.len() as u64).to_be_bytes());
+        self.sync.epoch.encode(&mut out);
+        self.view.known().encode(&mut out);
+        put_len(&mut out, self.certs.len());
         for cert in self.certs.values() {
-            let rec = cert.as_signed();
-            out.extend_from_slice(&rec.author().to_be_bytes());
-            out.extend_from_slice(&(rec.pd().len() as u64).to_be_bytes());
-            for &p in rec.pd() {
-                out.extend_from_slice(&p.to_be_bytes());
-            }
-            out.extend_from_slice(&rec.signature().signer().to_be_bytes());
-            out.extend_from_slice(rec.signature().tag());
+            cert.encode(&mut out);
         }
         out
     }
@@ -447,42 +446,28 @@ impl DiscoveryState {
     /// [`Self::bump_epoch`] as the *recovery* — distinct from mere
     /// deserialization, which round-trips byte-identically.
     pub fn from_bytes(bytes: &[u8], registry: KeyRegistry) -> Option<Self> {
-        let mut r = SnapshotReader { buf: bytes };
-        if r.take(SNAPSHOT_HEADER.len())? != SNAPSHOT_HEADER {
+        let mut r = Reader::new(bytes);
+        if r.take(SNAPSHOT_MAGIC.len()).ok()? != SNAPSHOT_MAGIC {
             return None;
         }
-        let id = ProcessId::new(r.u64()?);
-        let mode = match r.u8()? {
+        if r.u8().ok()? != SNAPSHOT_VERSION {
+            return None;
+        }
+        let id = ProcessId::decode(&mut r).ok()?;
+        let mode = match r.u8().ok()? {
             0 => GossipMode::Delta,
             1 => GossipMode::Full,
             _ => return None,
         };
-        let epoch = r.u32()?;
-        let known_len = r.u64()? as usize;
-        let mut known = ProcessSet::new();
-        for _ in 0..known_len {
-            known.insert(ProcessId::new(r.u64()?));
-        }
-        let cert_count = r.u64()? as usize;
-        let mut certs = Vec::with_capacity(cert_count.min(4096));
+        let epoch = r.u32().ok()?;
+        let known = ProcessSet::decode(&mut r).ok()?;
+        let cert_count = r.len_prefix().ok()?;
+        let mut certs = Vec::with_capacity(cert_count);
         for _ in 0..cert_count {
-            let author = r.u64()?;
-            let pd_len = r.u64()? as usize;
-            let mut pd = Vec::with_capacity(pd_len.min(4096));
-            for _ in 0..pd_len {
-                pd.push(r.u64()?);
-            }
-            let signer = r.u64()?;
-            let tag: [u8; DIGEST_LEN] = r.take(DIGEST_LEN)?.try_into().ok()?;
-            certs.push(Arc::new(PdCertificate::from_signed(SignedPd::from_parts(
-                author,
-                pd,
-                Signature::from_parts(signer, tag),
-            ))));
+            certs.push(Arc::new(PdCertificate::decode(&mut r).ok()?));
         }
-        if !r.buf.is_empty() {
-            return None; // trailing garbage: not our snapshot
-        }
+        // Trailing garbage: not our snapshot.
+        r.finish().ok()?;
         let own = certs.iter().find(|c| c.author() == id)?.clone();
         let mut state = DiscoveryState {
             id,
@@ -514,35 +499,6 @@ impl DiscoveryState {
         state.sync.epoch = epoch;
         state.changed = true;
         Some(state)
-    }
-}
-
-/// Cursor over snapshot bytes; every read is bounds-checked so truncated
-/// input yields `None` instead of a panic.
-struct SnapshotReader<'a> {
-    buf: &'a [u8],
-}
-
-impl<'a> SnapshotReader<'a> {
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
-        if self.buf.len() < n {
-            return None;
-        }
-        let (head, tail) = self.buf.split_at(n);
-        self.buf = tail;
-        Some(head)
-    }
-
-    fn u8(&mut self) -> Option<u8> {
-        Some(self.take(1)?[0])
-    }
-
-    fn u32(&mut self) -> Option<u32> {
-        Some(u32::from_be_bytes(self.take(4)?.try_into().ok()?))
-    }
-
-    fn u64(&mut self) -> Option<u64> {
-        Some(u64::from_be_bytes(self.take(8)?.try_into().ok()?))
     }
 }
 

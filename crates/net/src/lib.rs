@@ -7,8 +7,8 @@
 //! between correct processes sent after GST are delivered within `δ`;
 //! before GST, delays are arbitrary (but finite: channels are reliable).
 //!
-//! Two interchangeable runtimes execute the same [`Actor`] code behind the
-//! shared [`Runtime`] trait:
+//! Three interchangeable runtimes execute the same [`Actor`] code behind
+//! the shared [`Runtime`] trait:
 //!
 //! * [`sim::Simulation`] — a deterministic discrete-event simulator with an
 //!   explicit GST, seeded adversarial pre-GST delays, and scripted delay
@@ -19,7 +19,12 @@
 //!   router plane** ([`ThreadedConfig::router_shards`],
 //!   destination-hashed, per-shard delay wheels and stats merged
 //!   deterministically), for wall-clock validation
-//!   ([`threaded::run_threaded`] remains as a by-value convenience).
+//!   ([`threaded::run_threaded`] remains as a by-value convenience);
+//! * [`socket::SocketRuntime`] — a real-socket runtime carrying every
+//!   send over TCP in the versioned [`cupft_wire`] frame format, with
+//!   peers addressed by opaque [`PeerAddr`]s — loopback within one OS
+//!   process, or genuinely distributed across processes via
+//!   [`Runtime::register_peer`].
 //!
 //! Experiment code written against `Runtime` — like
 //! `cupft_core::run_scenario_on` and the `ScenarioSuite` batch engine —
@@ -69,6 +74,7 @@ mod actor;
 mod delay;
 pub mod runtime;
 pub mod sim;
+pub mod socket;
 pub mod stage;
 mod stats;
 pub mod tamper;
@@ -76,8 +82,9 @@ pub mod threaded;
 
 pub use actor::{Actor, Context, Labeled, TimerKind};
 pub use delay::DelayPolicy;
-pub use runtime::{Runtime, RuntimeReport};
+pub use runtime::{PeerAddr, Runtime, RuntimeReport};
 pub use sim::{RunReport, SimConfig, Simulation, TraceEntry};
+pub use socket::{SocketConfig, SocketRuntime};
 pub use stage::Preflight;
 pub use stats::NetStats;
 pub use tamper::{Fate, NoTamper, Tamper};

@@ -23,16 +23,103 @@
 //! threaded runtime cannot offer mid-run (the actors are owned by their
 //! threads until shutdown).
 
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr};
 use std::sync::Arc;
 
 use cupft_graph::ProcessId;
 use cupft_obs::{ObsReport, Recorder};
+use cupft_wire::{Decode, Encode, Reader, WireError};
 
 use crate::actor::Actor;
 use crate::stage::Preflight;
 use crate::stats::NetStats;
 use crate::tamper::Tamper;
 use crate::Time;
+
+/// An opaque peer address: where a [`Runtime`] can reach a process.
+///
+/// The channel substrates (simulator, threaded runtime) address actors by
+/// [`ProcessId`] alone — every registered actor is [`PeerAddr::Local`].
+/// The socket runtime ([`crate::socket::SocketRuntime`]) additionally
+/// reaches processes hosted by *other* OS processes over TCP —
+/// [`PeerAddr::Tcp`]. Experiment code holds `PeerAddr`s without caring
+/// which substrate produced them; only the runtime that minted an address
+/// can interpret it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PeerAddr {
+    /// The peer is an actor registered in this runtime instance; the ID is
+    /// the complete address (channel substrates).
+    Local(ProcessId),
+    /// The peer is reachable over TCP at this socket address (socket
+    /// runtime).
+    Tcp(SocketAddr),
+}
+
+impl std::fmt::Display for PeerAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PeerAddr::Local(id) => write!(f, "local:{id}"),
+            PeerAddr::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+/// Wire form: `tag:u8` (0 = Local, 1 = Tcp/v4, 2 = Tcp/v6) followed by the
+/// raw process ID, or octets ‖ `port:u16`. Lets a driver ship a peer
+/// address book to node processes in the same framed vocabulary as
+/// everything else.
+impl Encode for PeerAddr {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            PeerAddr::Local(id) => {
+                out.push(0);
+                id.encode(out);
+            }
+            PeerAddr::Tcp(addr) => match addr.ip() {
+                IpAddr::V4(ip) => {
+                    out.push(1);
+                    out.extend_from_slice(&ip.octets());
+                    addr.port().encode(out);
+                }
+                IpAddr::V6(ip) => {
+                    out.push(2);
+                    out.extend_from_slice(&ip.octets());
+                    addr.port().encode(out);
+                }
+            },
+        }
+    }
+}
+
+impl Decode for PeerAddr {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(PeerAddr::Local(ProcessId::decode(r)?)),
+            1 => {
+                let mut octets = [0u8; 4];
+                octets.copy_from_slice(r.take(4)?);
+                let port = r.u16()?;
+                Ok(PeerAddr::Tcp(SocketAddr::new(
+                    IpAddr::V4(Ipv4Addr::from(octets)),
+                    port,
+                )))
+            }
+            2 => {
+                let mut octets = [0u8; 16];
+                octets.copy_from_slice(r.take(16)?);
+                let port = r.u16()?;
+                Ok(PeerAddr::Tcp(SocketAddr::new(
+                    IpAddr::V6(Ipv6Addr::from(octets)),
+                    port,
+                )))
+            }
+            tag => Err(WireError::BadTag {
+                ty: "PeerAddr",
+                tag,
+            }),
+        }
+    }
+}
 
 /// Outcome of one [`Runtime`] run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,6 +185,34 @@ pub trait Runtime<M: 'static> {
     /// change protocol behavior.
     fn set_recorder(&mut self, recorder: Arc<Recorder>) {
         let _ = recorder;
+    }
+
+    /// Registers a peer hosted *outside* this runtime instance, reachable
+    /// at `addr`. Must be called before the run starts.
+    ///
+    /// The channel substrates cannot host external peers: the default
+    /// accepts the (redundant) registration of a local address for an
+    /// already-registered actor and panics on anything else, so a driver
+    /// that wires a distributed topology against a channel substrate fails
+    /// loudly instead of silently black-holing sends.
+    fn register_peer(&mut self, id: ProcessId, addr: PeerAddr) {
+        match addr {
+            PeerAddr::Local(peer) if peer == id && self.actor_ids().contains(&id) => {}
+            _ => panic!(
+                "{} runtime cannot register external peer {id} at {addr}",
+                self.name()
+            ),
+        }
+    }
+
+    /// The address at which this runtime reaches `id`, or `None` if the
+    /// process is unknown. For channel substrates every registered actor
+    /// is [`PeerAddr::Local`]; the socket runtime reports TCP addresses
+    /// for both its own actors (its listener) and registered remote peers.
+    fn addr_of(&self, id: ProcessId) -> Option<PeerAddr> {
+        self.actor_ids()
+            .contains(&id)
+            .then_some(PeerAddr::Local(id))
     }
 
     /// Drives the system until every actor halts, `stop` returns `true`,

@@ -4,6 +4,7 @@
 #   scripts/verify.sh          # everything (what the CI `full` path runs)
 #   scripts/verify.sh --quick  # skip the release build (fast local loop,
 #                              # and the CI `quick` job); fronts the
+#                              # wire_roundtrip codec proptests, the
 #                              # adversary_sweep grid, the family_sweep
 #                              # (each graph family once at modest n), the
 #                              # delta-gossip discovery_equivalence sweep,
@@ -55,6 +56,8 @@ if [[ "$quick" -eq 0 ]]; then
     echo "==> cargo build --release"
     cargo build --release
 else
+    echo "==> cargo test -q --test wire_roundtrip (quick gate)"
+    cargo test -q --test wire_roundtrip
     echo "==> cargo test -q --test adversary_sweep (quick gate)"
     cargo test -q --test adversary_sweep
     echo "==> cargo test -q --test family_sweep (quick gate)"

@@ -1,0 +1,522 @@
+//! Per-message round-trip property tests for the `cupft_wire` codec.
+//!
+//! Two laws, checked for every wire type in the workspace (graph
+//! vocabulary, crypto records, discovery/committee/node protocol
+//! messages, adversary control specs, peer addresses, bench JSON):
+//!
+//! 1. `decode ∘ encode == id` — decoding the canonical bytes yields an
+//!    equal value;
+//! 2. re-encoding the decoded value is **byte-identical** — the codec is
+//!    canonical, so signatures over encodings and fingerprint-based
+//!    dedup are stable across hops.
+//!
+//! Plus the negative space: corrupt, truncated, and oversized frames are
+//! rejected with structured errors (never a panic, never an over-read),
+//! both at the frame envelope and inside message payloads.
+
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr};
+use std::sync::Arc;
+
+use proptest::collection::{btree_set, vec as pvec};
+use proptest::prelude::*;
+
+use bft_cupft::adversary::{ChurnEvent, ChurnSpec, StrategySpec, TamperSpec};
+use bft_cupft::committee::{CommitteeMsg, PreparedCert, Value, ViewChangeRecord};
+use bft_cupft::core::NodeMsg;
+use bft_cupft::crypto::sha256::{digest, Digest};
+use bft_cupft::crypto::{domains, KeyRegistry, Signature, SignedPd, SignedValue};
+use bft_cupft::detector::PdCertificate;
+use bft_cupft::discovery::{DiscoveryMsg, SyncState};
+use bft_cupft::graph::{ProcessId, ProcessSet};
+use bft_cupft::net::PeerAddr;
+use bft_cupft::wire::frame::{
+    frame, read_frame, unframe, write_frame, FrameIoError, FRAME_MAGIC, HEADER_LEN,
+    MAX_FRAME_PAYLOAD, WIRE_VERSION,
+};
+use bft_cupft::wire::{decode_from_slice, encode_to_vec, Decode, Encode, WireError};
+use cupft_bench::Json;
+
+/// The two codec laws, plus the frame envelope, for one value.
+fn rt<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: &T) {
+    let bytes = encode_to_vec(v);
+    let back: T = decode_from_slice(&bytes).expect("canonical bytes decode");
+    assert_eq!(&back, v, "decode must invert encode");
+    assert_eq!(
+        encode_to_vec(&back),
+        bytes,
+        "re-encode must be byte-identical"
+    );
+    assert_eq!(
+        unframe(&frame(&bytes)).expect("framed payload unframes"),
+        &bytes[..],
+        "frame envelope must be transparent"
+    );
+}
+
+// ---- generators -----------------------------------------------------------
+
+fn arb_pid() -> impl Strategy<Value = ProcessId> {
+    (0u64..1_000).prop_map(ProcessId::new)
+}
+
+fn arb_pset() -> impl Strategy<Value = ProcessSet> {
+    btree_set(0u64..64, 0..8).prop_map(|s| s.into_iter().map(ProcessId::new).collect())
+}
+
+fn arb_digest() -> impl Strategy<Value = Digest> {
+    any::<u64>().prop_map(|seed| digest(&seed.to_be_bytes()))
+}
+
+fn arb_sig() -> impl Strategy<Value = Signature> {
+    (0u64..64, any::<u64>())
+        .prop_map(|(signer, seed)| Signature::from_parts(signer, digest(&seed.to_be_bytes())))
+}
+
+fn arb_signed_pd() -> impl Strategy<Value = SignedPd> {
+    (0u64..64, pvec(0u64..256, 0..10), arb_sig())
+        .prop_map(|(author, pd, sig)| SignedPd::from_parts(author, pd, sig))
+}
+
+fn arb_domain() -> impl Strategy<Value = &'static str> {
+    (0usize..domains::ALL.len()).prop_map(|i| domains::ALL[i])
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    pvec(any::<u8>(), 0..48).prop_map(Value::from)
+}
+
+fn arb_signed_value() -> impl Strategy<Value = SignedValue> {
+    (0u64..64, arb_domain(), arb_value(), arb_sig()).prop_map(|(signer, domain, payload, sig)| {
+        SignedValue::from_parts(signer, domain, payload, sig)
+    })
+}
+
+fn arb_cert() -> impl Strategy<Value = PdCertificate> {
+    arb_signed_pd().prop_map(PdCertificate::from_signed)
+}
+
+fn arb_sync_state() -> impl Strategy<Value = SyncState> {
+    (any::<u32>(), (any::<u64>(), any::<u64>()), any::<u32>()).prop_map(
+        |(count, (hi, lo), epoch)| SyncState {
+            count,
+            fp: (u128::from(hi) << 64) | u128::from(lo),
+            epoch,
+        },
+    )
+}
+
+fn arb_discovery() -> BoxedStrategy<DiscoveryMsg> {
+    prop_oneof![
+        (arb_pset(), arb_sync_state()).prop_map(|(have, state)| DiscoveryMsg::GetPds {
+            have: Arc::new(have),
+            state,
+        }),
+        (pvec(arb_cert(), 0..4), arb_sync_state()).prop_map(|(certs, state)| {
+            DiscoveryMsg::SetPds {
+                certs: certs.into_iter().map(Arc::new).collect::<Vec<_>>().into(),
+                state,
+            }
+        }),
+    ]
+    .boxed()
+}
+
+fn arb_prepared_cert() -> impl Strategy<Value = PreparedCert> {
+    (any::<u64>(), arb_value(), pvec(arb_signed_value(), 0..4)).prop_map(
+        |(view, value, prepares)| PreparedCert {
+            view,
+            value,
+            prepares,
+        },
+    )
+}
+
+fn arb_view_change() -> BoxedStrategy<ViewChangeRecord> {
+    (
+        any::<u64>(),
+        prop_oneof![Just(None), arb_prepared_cert().prop_map(Some).boxed(),],
+        arb_signed_value(),
+    )
+        .prop_map(|(new_view, prepared, signed)| ViewChangeRecord {
+            new_view,
+            prepared,
+            signed,
+        })
+        .boxed()
+}
+
+fn arb_committee() -> BoxedStrategy<CommitteeMsg> {
+    prop_oneof![
+        (
+            any::<u64>(),
+            arb_value(),
+            arb_signed_value(),
+            pvec(arb_view_change(), 0..3),
+        )
+            .prop_map(
+                |(view, value, signed, justification)| CommitteeMsg::PrePrepare {
+                    view,
+                    value,
+                    signed,
+                    justification,
+                }
+            ),
+        (any::<u64>(), arb_digest(), arb_signed_value()).prop_map(|(view, digest, signed)| {
+            CommitteeMsg::Prepare {
+                view,
+                digest,
+                signed,
+            }
+        }),
+        (any::<u64>(), arb_digest(), arb_signed_value()).prop_map(|(view, digest, signed)| {
+            CommitteeMsg::Commit {
+                view,
+                digest,
+                signed,
+            }
+        }),
+        arb_view_change().prop_map(CommitteeMsg::ViewChange),
+    ]
+    .boxed()
+}
+
+fn arb_node_msg() -> BoxedStrategy<NodeMsg> {
+    prop_oneof![
+        arb_discovery().prop_map(NodeMsg::Discovery),
+        arb_committee().prop_map(NodeMsg::Committee),
+        Just(NodeMsg::GetDecidedVal),
+        arb_value().prop_map(NodeMsg::DecidedVal),
+    ]
+    .boxed()
+}
+
+fn arb_peer_addr() -> BoxedStrategy<PeerAddr> {
+    prop_oneof![
+        arb_pid().prop_map(PeerAddr::Local),
+        (any::<u32>(), any::<u16>()).prop_map(|(ip, port)| {
+            PeerAddr::Tcp(SocketAddr::new(IpAddr::V4(Ipv4Addr::from(ip)), port))
+        }),
+        ((any::<u64>(), any::<u64>()), any::<u16>()).prop_map(|((hi, lo), port)| {
+            let ip = (u128::from(hi) << 64) | u128::from(lo);
+            PeerAddr::Tcp(SocketAddr::new(IpAddr::V6(Ipv6Addr::from(ip)), port))
+        }),
+    ]
+    .boxed()
+}
+
+fn arb_tamper_leaf() -> BoxedStrategy<TamperSpec> {
+    prop_oneof![
+        (1u64..100, any::<u64>())
+            .prop_map(|(window, seed)| TamperSpec::ReorderWindow { window, seed }),
+        (arb_pset(), 0u64..50)
+            .prop_map(|(senders, extra)| TamperSpec::DelayFrom { senders, extra }),
+        arb_pset().prop_map(|senders| TamperSpec::DropFrom { senders }),
+    ]
+    .boxed()
+}
+
+fn arb_tamper() -> BoxedStrategy<TamperSpec> {
+    prop_oneof![
+        arb_tamper_leaf(),
+        pvec(arb_tamper_leaf(), 0..3)
+            .prop_map(TamperSpec::Chain)
+            .boxed(),
+    ]
+    .boxed()
+}
+
+fn arb_churn_event() -> BoxedStrategy<ChurnEvent> {
+    prop_oneof![
+        (any::<u64>(), arb_pid(), arb_pset()).prop_map(|(tick, node, seed_peers)| {
+            ChurnEvent::JoinAt {
+                tick,
+                node,
+                seed_peers,
+            }
+        }),
+        (any::<u64>(), arb_pid()).prop_map(|(tick, node)| ChurnEvent::LeaveAt { tick, node }),
+        (any::<u64>(), arb_pid(), any::<u64>()).prop_map(|(tick, node, down_for)| {
+            ChurnEvent::CrashRecoverAt {
+                tick,
+                node,
+                down_for,
+            }
+        }),
+    ]
+    .boxed()
+}
+
+fn arb_strategy_leaf() -> BoxedStrategy<StrategySpec> {
+    prop_oneof![
+        Just(StrategySpec::Silent),
+        arb_pset().prop_map(|claimed| StrategySpec::FakePd { claimed }),
+        (arb_pset(), arb_pset()).prop_map(|(even, odd)| StrategySpec::EquivocatePd { even, odd }),
+        (arb_pid(), arb_pset())
+            .prop_map(|(victim, claimed)| StrategySpec::ForgeUnsignedPd { victim, claimed }),
+        arb_value().prop_map(|value| StrategySpec::LieDecidedVal { value }),
+        (arb_pset(), arb_value(), arb_value()).prop_map(|(committee, value_a, value_b)| {
+            StrategySpec::EquivocateValue {
+                committee,
+                value_a,
+                value_b,
+            }
+        }),
+    ]
+    .boxed()
+}
+
+fn arb_strategy() -> BoxedStrategy<StrategySpec> {
+    prop_oneof![
+        arb_strategy_leaf(),
+        (any::<u64>(), arb_strategy_leaf()).prop_map(|(until, inner)| {
+            StrategySpec::DelayRelease {
+                until,
+                inner: Box::new(inner),
+            }
+        }),
+        (arb_pset(), arb_strategy_leaf()).prop_map(|(targets, inner)| {
+            StrategySpec::TargetSubset {
+                targets,
+                inner: Box::new(inner),
+            }
+        }),
+        (any::<u64>(), arb_strategy_leaf(), arb_strategy_leaf()).prop_map(|(at, before, after)| {
+            StrategySpec::FlipAfter {
+                at,
+                before: Box::new(before),
+                after: Box::new(after),
+            }
+        }),
+    ]
+    .boxed()
+}
+
+fn arb_json_leaf() -> BoxedStrategy<Json> {
+    prop_oneof![
+        any::<bool>().prop_map(Json::Bool),
+        any::<u64>().prop_map(Json::U64),
+        // Exercised through raw-bit encoding, so non-integral values
+        // matter; NaN is avoided only because `Json: PartialEq` (the
+        // codec itself preserves any bit pattern).
+        any::<u32>().prop_map(|n| Json::F64(f64::from(n) / 7.0)),
+        (0u64..1_000).prop_map(|n| Json::Str(format!("s{n}"))),
+    ]
+    .boxed()
+}
+
+fn arb_json() -> BoxedStrategy<Json> {
+    prop_oneof![
+        arb_json_leaf(),
+        pvec(arb_json_leaf(), 0..4).prop_map(Json::Arr).boxed(),
+        pvec(
+            ((0u64..16).prop_map(|n| format!("k{n}")), arb_json_leaf()),
+            0..4
+        )
+        .prop_map(Json::Obj)
+        .boxed(),
+    ]
+    .boxed()
+}
+
+// ---- round-trip laws, per wire type ---------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn graph_vocabulary_roundtrips(id in arb_pid(), set in arb_pset()) {
+        rt(&id);
+        rt(&set);
+    }
+
+    #[test]
+    fn crypto_records_roundtrip(
+        sig in arb_sig(),
+        pd in arb_signed_pd(),
+        val in arb_signed_value(),
+        cert in arb_cert(),
+    ) {
+        rt(&sig);
+        rt(&pd);
+        rt(&val);
+        rt(&cert);
+    }
+
+    #[test]
+    fn discovery_msgs_roundtrip(state in arb_sync_state(), msg in arb_discovery()) {
+        rt(&state);
+        rt(&msg);
+    }
+
+    #[test]
+    fn committee_msgs_roundtrip(
+        cert in arb_prepared_cert(),
+        vc in arb_view_change(),
+        msg in arb_committee(),
+    ) {
+        rt(&cert);
+        rt(&vc);
+        rt(&msg);
+    }
+
+    #[test]
+    fn node_msgs_roundtrip(msg in arb_node_msg()) {
+        rt(&msg);
+    }
+
+    #[test]
+    fn peer_addrs_roundtrip(addr in arb_peer_addr()) {
+        rt(&addr);
+    }
+
+    #[test]
+    fn adversary_control_roundtrips(
+        tamper in arb_tamper(),
+        churn in pvec(arb_churn_event(), 0..5),
+        strategy in arb_strategy(),
+    ) {
+        rt(&tamper);
+        rt(&ChurnSpec::new(churn));
+        rt(&strategy);
+    }
+
+    #[test]
+    fn bench_json_roundtrips(json in arb_json()) {
+        rt(&json);
+    }
+
+    // ---- negative space: the codec never panics on hostile bytes ----
+
+    #[test]
+    fn arbitrary_bytes_never_panic_decoders(bytes in pvec(any::<u8>(), 0..96)) {
+        // Any result is fine; reaching the assertion means no panic and
+        // no over-read (the Reader is bounds-checked by construction).
+        let _ = decode_from_slice::<NodeMsg>(&bytes);
+        let _ = decode_from_slice::<DiscoveryMsg>(&bytes);
+        let _ = decode_from_slice::<CommitteeMsg>(&bytes);
+        let _ = decode_from_slice::<StrategySpec>(&bytes);
+        let _ = decode_from_slice::<PeerAddr>(&bytes);
+        let _ = unframe(&bytes);
+        prop_assert!(true);
+    }
+
+    #[test]
+    fn every_strict_prefix_is_rejected(msg in arb_node_msg()) {
+        let bytes = encode_to_vec(&msg);
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                decode_from_slice::<NodeMsg>(&bytes[..cut]).is_err(),
+                "prefix of {cut}/{} bytes must not decode",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn frame_envelope_is_transparent(payload in pvec(any::<u8>(), 0..256)) {
+        let framed = frame(&payload);
+        prop_assert_eq!(&framed[..4], &FRAME_MAGIC[..]);
+        prop_assert_eq!(framed[4], WIRE_VERSION);
+        prop_assert_eq!(framed.len(), HEADER_LEN + payload.len());
+        prop_assert_eq!(unframe(&framed).expect("valid frame"), &payload[..]);
+    }
+}
+
+// ---- corrupt / truncated / oversized frames -------------------------------
+
+/// A realistic signed committee message, as it would travel in production.
+fn sample_msg() -> NodeMsg {
+    let mut registry = KeyRegistry::new();
+    let key = registry.register(3);
+    NodeMsg::Committee(CommitteeMsg::prepare(&key, 2, digest(b"proposal")))
+}
+
+#[test]
+fn flipped_magic_is_rejected() {
+    let mut framed = frame(&encode_to_vec(&sample_msg()));
+    framed[0] ^= 0x01;
+    assert_eq!(unframe(&framed), Err(WireError::BadMagic));
+}
+
+#[test]
+fn unknown_versions_are_rejected() {
+    for version in [0u8, 2, 99, 255] {
+        let mut framed = frame(&encode_to_vec(&sample_msg()));
+        framed[4] = version;
+        assert_eq!(unframe(&framed), Err(WireError::BadVersion(version)));
+    }
+}
+
+#[test]
+fn oversized_length_is_rejected_before_allocation() {
+    let mut framed = frame(b"tiny");
+    framed[5..9].copy_from_slice(&u32::MAX.to_be_bytes());
+    assert_eq!(
+        unframe(&framed),
+        Err(WireError::Oversized {
+            len: u64::from(u32::MAX),
+            max: MAX_FRAME_PAYLOAD as u64,
+        })
+    );
+}
+
+#[test]
+fn every_frame_truncation_is_rejected() {
+    let framed = frame(&encode_to_vec(&sample_msg()));
+    for cut in 0..framed.len() {
+        assert!(
+            matches!(
+                unframe(&framed[..cut]),
+                Err(WireError::Truncated { .. }) | Err(WireError::BadMagic)
+            ),
+            "cut at {cut}/{} must be rejected",
+            framed.len()
+        );
+    }
+}
+
+#[test]
+fn trailing_bytes_after_frame_are_rejected() {
+    let mut framed = frame(&encode_to_vec(&sample_msg()));
+    framed.push(0xAA);
+    assert_eq!(unframe(&framed), Err(WireError::Trailing(1)));
+}
+
+#[test]
+fn stream_reader_yields_frames_then_clean_eof() {
+    let first = encode_to_vec(&sample_msg());
+    let second = encode_to_vec(&NodeMsg::GetDecidedVal);
+    let mut stream = Vec::new();
+    write_frame(&mut stream, &first).expect("write first");
+    write_frame(&mut stream, &second).expect("write second");
+
+    let mut cursor = std::io::Cursor::new(stream.clone());
+    assert_eq!(read_frame(&mut cursor).expect("first frame"), Some(first));
+    assert_eq!(read_frame(&mut cursor).expect("second frame"), Some(second));
+    assert_eq!(read_frame(&mut cursor).expect("clean EOF"), None);
+
+    // EOF mid-frame is a truncation error, not a clean end.
+    let mut torn = std::io::Cursor::new(stream[..stream.len() - 3].to_vec());
+    let _ = read_frame(&mut torn).expect("first frame again");
+    assert!(matches!(
+        read_frame(&mut torn),
+        Err(FrameIoError::Wire(WireError::Truncated { .. }))
+    ));
+}
+
+#[test]
+fn signed_roundtrip_still_verifies_after_the_wire() {
+    // Byte-identical re-encoding is what keeps signatures valid across
+    // hops: a prepare vote survives encode → frame → unframe → decode and
+    // still verifies against the committee.
+    let mut registry = KeyRegistry::new();
+    let key = registry.register(3);
+    let d = digest(b"proposal");
+    let msg = CommitteeMsg::prepare(&key, 2, d);
+    let bytes = frame(&encode_to_vec(&msg));
+    let back: CommitteeMsg = decode_from_slice(unframe(&bytes).expect("frame")).expect("decode");
+    assert_eq!(back, msg);
+    let committee =
+        bft_cupft::committee::Committee::new(bft_cupft::graph::process_set([1, 2, 3, 4]), 1);
+    assert!(back.verify(&registry, &committee));
+}
